@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test race bench vet fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeDynamic -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzFromString -fuzztime=15s ./internal/bitvec/
+
+experiments:
+	$(GO) run ./cmd/habench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/dedup
+	$(GO) run ./examples/imagesearch
+	$(GO) run ./examples/chemsearch
+	$(GO) run ./examples/streaming
+	$(GO) run ./examples/mrpipeline
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,148 @@
+// Command haidx builds, inspects and queries persisted HA-Index files (the
+// binary wire format of internal/core's codec — the same bytes a cluster
+// deployment would write to its DFS and broadcast).
+//
+// Usage:
+//
+//	hagen -profile NUS-WIDE -n 20000 -o d.csv
+//	haidx build -data d.csv -bits 32 -o d.hadx
+//	haidx info -index d.hadx
+//	haidx search -index d.hadx -data d.csv -query-rows 0,42 -h 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"haindex/internal/core"
+	"haindex/internal/dataset"
+	"haindex/internal/hash"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fatalf("usage: haidx <build|info|search> [flags]")
+	}
+	switch os.Args[1] {
+	case "build":
+		cmdBuild(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "search":
+		cmdSearch(os.Args[2:])
+	default:
+		fatalf("unknown subcommand %q; want build|info|search", os.Args[1])
+	}
+}
+
+func cmdBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	data := fs.String("data", "", "CSV dataset (required)")
+	bits := fs.Int("bits", 32, "binary code length")
+	out := fs.String("o", "index.hadx", "output index file")
+	seed := fs.Int64("seed", 1, "hash-learning sample seed")
+	leafless := fs.Bool("leafless", false, "write the Option-B form without tuple-id tables")
+	fs.Parse(args)
+	if *data == "" {
+		fatalf("build: -data is required")
+	}
+	vecs, err := dataset.ReadCSV(*data)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	hf, err := hash.LearnSpectral(dataset.Reservoir(vecs, len(vecs)/10+100, *seed), *bits)
+	if err != nil {
+		fatalf("learning hash: %v", err)
+	}
+	t0 := time.Now()
+	idx := core.BuildDynamic(hash.HashAll(hf, vecs), nil, core.Options{})
+	buildTime := time.Since(t0)
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := idx.Encode(f, !*leafless); err != nil {
+		fatalf("encoding: %v", err)
+	}
+	sz, _ := idx.EncodedSize(!*leafless)
+	fmt.Printf("haidx: indexed %d tuples (%d-bit codes) in %v; wrote %s (%.1f KB)\n",
+		idx.Len(), *bits, buildTime.Round(time.Millisecond), *out, float64(sz)/1e3)
+	fmt.Println("note: queries must be hashed with the same learned function; keep the dataset and seed")
+}
+
+func loadIndex(path string) *core.DynamicIndex {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	idx, err := core.DecodeDynamic(f)
+	if err != nil {
+		fatalf("decoding %s: %v", path, err)
+	}
+	return idx
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	index := fs.String("index", "", "index file (required)")
+	fs.Parse(args)
+	if *index == "" {
+		fatalf("info: -index is required")
+	}
+	idx := loadIndex(*index)
+	fmt.Printf("HA-Index file: %s\n", *index)
+	fmt.Printf("  code length:    %d bits\n", idx.Length())
+	fmt.Printf("  tuples:         %d\n", idx.Len())
+	fmt.Printf("  distinct codes: %d\n", len(idx.Codes()))
+	fmt.Printf("  internal nodes: %d\n", idx.NodeCount())
+	fmt.Printf("  edges:          %d\n", idx.EdgeCount())
+	fmt.Printf("  memory:         %.1f KB (internal %.1f KB)\n",
+		float64(idx.SizeBytes())/1e3, float64(idx.InternalSizeBytes())/1e3)
+}
+
+func cmdSearch(args []string) {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	index := fs.String("index", "", "index file (required)")
+	data := fs.String("data", "", "CSV dataset the index was built from (required)")
+	rows := fs.String("query-rows", "0", "comma-separated dataset rows used as queries")
+	h := fs.Int("h", 3, "Hamming threshold")
+	seed := fs.Int64("seed", 1, "hash-learning sample seed used at build time")
+	fs.Parse(args)
+	if *index == "" || *data == "" {
+		fatalf("search: -index and -data are required")
+	}
+	idx := loadIndex(*index)
+	vecs, err := dataset.ReadCSV(*data)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	hf, err := hash.LearnSpectral(dataset.Reservoir(vecs, len(vecs)/10+100, *seed), idx.Length())
+	if err != nil {
+		fatalf("re-learning hash: %v", err)
+	}
+	for _, part := range strings.Split(*rows, ",") {
+		row, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || row < 0 || row >= len(vecs) {
+			fatalf("invalid query row %q (dataset has %d rows)", part, len(vecs))
+		}
+		q := hf.Hash(vecs[row])
+		t0 := time.Now()
+		ids := idx.Search(q, *h)
+		took := time.Since(t0)
+		sort.Ints(ids)
+		fmt.Printf("row %d: %d matches within h=%d in %v [%d distance computations]\n",
+			row, len(ids), *h, took, idx.Stats.DistanceComputations)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "haidx: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// Command haselect answers Hamming-select queries over a CSV dataset: it
+// learns a spectral hash from a sample, hashes the dataset into binary
+// codes, builds the chosen index, and reports the tuples within the Hamming
+// threshold of each query row, with per-query work statistics.
+//
+// Usage:
+//
+//	hagen -profile NUS-WIDE -n 20000 -o d.csv
+//	haselect -data d.csv -method dha -h 3 -query-rows 0,17,99
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"haindex/internal/baseline"
+	"haindex/internal/bitvec"
+	"haindex/internal/core"
+	"haindex/internal/dataset"
+	"haindex/internal/hash"
+	"haindex/internal/planner"
+	"haindex/internal/radix"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "", "CSV dataset (from hagen); required")
+		method  = flag.String("method", "dha", "index: dha|sha|radix|nl|mh4|mh10|hengine|hmsearch|planner")
+		h       = flag.Int("h", 3, "Hamming distance threshold")
+		bits    = flag.Int("bits", 32, "binary code length")
+		rows    = flag.String("query-rows", "0", "comma-separated dataset row ids used as queries")
+		seed    = flag.Int64("seed", 1, "RNG seed for hash learning sample")
+		verbose = flag.Bool("v", false, "print matched ids (not just counts)")
+	)
+	flag.Parse()
+	if *data == "" {
+		fatalf("-data is required")
+	}
+	vecs, err := dataset.ReadCSV(*data)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sample := dataset.Reservoir(vecs, len(vecs)/10+100, *seed)
+	hf, err := hash.LearnSpectral(sample, *bits)
+	if err != nil {
+		fatalf("learning hash: %v", err)
+	}
+	codes := hash.HashAll(hf, vecs)
+
+	t0 := time.Now()
+	search, stats, size := buildIndex(*method, codes, *h)
+	fmt.Printf("built %s over %d tuples in %v (%.1f MB)\n",
+		*method, len(codes), time.Since(t0).Round(time.Millisecond), float64(size())/1e6)
+
+	for _, part := range strings.Split(*rows, ",") {
+		row, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || row < 0 || row >= len(codes) {
+			fatalf("invalid query row %q (dataset has %d rows)", part, len(codes))
+		}
+		q := codes[row]
+		t0 := time.Now()
+		ids := search(q, *h)
+		took := time.Since(t0)
+		sort.Ints(ids)
+		fmt.Printf("query row %d (code %s): %d matches in %v%s\n",
+			row, q.String(), len(ids), took, stats())
+		if *verbose {
+			fmt.Printf("  ids: %v\n", ids)
+		}
+	}
+}
+
+// buildIndex wires up the requested method behind a common search closure.
+func buildIndex(method string, codes []bitvec.Code, h int) (search func(bitvec.Code, int) []int, stats func() string, size func() int) {
+	noStats := func() string { return "" }
+	switch method {
+	case "dha":
+		idx := core.BuildDynamic(codes, nil, core.Options{})
+		return idx.Search, func() string {
+			return fmt.Sprintf(" [%d distance computations, %d nodes visited]",
+				idx.Stats.DistanceComputations, idx.Stats.NodesVisited)
+		}, idx.SizeBytes
+	case "sha":
+		idx := core.BuildStatic(codes, nil, 8)
+		return idx.Search, func() string {
+			return fmt.Sprintf(" [%d distance computations]", idx.Stats.DistanceComputations)
+		}, idx.SizeBytes
+	case "radix":
+		idx := radix.Build(codes, nil)
+		return idx.Search, func() string {
+			return fmt.Sprintf(" [%d nodes visited]", idx.Stats.NodesVisited)
+		}, idx.SizeBytes
+	case "nl":
+		idx := baseline.NewNestedLoop(codes, nil)
+		return idx.Search, noStats, idx.SizeBytes
+	case "mh4", "mh10":
+		build := baseline.NewMH4
+		if method == "mh10" {
+			build = baseline.NewMH10
+		}
+		idx, err := build(codes, nil)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return idx.Search, noStats, idx.SizeBytes
+	case "hengine":
+		idx, err := baseline.NewHEngine(codes, nil, h)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return idx.Search, noStats, idx.SizeBytes
+	case "hmsearch":
+		idx, err := baseline.NewHmSearch(codes, nil, h)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return idx.Search, noStats, idx.SizeBytes
+	case "planner":
+		pl := planner.New(codes, nil, core.Options{}, 1)
+		var last planner.Plan
+		search := func(q bitvec.Code, h int) []int {
+			var out []int
+			out, last = pl.Select(q, h)
+			return out
+		}
+		return search, func() string {
+			return fmt.Sprintf(" [path=%s: %s]", last.Strategy, last.Reason)
+		}, pl.Index().SizeBytes
+	}
+	fatalf("unknown method %q", method)
+	return nil, nil, nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "haselect: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+package haindex_test
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"haindex"
+)
+
+// ExampleBuildDynamicIndex indexes the paper's Table 2a and runs Example
+// 1's Hamming-select.
+func ExampleBuildDynamicIndex() {
+	codes := []haindex.Code{
+		haindex.MustCode("001 001 010"), // t0
+		haindex.MustCode("001 011 101"), // t1
+		haindex.MustCode("011 001 100"), // t2
+		haindex.MustCode("101 001 010"), // t3
+		haindex.MustCode("101 110 110"), // t4
+		haindex.MustCode("101 011 101"), // t5
+		haindex.MustCode("101 101 010"), // t6
+		haindex.MustCode("111 001 100"), // t7
+	}
+	idx := haindex.BuildDynamicIndex(codes, nil, haindex.IndexOptions{Window: 2})
+	ids := idx.Search(haindex.MustCode("101100010"), 3)
+	sort.Ints(ids)
+	fmt.Println(ids)
+	// Output: [0 3 4 6]
+}
+
+// ExampleDistance shows the XOR-and-count Hamming distance.
+func ExampleDistance() {
+	a := haindex.MustCode("101100010")
+	b := haindex.MustCode("001001010")
+	fmt.Println(haindex.Distance(a, b))
+	// Output: 3
+}
+
+// ExampleTanimoto computes the Tanimoto coefficient of two fingerprints.
+func ExampleTanimoto() {
+	a := haindex.MustCode("11110000")
+	b := haindex.MustCode("11000000")
+	fmt.Println(haindex.Tanimoto(a, b))
+	// Output: 0.5
+}
+
+// ExampleSemiJoin filters probe tuples to those with a near match.
+func ExampleSemiJoin() {
+	indexed := []haindex.Code{
+		haindex.MustCode("11110000"),
+		haindex.MustCode("00001111"),
+	}
+	idx := haindex.BuildDynamicIndex(indexed, nil, haindex.IndexOptions{})
+	probe := []haindex.Code{
+		haindex.MustCode("11110001"), // 1 bit from indexed[0]
+		haindex.MustCode("10101010"), // far from both
+	}
+	fmt.Println(haindex.SemiJoin(idx, probe, 2))
+	fmt.Println(haindex.AntiJoin(idx, probe, 2))
+	// Output:
+	// [0]
+	// [1]
+}
+
+// ExampleDynamicIndex_Encode round-trips an index through its wire format.
+func ExampleDynamicIndex_Encode() {
+	codes := []haindex.Code{haindex.MustCode("0101"), haindex.MustCode("0111")}
+	idx := haindex.BuildDynamicIndex(codes, nil, haindex.IndexOptions{})
+	var buf bytes.Buffer
+	if err := idx.Encode(&buf, true); err != nil {
+		panic(err)
+	}
+	back, err := haindex.DecodeIndex(&buf)
+	if err != nil {
+		panic(err)
+	}
+	ids := back.Search(haindex.MustCode("0101"), 1)
+	sort.Ints(ids)
+	fmt.Println(back.Len(), ids)
+	// Output: 2 [0 1]
+}
+
+// ExampleNewTanimotoIndex screens fingerprints at a Tanimoto threshold.
+func ExampleNewTanimotoIndex() {
+	prints := []haindex.Code{
+		haindex.MustCode("11110000"), // id 0
+		haindex.MustCode("11000000"), // id 1: T=0.5 vs id 0
+		haindex.MustCode("00001111"), // id 2: disjoint
+	}
+	idx, err := haindex.NewTanimotoIndex(prints, nil, haindex.IndexOptions{})
+	if err != nil {
+		panic(err)
+	}
+	matches, err := idx.Search(prints[0], 0.5)
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("id %d at T=%.2f\n", m.ID, m.Similarity)
+	}
+	// Output:
+	// id 0 at T=1.00
+	// id 1 at T=0.50
+}
+
+// ExampleNewPlanner shows the cost-based access-path decision.
+func ExampleNewPlanner() {
+	codes := make([]haindex.Code, 256)
+	for i := range codes {
+		codes[i] = haindex.MustCode("00000000")
+		v := uint64(i)
+		for b := 0; b < 8; b++ {
+			codes[i].SetBit(b, v>>uint(7-b)&1 == 1)
+		}
+	}
+	p := haindex.NewPlanner(codes, nil, haindex.IndexOptions{}, 1)
+	// h = L: everything matches, pruning is impossible — after one probe
+	// the planner routes to the scan.
+	p.Select(codes[0], 8)
+	fmt.Println(p.Plan(8).Strategy)
+	// Output: scan
+}

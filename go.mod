@@ -1,0 +1,3 @@
+module haindex
+
+go 1.22

@@ -1,0 +1,290 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"haindex/internal/bitvec"
+)
+
+// searcher is the common contract the tests exercise.
+type searcher interface {
+	Search(q bitvec.Code, h int) []int
+	Len() int
+	Insert(id int, c bitvec.Code)
+	Delete(id int, c bitvec.Code) bool
+	SizeBytes() int
+}
+
+// clusteredCodes produces codes with heavy sharing, like hashed real data.
+func clusteredCodes(rng *rand.Rand, n, bitsLen, clusters, flips int) []bitvec.Code {
+	out := make([]bitvec.Code, 0, n)
+	for len(out) < n {
+		center := bitvec.Rand(rng, bitsLen)
+		for i := 0; i < n/clusters+1 && len(out) < n; i++ {
+			c := center.Clone()
+			for f := 0; f < flips; f++ {
+				c.FlipBit(rng.Intn(bitsLen))
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func sortedCopy(s []int) []int {
+	out := make([]int, len(s))
+	copy(out, s)
+	sort.Ints(out)
+	return out
+}
+
+func equalIDs(a, b []int) bool {
+	a, b = sortedCopy(a), sortedCopy(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func builders(t *testing.T, codes []bitvec.Code) map[string]searcher {
+	t.Helper()
+	out := map[string]searcher{
+		"nested-loop": NewNestedLoop(append([]bitvec.Code(nil), codes...), nil),
+	}
+	mh4, err := NewMH4(append([]bitvec.Code(nil), codes...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["mh-4"] = mh4
+	mh10, err := NewMH10(append([]bitvec.Code(nil), codes...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["mh-10"] = mh10
+	he, err := NewHEngine(append([]bitvec.Code(nil), codes...), nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["hengine"] = he
+	hm, err := NewHmSearch(append([]bitvec.Code(nil), codes...), nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["hmsearch"] = hm
+	return out
+}
+
+// TestAgainstOracle cross-checks every index against the nested-loop scan on
+// random and clustered workloads across thresholds.
+func TestAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 6; trial++ {
+		bitsLen := []int{16, 32, 64}[trial%3]
+		var codes []bitvec.Code
+		if trial%2 == 0 {
+			codes = clusteredCodes(rng, 300, bitsLen, 10, 3)
+		} else {
+			codes = make([]bitvec.Code, 300)
+			for i := range codes {
+				codes[i] = bitvec.Rand(rng, bitsLen)
+			}
+		}
+		idxs := builders(t, codes)
+		oracle := idxs["nested-loop"]
+		for q := 0; q < 20; q++ {
+			query := codes[rng.Intn(len(codes))].Clone()
+			for f := 0; f < rng.Intn(4); f++ {
+				query.FlipBit(rng.Intn(bitsLen))
+			}
+			for _, h := range []int{0, 1, 3, 6} {
+				want := oracle.Search(query, h)
+				for name, idx := range idxs {
+					if name == "nested-loop" {
+						continue
+					}
+					got := idx.Search(query, h)
+					if !equalIDs(got, want) {
+						t.Fatalf("%s: h=%d got %d results want %d (trial %d)", name, h, len(got), len(want), trial)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	codes := clusteredCodes(rng, 100, 32, 5, 2)
+	idxs := builders(t, codes)
+	extra := bitvec.Rand(rng, 32)
+	for name, idx := range idxs {
+		idx.Insert(1000, extra)
+		got := idx.Search(extra, 0)
+		found := false
+		for _, id := range got {
+			if id == 1000 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: inserted tuple not found", name)
+		}
+		if !idx.Delete(1000, extra) {
+			t.Errorf("%s: delete reported failure", name)
+		}
+		for _, id := range idx.Search(extra, 0) {
+			if id == 1000 {
+				t.Errorf("%s: deleted tuple still returned", name)
+			}
+		}
+		if idx.Delete(1000, extra) {
+			t.Errorf("%s: double delete reported success", name)
+		}
+	}
+}
+
+func TestDeleteExistingTuple(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	codes := clusteredCodes(rng, 80, 32, 4, 2)
+	idxs := builders(t, codes)
+	victim := 17
+	for name, idx := range idxs {
+		if !idx.Delete(victim, codes[victim]) {
+			t.Errorf("%s: failed to delete existing tuple", name)
+			continue
+		}
+		for _, id := range idx.Search(codes[victim], 0) {
+			if id == victim {
+				t.Errorf("%s: deleted tuple still returned", name)
+			}
+		}
+	}
+}
+
+// TestMemoryOrdering checks the paper's qualitative memory story:
+// MultiHash's replicas dominate, HEngine uses less, and more tables cost
+// more.
+func TestMemoryOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	codes := clusteredCodes(rng, 2000, 32, 20, 3)
+	idxs := builders(t, codes)
+	nl := idxs["nested-loop"].SizeBytes()
+	mh4 := idxs["mh-4"].SizeBytes()
+	mh10 := idxs["mh-10"].SizeBytes()
+	he := idxs["hengine"].SizeBytes()
+	if mh10 <= mh4 {
+		t.Errorf("MH-10 (%d) should use more memory than MH-4 (%d)", mh10, mh4)
+	}
+	if mh4 <= nl {
+		t.Errorf("MH-4 (%d) should replicate beyond one copy (%d)", mh4, nl)
+	}
+	if he >= mh10 {
+		t.Errorf("HEngine (%d) should use less memory than MH-10 (%d)", he, mh10)
+	}
+}
+
+func TestSegmentBounds(t *testing.T) {
+	b := segmentBounds(9, 3)
+	want := [][2]int{{0, 3}, {3, 3}, {6, 3}}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds = %v", b)
+		}
+	}
+	b = segmentBounds(10, 3)
+	if b[0][1] != 4 || b[1][1] != 3 || b[2][1] != 3 {
+		t.Fatalf("uneven bounds = %v", b)
+	}
+	total := 0
+	for _, x := range b {
+		total += x[1]
+	}
+	if total != 10 || b[2][0]+b[2][1] != 10 {
+		t.Fatalf("bounds don't cover: %v", b)
+	}
+}
+
+func TestSegKey(t *testing.T) {
+	c := bitvec.MustFromString("101100010")
+	if got := segKey(c, 0, 3); got != 0b101 {
+		t.Errorf("seg0 = %b", got)
+	}
+	if got := segKey(c, 3, 3); got != 0b100 {
+		t.Errorf("seg1 = %b", got)
+	}
+	if got := segKey(c, 6, 3); got != 0b010 {
+		t.Errorf("seg2 = %b", got)
+	}
+	// Across a word boundary.
+	rng := rand.New(rand.NewSource(55))
+	big := bitvec.Rand(rng, 128)
+	got := segKey(big, 60, 10)
+	var want uint64
+	for i := 0; i < 10; i++ {
+		want <<= 1
+		if big.Bit(60 + i) {
+			want |= 1
+		}
+	}
+	if got != want {
+		t.Errorf("cross-boundary segKey = %b want %b", got, want)
+	}
+}
+
+func TestEnumerateVariants(t *testing.T) {
+	var got []uint64
+	enumerateVariants(0b101, 3, 1, func(v uint64) { got = append(got, v) })
+	// Exact + 3 one-bit flips.
+	if len(got) != 4 {
+		t.Fatalf("got %d variants", len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	for _, want := range []uint64{0b101, 0b100, 0b111, 0b001} {
+		if !seen[want] {
+			t.Errorf("missing variant %b", want)
+		}
+	}
+	// Radius 2 over width 4: 1 + 4 + 6 = 11 variants.
+	got = nil
+	enumerateVariants(0, 4, 2, func(v uint64) { got = append(got, v) })
+	if len(got) != 11 {
+		t.Errorf("radius-2 count = %d want 11", len(got))
+	}
+}
+
+func TestMultiHashErrors(t *testing.T) {
+	if _, err := NewMultiHash(nil, nil, 4, 1); err == nil {
+		t.Error("expected empty-dataset error")
+	}
+	rng := rand.New(rand.NewSource(56))
+	long := []bitvec.Code{bitvec.Rand(rng, 200)}
+	if _, err := NewMultiHash(long, nil, 2, 1); err == nil {
+		t.Error("expected oversized-key error")
+	}
+	short := []bitvec.Code{bitvec.Rand(rng, 32)}
+	if _, err := NewMultiHash(short, nil, 4, 5); err == nil {
+		t.Error("expected matched>blocks error")
+	}
+	if _, err := NewMultiHash(short, nil, 0, 1); err == nil {
+		t.Error("expected invalid-blocks error")
+	}
+}
+
+func TestNestedLoopIDs(t *testing.T) {
+	codes := []bitvec.Code{bitvec.MustFromString("0000"), bitvec.MustFromString("1111")}
+	nl := NewNestedLoop(codes, []int{7, 9})
+	got := nl.Search(bitvec.MustFromString("0000"), 0)
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("got %v", got)
+	}
+}

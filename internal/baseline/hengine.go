@@ -1,0 +1,161 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"haindex/internal/bitvec"
+)
+
+// HEngine is Liu, Shen & Torng's (ICDE'11) Hamming query engine. The code is
+// split into k = ceil((hmax+1)/2) segments so that any code within distance
+// hmax agrees with the query on some segment up to one flipped bit. Each
+// segment owns a table of (segment value, position) entries sorted by value;
+// a query binary-searches the table for its segment value and each of its
+// one-bit variants, verifying candidates against a single shared copy of the
+// dataset — less memory than MultiHash, at the cost of variant enumeration.
+type HEngine struct {
+	hmax   int
+	k      int
+	bounds [][2]int
+	codes  []bitvec.Code
+	ids    []int
+	tables [][]hentry
+
+	visited []uint32
+	epoch   uint32
+}
+
+type hentry struct {
+	key uint64
+	pos int32
+}
+
+// NewHEngine builds an index designed for thresholds up to hmax. Queries with
+// larger h remain exact but enumerate more variants per segment (the
+// threshold sensitivity the paper reports).
+func NewHEngine(codes []bitvec.Code, ids []int, hmax int) (*HEngine, error) {
+	if len(codes) == 0 {
+		return nil, fmt.Errorf("baseline: empty dataset")
+	}
+	if hmax < 1 {
+		hmax = 1
+	}
+	L := codes[0].Len()
+	k := (hmax + 2) / 2 // ceil((hmax+1)/2)
+	if k > L {
+		k = L
+	}
+	if (L+k-1)/k > 64 {
+		return nil, fmt.Errorf("baseline: %d-bit segments exceed 64 bits", (L+k-1)/k)
+	}
+	e := &HEngine{
+		hmax:    hmax,
+		k:       k,
+		bounds:  segmentBounds(L, k),
+		codes:   codes,
+		ids:     normalizeIDs(codes, ids),
+		tables:  make([][]hentry, k),
+		visited: make([]uint32, len(codes)),
+	}
+	for t := 0; t < k; t++ {
+		from, width := e.bounds[t][0], e.bounds[t][1]
+		tab := make([]hentry, len(codes))
+		for i, c := range codes {
+			tab[i] = hentry{key: segKey(c, from, width), pos: int32(i)}
+		}
+		sort.Slice(tab, func(a, b int) bool { return tab[a].key < tab[b].key })
+		e.tables[t] = tab
+	}
+	return e, nil
+}
+
+// Search returns the ids of all codes within Hamming distance h of q.
+func (e *HEngine) Search(q bitvec.Code, h int) []int {
+	e.epoch++
+	radius := h / e.k // pigeonhole: some segment within floor(h/k)
+	var out []int
+	for t := 0; t < e.k; t++ {
+		from, width := e.bounds[t][0], e.bounds[t][1]
+		key := segKey(q, from, width)
+		probe := func(k uint64) {
+			tab := e.tables[t]
+			i := sort.Search(len(tab), func(j int) bool { return tab[j].key >= k })
+			for ; i < len(tab) && tab[i].key == k; i++ {
+				pos := tab[i].pos
+				if e.visited[pos] == e.epoch {
+					continue
+				}
+				e.visited[pos] = e.epoch
+				if e.ids[pos] < 0 {
+					continue // tombstone
+				}
+				if _, ok := q.DistanceWithin(e.codes[pos], h); ok {
+					out = append(out, e.ids[pos])
+				}
+			}
+		}
+		enumerateVariants(key, width, radius, probe)
+	}
+	return out
+}
+
+// Len returns the number of live indexed tuples.
+func (e *HEngine) Len() int {
+	n := 0
+	for _, id := range e.ids {
+		if id >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Insert adds a tuple to every sorted table (in-place insertion keeps the
+// tables sorted).
+func (e *HEngine) Insert(id int, c bitvec.Code) {
+	pos := int32(len(e.codes))
+	e.codes = append(e.codes, c)
+	e.ids = append(e.ids, id)
+	e.visited = append(e.visited, 0)
+	for t := 0; t < e.k; t++ {
+		from, width := e.bounds[t][0], e.bounds[t][1]
+		key := segKey(c, from, width)
+		tab := e.tables[t]
+		i := sort.Search(len(tab), func(j int) bool { return tab[j].key >= key })
+		tab = append(tab, hentry{})
+		copy(tab[i+1:], tab[i:])
+		tab[i] = hentry{key: key, pos: pos}
+		e.tables[t] = tab
+	}
+}
+
+// Delete tombstones the tuple with the given id and code. It reports whether
+// a tuple was removed.
+func (e *HEngine) Delete(id int, c bitvec.Code) bool {
+	from, width := e.bounds[0][0], e.bounds[0][1]
+	key := segKey(c, from, width)
+	tab := e.tables[0]
+	i := sort.Search(len(tab), func(j int) bool { return tab[j].key >= key })
+	for ; i < len(tab) && tab[i].key == key; i++ {
+		pos := tab[i].pos
+		if e.ids[pos] == id && e.codes[pos].Equal(c) {
+			e.ids[pos] = -1
+			return true
+		}
+	}
+	return false
+}
+
+// SizeBytes returns the approximate in-memory footprint: one dataset copy
+// plus k sorted signature tables.
+func (e *HEngine) SizeBytes() int {
+	sz := len(e.visited)*4 + len(e.ids)*8
+	for _, c := range e.codes {
+		sz += c.SizeBytes()
+	}
+	for _, tab := range e.tables {
+		sz += len(tab) * 12
+	}
+	return sz
+}

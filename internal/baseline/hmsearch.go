@@ -1,0 +1,154 @@
+package baseline
+
+import (
+	"fmt"
+
+	"haindex/internal/bitvec"
+)
+
+// HmSearch is Zhang et al.'s (SSDBM'13) exact signature-enumeration index.
+// Like HEngine it splits codes into k = ceil((hmax+1)/2) segments so that a
+// match within hmax agrees with the query on some segment up to one bit —
+// but it moves the variant enumeration to indexing time: every code is
+// indexed under its exact segment value and every one-bit variant of it, so
+// a query performs only k exact lookups. The price is the dramatic index
+// growth the paper notes: each tuple contributes 1+width signatures per
+// segment.
+type HmSearch struct {
+	hmax   int
+	k      int
+	bounds [][2]int
+	codes  []bitvec.Code
+	ids    []int
+	// sigs[t] maps a segment-t signature to the positions indexed under it.
+	sigs []map[uint64][]int32
+
+	visited []uint32
+	epoch   uint32
+}
+
+// NewHmSearch builds the signature index for thresholds up to hmax.
+func NewHmSearch(codes []bitvec.Code, ids []int, hmax int) (*HmSearch, error) {
+	if len(codes) == 0 {
+		return nil, fmt.Errorf("baseline: empty dataset")
+	}
+	if hmax < 1 {
+		hmax = 1
+	}
+	L := codes[0].Len()
+	k := (hmax + 2) / 2
+	if k > L {
+		k = L
+	}
+	if (L+k-1)/k > 64 {
+		return nil, fmt.Errorf("baseline: %d-bit segments exceed 64 bits", (L+k-1)/k)
+	}
+	h := &HmSearch{
+		hmax:    hmax,
+		k:       k,
+		bounds:  segmentBounds(L, k),
+		codes:   codes,
+		ids:     normalizeIDs(codes, ids),
+		sigs:    make([]map[uint64][]int32, k),
+		visited: make([]uint32, len(codes)),
+	}
+	for t := 0; t < k; t++ {
+		h.sigs[t] = make(map[uint64][]int32)
+	}
+	for i, c := range codes {
+		h.indexCode(int32(i), c)
+	}
+	return h, nil
+}
+
+func (h *HmSearch) indexCode(pos int32, c bitvec.Code) {
+	for t := 0; t < h.k; t++ {
+		from, width := h.bounds[t][0], h.bounds[t][1]
+		key := segKey(c, from, width)
+		enumerateVariants(key, width, 1, func(sig uint64) {
+			h.sigs[t][sig] = append(h.sigs[t][sig], pos)
+		})
+	}
+}
+
+// Search returns the ids of all codes within Hamming distance h of q. When h
+// exceeds the designed hmax, the query side additionally enumerates variants
+// to keep the result exact.
+func (h *HmSearch) Search(q bitvec.Code, dist int) []int {
+	h.epoch++
+	// Data side covers radius 1 per segment; the query side must cover the
+	// remainder of the pigeonhole radius floor(dist/k).
+	extra := dist/h.k - 1
+	if extra < 0 {
+		extra = 0
+	}
+	var out []int
+	for t := 0; t < h.k; t++ {
+		from, width := h.bounds[t][0], h.bounds[t][1]
+		key := segKey(q, from, width)
+		probe := func(sig uint64) {
+			for _, pos := range h.sigs[t][sig] {
+				if h.visited[pos] == h.epoch {
+					continue
+				}
+				h.visited[pos] = h.epoch
+				if h.ids[pos] < 0 {
+					continue
+				}
+				if _, ok := q.DistanceWithin(h.codes[pos], dist); ok {
+					out = append(out, h.ids[pos])
+				}
+			}
+		}
+		enumerateVariants(key, width, extra, probe)
+	}
+	return out
+}
+
+// Len returns the number of live indexed tuples.
+func (h *HmSearch) Len() int {
+	n := 0
+	for _, id := range h.ids {
+		if id >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Insert adds a tuple and all its signatures.
+func (h *HmSearch) Insert(id int, c bitvec.Code) {
+	pos := int32(len(h.codes))
+	h.codes = append(h.codes, c)
+	h.ids = append(h.ids, id)
+	h.visited = append(h.visited, 0)
+	h.indexCode(pos, c)
+}
+
+// Delete tombstones the tuple with the given id and code.
+func (h *HmSearch) Delete(id int, c bitvec.Code) bool {
+	from, width := h.bounds[0][0], h.bounds[0][1]
+	key := segKey(c, from, width)
+	for _, pos := range h.sigs[0][key] {
+		if h.ids[pos] == id && h.codes[pos].Equal(c) {
+			h.ids[pos] = -1
+			return true
+		}
+	}
+	return false
+}
+
+// SizeBytes returns the approximate footprint, dominated by the enumerated
+// signature postings.
+func (h *HmSearch) SizeBytes() int {
+	sz := len(h.visited)*4 + len(h.ids)*8
+	for _, c := range h.codes {
+		sz += c.SizeBytes()
+	}
+	for _, m := range h.sigs {
+		for _, b := range m {
+			sz += 16 + 4*len(b)
+		}
+	}
+	return sz
+}

@@ -1,0 +1,287 @@
+package baseline
+
+import (
+	"fmt"
+
+	"haindex/internal/bitvec"
+)
+
+// segmentBounds splits L bits into k contiguous segments of nearly equal
+// width (the first L%k segments are one bit wider).
+func segmentBounds(L, k int) [][2]int {
+	if k <= 0 || k > L {
+		panic(fmt.Sprintf("baseline: cannot split %d bits into %d segments", L, k))
+	}
+	out := make([][2]int, k)
+	base, extra := L/k, L%k
+	at := 0
+	for i := 0; i < k; i++ {
+		w := base
+		if i < extra {
+			w++
+		}
+		out[i] = [2]int{at, w}
+		at += w
+	}
+	return out
+}
+
+// segKey extracts the width-bit segment starting at from as a uint64.
+func segKey(c bitvec.Code, from, width int) uint64 {
+	// Width is bounded by the table construction (<= 64).
+	words := c.Words()
+	var v uint64
+	for i := 0; i < width; i++ {
+		bit := from + i
+		v <<= 1
+		v |= words[bit/64] >> uint(63-bit%64) & 1
+	}
+	return v
+}
+
+// MultiHash is Manku et al.'s multiple-hash-table index. The binary code is
+// cut into `blocks` contiguous blocks; one table is built for every
+// combination of `matched` blocks, keyed by their concatenation, and every
+// table replicates the stored codes (the memory cost the paper criticizes).
+// If two codes are within distance h <= blocks-matched, at most h blocks
+// differ, so some combination of matched blocks agrees exactly and one
+// exact-match probe per table finds every answer. The paper's MH-4 is
+// (blocks=4, matched=1): 4 tables on 1-block keys; MH-10 is (5, 2): 10
+// tables on longer, more selective 2-block keys.
+//
+// As in Manku's sorted tables — where duplicate fingerprints are adjacent —
+// each bucket holds distinct codes with their tuple-id lists, so a probe
+// verifies each distinct code once regardless of duplication.
+//
+// For thresholds beyond the design guarantee the pigeonhole bound
+// generalizes: some combination carries at most floor(matched·h/blocks)
+// differing bits, so tables are probed with key variants within that radius
+// and the index stays exact at every h.
+type MultiHash struct {
+	blocks  int
+	matched int
+	bounds  [][2]int
+	combos  [][]int // block index combinations, one per table
+	tables  []mhTable
+	keyBits int
+
+	// Distinct-code groups shared by all tables.
+	groups  []mhGroup
+	byCode  map[string]int32
+	n       int
+	visited []uint32
+	epoch   uint32
+}
+
+type mhGroup struct {
+	code bitvec.Code
+	ids  []int
+}
+
+type mhTable struct {
+	// codes is this table's replica of the distinct codes, as in Manku's
+	// per-table sorted copies.
+	codes   []bitvec.Code
+	buckets map[uint64][]int32 // key -> distinct-group indexes
+}
+
+// combinations enumerates all m-element subsets of {0..b-1}.
+func combinations(b, m int) [][]int {
+	var out [][]int
+	combo := make([]int, m)
+	var rec func(start, at int)
+	rec = func(start, at int) {
+		if at == m {
+			out = append(out, append([]int(nil), combo...))
+			return
+		}
+		for i := start; i < b; i++ {
+			combo[at] = i
+			rec(i+1, at+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// NewMultiHash builds the index over `blocks` blocks keyed on every
+// combination of `matched` blocks (C(blocks, matched) tables). It returns an
+// error when a key would exceed 64 bits or the parameters are degenerate.
+func NewMultiHash(codes []bitvec.Code, ids []int, blocks, matched int) (*MultiHash, error) {
+	if len(codes) == 0 {
+		return nil, fmt.Errorf("baseline: empty dataset")
+	}
+	L := codes[0].Len()
+	if blocks <= 0 || blocks > L {
+		return nil, fmt.Errorf("baseline: invalid block count %d for %d-bit codes", blocks, L)
+	}
+	if matched <= 0 || matched > blocks {
+		return nil, fmt.Errorf("baseline: invalid matched count %d of %d blocks", matched, blocks)
+	}
+	bounds := segmentBounds(L, blocks)
+	keyBits := 0
+	for i := 0; i < matched; i++ {
+		keyBits += bounds[i][1] // widest blocks come first
+	}
+	if keyBits > 64 {
+		return nil, fmt.Errorf("baseline: %d-bit combination keys exceed 64 bits", keyBits)
+	}
+	m := &MultiHash{
+		blocks:  blocks,
+		matched: matched,
+		bounds:  bounds,
+		combos:  combinations(blocks, matched),
+		keyBits: keyBits,
+		byCode:  make(map[string]int32),
+	}
+	m.tables = make([]mhTable, len(m.combos))
+	for t := range m.tables {
+		m.tables[t].buckets = make(map[uint64][]int32)
+	}
+	allIDs := normalizeIDs(codes, ids)
+	for i, c := range codes {
+		m.Insert(allIDs[i], c)
+	}
+	return m, nil
+}
+
+// NewMH4 builds the paper's MH-4 configuration: 4 tables over 4 blocks.
+func NewMH4(codes []bitvec.Code, ids []int) (*MultiHash, error) {
+	return NewMultiHash(codes, ids, 4, 1)
+}
+
+// NewMH10 builds the paper's MH-10 configuration: 10 tables over C(5,2)
+// block pairs.
+func NewMH10(codes []bitvec.Code, ids []int) (*MultiHash, error) {
+	return NewMultiHash(codes, ids, 5, 2)
+}
+
+// comboKey concatenates the blocks selected by combo into one key.
+func (m *MultiHash) comboKey(c bitvec.Code, combo []int) uint64 {
+	var key uint64
+	for _, b := range combo {
+		from, width := m.bounds[b][0], m.bounds[b][1]
+		key = key<<uint(width) | segKey(c, from, width)
+	}
+	return key
+}
+
+// comboWidth returns the key width of a combination.
+func (m *MultiHash) comboWidth(combo []int) int {
+	w := 0
+	for _, b := range combo {
+		w += m.bounds[b][1]
+	}
+	return w
+}
+
+// Search returns the ids of all codes within Hamming distance h of q.
+func (m *MultiHash) Search(q bitvec.Code, h int) []int {
+	m.epoch++
+	// Pigeonhole: some combination of matched blocks carries at most
+	// floor(matched*h/blocks) of the differing bits.
+	radius := m.matched * h / m.blocks
+	var out []int
+	for t, combo := range m.combos {
+		tab := &m.tables[t]
+		key := m.comboKey(q, combo)
+		probe := func(k uint64) {
+			for _, gi := range tab.buckets[k] {
+				if m.visited[gi] == m.epoch {
+					continue
+				}
+				m.visited[gi] = m.epoch
+				if _, ok := q.DistanceWithin(tab.codes[gi], h); ok {
+					out = append(out, m.groups[gi].ids...)
+				}
+			}
+		}
+		enumerateVariants(key, m.comboWidth(combo), radius, probe)
+	}
+	return out
+}
+
+// enumerateVariants calls fn with key and every value obtained by flipping up
+// to radius of its low width bits.
+func enumerateVariants(key uint64, width, radius int, fn func(uint64)) {
+	fn(key)
+	if radius <= 0 {
+		return
+	}
+	var rec func(k uint64, start, left int)
+	rec = func(k uint64, start, left int) {
+		if left == 0 {
+			return
+		}
+		for b := start; b < width; b++ {
+			nk := k ^ (1 << uint(b))
+			fn(nk)
+			rec(nk, b+1, left-1)
+		}
+	}
+	rec(key, 0, radius)
+}
+
+// Len returns the number of live indexed tuples.
+func (m *MultiHash) Len() int { return m.n }
+
+// Tables returns the table count (e.g. 4 for MH-4, 10 for MH-10).
+func (m *MultiHash) Tables() int { return len(m.combos) }
+
+// Insert adds a tuple; a previously unseen code is indexed in every table.
+func (m *MultiHash) Insert(id int, c bitvec.Code) {
+	m.n++
+	key := c.Key()
+	if gi, ok := m.byCode[key]; ok {
+		m.groups[gi].ids = append(m.groups[gi].ids, id)
+		return
+	}
+	gi := int32(len(m.groups))
+	m.groups = append(m.groups, mhGroup{code: c, ids: []int{id}})
+	m.byCode[key] = gi
+	m.visited = append(m.visited, 0)
+	for t, combo := range m.combos {
+		tab := &m.tables[t]
+		tab.codes = append(tab.codes, c.Clone())
+		k := m.comboKey(c, combo)
+		tab.buckets[k] = append(tab.buckets[k], gi)
+	}
+}
+
+// Delete removes the tuple with the given id and code. Emptied groups stay
+// in the tables (they simply match nothing). It reports whether a tuple was
+// removed.
+func (m *MultiHash) Delete(id int, c bitvec.Code) bool {
+	gi, ok := m.byCode[c.Key()]
+	if !ok {
+		return false
+	}
+	ids := m.groups[gi].ids
+	for i, v := range ids {
+		if v == id {
+			m.groups[gi].ids = append(ids[:i], ids[i+1:]...)
+			m.n--
+			return true
+		}
+	}
+	return false
+}
+
+// SizeBytes returns the approximate in-memory footprint, dominated by the
+// per-table code replicas.
+func (m *MultiHash) SizeBytes() int {
+	sz := len(m.visited) * 4
+	for _, g := range m.groups {
+		sz += 48 + g.code.SizeBytes() + 8*len(g.ids)
+	}
+	for t := range m.tables {
+		tab := &m.tables[t]
+		for _, c := range tab.codes {
+			sz += c.SizeBytes()
+		}
+		for _, b := range tab.buckets {
+			sz += 16 + 4*len(b)
+		}
+	}
+	return sz
+}

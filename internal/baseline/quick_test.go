@@ -1,0 +1,52 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"haindex/internal/bitvec"
+)
+
+// Property: the pigeonhole-probed MultiHash equals the scan for arbitrary
+// block/match configurations and thresholds.
+func TestQuickMultiHashConfigurations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := 16 + rng.Intn(48)
+		blocks := 2 + rng.Intn(4)
+		matched := 1 + rng.Intn(blocks)
+		n := 20 + rng.Intn(150)
+		codes := clusteredCodes(rng, n, bits, 4, 3)
+		mh, err := NewMultiHash(codes, nil, blocks, matched)
+		if err != nil {
+			return true // invalid configuration rejected is fine
+		}
+		nl := NewNestedLoop(codes, nil)
+		q := bitvec.Rand(rng, bits)
+		h := rng.Intn(8)
+		return equalIDs(mh.Search(q, h), nl.Search(q, h))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HEngine stays exact when queried beyond its design threshold.
+func TestQuickHEngineBeyondDesign(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		codes := clusteredCodes(rng, 100, 32, 4, 3)
+		he, err := NewHEngine(codes, nil, 1+rng.Intn(4))
+		if err != nil {
+			return false
+		}
+		nl := NewNestedLoop(codes, nil)
+		q := codes[rng.Intn(len(codes))]
+		h := rng.Intn(12)
+		return equalIDs(he.Search(q, h), nl.Search(q, h))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 6) at laptop scale: the same systems, workloads,
+// sweeps and metrics, with dataset sizes reduced so a full reproduction
+// completes in minutes. The targets are the paper's qualitative shapes —
+// who wins, by roughly what factor, and where the crossovers are — not its
+// absolute numbers, which depended on a 2014-era 16-node Hadoop cluster.
+//
+// Each experiment returns a Table that the habench command prints and
+// EXPERIMENTS.md records.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/dataset"
+	"haindex/internal/hash"
+	"haindex/internal/vector"
+)
+
+// Scale collects every knob that trades fidelity for runtime.
+type Scale struct {
+	// SelectN is the per-dataset tuple count for the Hamming-select
+	// experiments (Table 4, Figures 6 and 8). The paper used 270k–1M.
+	SelectN int
+	// Queries is how many queries each timing averages over.
+	Queries int
+	// Bits is the binary code length (the paper's Table 4 uses 32).
+	Bits int
+	// Threshold is the default Hamming threshold h.
+	Threshold int
+	// KNNN is the dataset size for the kNN-select comparison (Table 5; the
+	// paper used 300k tuples).
+	KNNN int
+	// K is the kNN result size (the paper's default is 50).
+	K int
+	// LSBTrees is the LSB forest size (the paper used 25).
+	LSBTrees int
+	// JoinBase is the per-side base size for the MapReduce experiments
+	// (Figures 7, 9, 10); scaled by JoinScales.
+	JoinBase int
+	// JoinScales are the ×s dataset scale factors of Figures 7 and 9.
+	JoinScales []int
+	// Nodes is the simulated cluster size (the paper used 16).
+	Nodes int
+	// Partitions is the partition count N for the distributed joins.
+	Partitions int
+	// SampleRates are the Figure 10 sampling sweep points.
+	SampleRates []float64
+	// Seed makes every experiment deterministic.
+	Seed int64
+}
+
+// DefaultScale returns the laptop-scale defaults documented in
+// EXPERIMENTS.md.
+func DefaultScale() Scale {
+	return Scale{
+		SelectN:     20000,
+		Queries:     40,
+		Bits:        32,
+		Threshold:   3,
+		KNNN:        20000,
+		K:           50,
+		LSBTrees:    25,
+		JoinBase:    200,
+		JoinScales:  []int{5, 10, 15, 20, 25},
+		Nodes:       16,
+		Partitions:  16,
+		SampleRates: []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30},
+		Seed:        1,
+	}
+}
+
+// QuickScale returns a configuration small enough for tests and smoke runs.
+func QuickScale() Scale {
+	s := DefaultScale()
+	s.SelectN = 2000
+	s.Queries = 10
+	s.KNNN = 2000
+	s.K = 10
+	s.LSBTrees = 5
+	s.JoinBase = 150
+	s.JoinScales = []int{2, 4}
+	s.Nodes = 4
+	s.Partitions = 4
+	s.SampleRates = []float64{0.1, 0.3}
+	return s
+}
+
+// Table is one reproduced table or figure: a titled grid of formatted cells.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Format renders the table with aligned columns.
+func (t Table) Format() string {
+	var b strings.Builder
+	b.WriteString("## " + t.Title + "\n")
+	if t.Note != "" {
+		b.WriteString(t.Note + "\n")
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Env is a prepared dataset: vectors, a learned hash, the codes, and query
+// codes drawn as perturbed dataset members (the paper queries with dataset
+// tuples).
+type Env struct {
+	Profile dataset.Profile
+	Vecs    []vector.Vec
+	Hash    *hash.Spectral
+	Codes   []bitvec.Code
+	Queries []bitvec.Code
+	QVecs   []vector.Vec
+}
+
+// NewEnv generates and hashes one dataset.
+func NewEnv(p dataset.Profile, n, bits, queries int, seed int64) (*Env, error) {
+	vecs := dataset.Generate(p, n, seed)
+	sampleN := n / 10
+	if sampleN < 100 {
+		sampleN = n
+	}
+	sample := dataset.Reservoir(vecs, sampleN, seed+1)
+	h, err := hash.LearnSpectral(sample, bits)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", p.Name, err)
+	}
+	codes := hash.HashAll(h, vecs)
+	env := &Env{Profile: p, Vecs: vecs, Hash: h, Codes: codes}
+	for i := 0; i < queries; i++ {
+		j := (i * 7919) % n
+		env.Queries = append(env.Queries, codes[j])
+		env.QVecs = append(env.QVecs, vecs[j])
+	}
+	return env, nil
+}
+
+// ---- formatting helpers ----
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6) }
+
+func mb(bytes int) string { return fmt.Sprintf("%.1f", float64(bytes)/1e6) }
+
+func gb(bytes int64) string { return fmt.Sprintf("%.4f", float64(bytes)/1e9) }
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }
+
+// timeQueries runs fn once per query and returns the mean duration.
+func timeQueries(queries []bitvec.Code, fn func(q bitvec.Code)) time.Duration {
+	t0 := time.Now()
+	for _, q := range queries {
+		fn(q)
+	}
+	if len(queries) == 0 {
+		return 0
+	}
+	return time.Since(t0) / time.Duration(len(queries))
+}

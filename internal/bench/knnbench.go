@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"haindex/internal/core"
+	"haindex/internal/dataset"
+	"haindex/internal/hash"
+	"haindex/internal/knn"
+	"haindex/internal/vector"
+)
+
+// Table5 reproduces the kNN-select comparison: query time and index build
+// time for E2LSH, the LSB-Tree forest, and the HA-Index-backed approximate
+// kNN at 32- and 64-bit codes, per dataset.
+func Table5(sc Scale) ([]Table, error) {
+	var out []Table
+	for _, p := range dataset.Profiles() {
+		vecs := dataset.Generate(p, sc.KNNN, sc.Seed)
+		qidx := make([]int, 0, sc.Queries)
+		for i := 0; i < sc.Queries; i++ {
+			qidx = append(qidx, (i*7919)%len(vecs))
+		}
+		t := Table{
+			Title: fmt.Sprintf("Table 5 (%s): kNN-select comparison", p.Name),
+			Note: fmt.Sprintf("n=%d, k=%d; LSB forest of %d trees; query is per-query mean; recall vs exact scan",
+				sc.KNNN, sc.K, sc.LSBTrees),
+			Header: []string{"algorithm", "query time(ms)", "index build time(s)", "recall"},
+		}
+		exact := make([][]knn.Neighbor, len(qidx))
+		for i, qi := range qidx {
+			exact[i] = knn.Exact(vecs, vecs[qi], sc.K)
+		}
+		meanRecall := func(sel func(q vector.Vec, k int) []knn.Neighbor) string {
+			sum := 0.0
+			for i, qi := range qidx {
+				sum += knn.Recall(sel(vecs[qi], sc.K), exact[i])
+			}
+			return fmt.Sprintf("%.2f", sum/float64(len(qidx)))
+		}
+
+		// E2LSH with the paper's 20 tables.
+		t0 := time.Now()
+		lsh := knn.NewE2LSH(vecs, knn.E2LSHConfig{Tables: 20, Seed: sc.Seed})
+		lshBuild := time.Since(t0)
+		lshQ := timeVecQueries(vecs, qidx, func(q vector.Vec) { lsh.Select(q, sc.K) })
+		t.Rows = append(t.Rows, []string{"LSH", ms(lshQ), secs(lshBuild), meanRecall(lsh.Select)})
+
+		// LSB-Tree forest.
+		t0 = time.Now()
+		lsb := knn.NewLSBTree(vecs, knn.LSBConfig{Trees: sc.LSBTrees, Seed: sc.Seed})
+		lsbBuild := time.Since(t0)
+		lsbQ := timeVecQueries(vecs, qidx, func(q vector.Vec) { lsb.Select(q, sc.K) })
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("LSB-Tree(%d)", sc.LSBTrees), ms(lsbQ), secs(lsbBuild), meanRecall(lsb.Select)})
+
+		// HA-Index variants at 32 and 64 bits, static and dynamic.
+		for _, bits := range []int{32, 64} {
+			sample := dataset.Reservoir(vecs, len(vecs)/10+100, sc.Seed+2)
+			hf, err := hash.LearnSpectral(sample, bits)
+			if err != nil {
+				return nil, err
+			}
+			codes := hash.HashAll(hf, vecs)
+
+			t0 = time.Now()
+			sha := core.BuildStatic(codes, nil, 8)
+			shaBuild := time.Since(t0)
+			shaKNN := knn.NewHammingKNN(sha, hf, vecs)
+			shaQ := timeVecQueries(vecs, qidx, func(q vector.Vec) { shaKNN.Select(q, sc.K) })
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("SHA-Index(%d)", bits), ms(shaQ), secs(shaBuild), meanRecall(shaKNN.Select)})
+
+			t0 = time.Now()
+			dha := core.BuildDynamic(codes, nil, core.Options{})
+			dhaBuild := time.Since(t0)
+			dhaKNN := knn.NewHammingKNN(dha, hf, vecs)
+			dhaQ := timeVecQueries(vecs, qidx, func(q vector.Vec) { dhaKNN.Select(q, sc.K) })
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("DHA-Index(%d)", bits), ms(dhaQ), secs(dhaBuild), meanRecall(dhaKNN.Select)})
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func timeVecQueries(vecs []vector.Vec, qidx []int, fn func(q vector.Vec)) time.Duration {
+	t0 := time.Now()
+	for _, i := range qidx {
+		fn(vecs[i])
+	}
+	if len(qidx) == 0 {
+		return 0
+	}
+	return time.Since(t0) / time.Duration(len(qidx))
+}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"haindex/internal/baseline"
+	"haindex/internal/bitvec"
+	"haindex/internal/core"
+	"haindex/internal/dataset"
+	"haindex/internal/radix"
+)
+
+// selectMethod is one row of the Table 4 comparison.
+type selectMethod struct {
+	name   string
+	search func(q bitvec.Code, h int) []int
+	update func(id int, c bitvec.Code) // delete then re-insert
+	size   func() int
+	extra  string // e.g. DHA internal-only size
+}
+
+// buildSelectMethods constructs the seven systems of Table 4 over the env.
+func buildSelectMethods(env *Env, hmax int) ([]selectMethod, error) {
+	codes := env.Codes
+	nl := baseline.NewNestedLoop(append([]bitvec.Code(nil), codes...), nil)
+	mh4, err := baseline.NewMH4(codes, nil)
+	if err != nil {
+		return nil, err
+	}
+	mh10, err := baseline.NewMH10(codes, nil)
+	if err != nil {
+		return nil, err
+	}
+	he, err := baseline.NewHEngine(append([]bitvec.Code(nil), codes...), nil, hmax)
+	if err != nil {
+		return nil, err
+	}
+	rt := radix.Build(codes, nil)
+	sha := core.BuildStatic(codes, nil, 8)
+	dha := core.BuildDynamic(codes, nil, core.Options{})
+	return []selectMethod{
+		{
+			name:   "Nested-Loops",
+			search: nl.Search,
+			update: func(id int, c bitvec.Code) { nl.Delete(id, c); nl.Insert(id, c) },
+			size:   nl.SizeBytes,
+		},
+		{
+			name:   "MH-4",
+			search: mh4.Search,
+			update: func(id int, c bitvec.Code) { mh4.Delete(id, c); mh4.Insert(id, c) },
+			size:   mh4.SizeBytes,
+		},
+		{
+			name:   "MH-10",
+			search: mh10.Search,
+			update: func(id int, c bitvec.Code) { mh10.Delete(id, c); mh10.Insert(id, c) },
+			size:   mh10.SizeBytes,
+		},
+		{
+			name:   "HEngine",
+			search: he.Search,
+			update: func(id int, c bitvec.Code) { he.Delete(id, c); he.Insert(id, c) },
+			size:   he.SizeBytes,
+		},
+		{
+			name:   "Radix-Tree",
+			search: rt.Search,
+			update: func(id int, c bitvec.Code) { rt.Delete(id, c); rt.Insert(id, c) },
+			size:   rt.SizeBytes,
+		},
+		{
+			name:   "SHA-Index",
+			search: sha.Search,
+			update: func(id int, c bitvec.Code) { sha.Delete(id, c); sha.Insert(id, c) },
+			size:   sha.SizeBytes,
+		},
+		{
+			name:   "DHA-Index",
+			search: dha.Search,
+			update: func(id int, c bitvec.Code) { dha.Delete(id, c); dha.Insert(id, c) },
+			size:   dha.SizeBytes,
+			extra: fmt.Sprintf("%s/%s", mb(dha.SizeBytes()),
+				mb(dha.InternalSizeBytes()+dha.LeafCodeSizeBytes())),
+		},
+	}, nil
+}
+
+// Table4 reproduces the overall Hamming-select comparison: query time,
+// update time, and space usage for the seven systems on the three datasets
+// (32-bit codes, h = 3).
+func Table4(sc Scale) ([]Table, error) {
+	var out []Table
+	for _, p := range dataset.Profiles() {
+		env, err := NewEnv(p, sc.SelectN, sc.Bits, sc.Queries, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		methods, err := buildSelectMethods(env, sc.Threshold)
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			Title:  fmt.Sprintf("Table 4 (%s): Hamming-select overall comparison", p.Name),
+			Note:   fmt.Sprintf("n=%d, L=%d bits, h=%d; times are per-query/per-update means", sc.SelectN, sc.Bits, sc.Threshold),
+			Header: []string{"method", "query time(ms)", "update time(ms)", "space usage(MB)"},
+		}
+		for _, m := range methods {
+			q := timeQueries(env.Queries, func(qc bitvec.Code) { m.search(qc, sc.Threshold) })
+			// Update: delete one tuple and insert it back, as in the paper.
+			uid := 0
+			t0 := time.Now()
+			rounds := 20
+			for r := 0; r < rounds; r++ {
+				m.update(uid, env.Codes[uid])
+			}
+			u := time.Since(t0) / time.Duration(rounds)
+			space := mb(m.size())
+			if m.extra != "" {
+				space = m.extra
+			}
+			t.Rows = append(t.Rows, []string{m.name, ms(q), ms(u), space})
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig6 reproduces the threshold sensitivity study: per-query time as the
+// Hamming threshold h grows from 1 to 6, per dataset and system.
+func Fig6(sc Scale) ([]Table, error) {
+	hs := []int{1, 2, 3, 4, 5, 6}
+	var out []Table
+	for _, p := range dataset.Profiles() {
+		env, err := NewEnv(p, sc.SelectN, sc.Bits, sc.Queries, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		methods, err := buildSelectMethods(env, sc.Threshold)
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			Title:  fmt.Sprintf("Figure 6 (%s): query time vs Hamming threshold", p.Name),
+			Note:   fmt.Sprintf("n=%d, L=%d bits; per-query ms", sc.SelectN, sc.Bits),
+			Header: append([]string{"method"}, sprintInts("h=", hs)...),
+		}
+		for _, m := range methods {
+			row := []string{m.name}
+			for _, h := range hs {
+				row = append(row, ms(timeQueries(env.Queries, func(qc bitvec.Code) { m.search(qc, h) })))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig8 reproduces the DHA-Index parameter study: build time and query time
+// as functions of the (normalized) window length and the index depth.
+func Fig8(sc Scale) ([]Table, error) {
+	env, err := NewEnv(dataset.NUSWide, sc.SelectN, sc.Bits, sc.Queries, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	windows := []float64{0.005, 0.01, 0.015, 0.02, 0.025, 0.03, 0.035, 0.04}
+	depths := []int{4, 5, 6, 7}
+	build := Table{
+		Title:  "Figure 8a: DHA-Index building time vs window length",
+		Note:   fmt.Sprintf("%s, n=%d; window normalized by n; cells in ms", env.Profile.Name, sc.SelectN),
+		Header: append([]string{"window"}, sprintInts("depth=", depths)...),
+	}
+	query := Table{
+		Title:  "Figure 8b: DHA-Index query time vs window length",
+		Note:   fmt.Sprintf("%s, n=%d, h=%d; per-query ms", env.Profile.Name, sc.SelectN, sc.Threshold),
+		Header: append([]string{"window"}, sprintInts("depth=", depths)...),
+	}
+	for _, wf := range windows {
+		w := int(wf * float64(sc.SelectN))
+		if w < 2 {
+			w = 2
+		}
+		brow := []string{fmt.Sprintf("%.3f", wf)}
+		qrow := []string{fmt.Sprintf("%.3f", wf)}
+		for _, d := range depths {
+			t0 := time.Now()
+			idx := core.BuildDynamic(env.Codes, nil, core.Options{Window: w, Depth: d})
+			brow = append(brow, ms(time.Since(t0)))
+			qrow = append(qrow, ms(timeQueries(env.Queries, func(qc bitvec.Code) { idx.Search(qc, sc.Threshold) })))
+		}
+		build.Rows = append(build.Rows, brow)
+		query.Rows = append(query.Rows, qrow)
+	}
+	return []Table{build, query}, nil
+}
+
+func sprintInts(prefix string, vs []int) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = fmt.Sprintf("%s%d", prefix, v)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchCodes(n, bits int) []Code {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]Code, n)
+	for i := range out {
+		out[i] = Rand(rng, bits)
+	}
+	return out
+}
+
+func BenchmarkDistance32(b *testing.B) {
+	cs := benchCodes(1024, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs[i%1024].Distance(cs[(i+1)%1024])
+	}
+}
+
+func BenchmarkDistance256(b *testing.B) {
+	cs := benchCodes(1024, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs[i%1024].Distance(cs[(i+1)%1024])
+	}
+}
+
+func BenchmarkDistanceWithin(b *testing.B) {
+	cs := benchCodes(1024, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs[i%1024].DistanceWithin(cs[(i+1)%1024], 3)
+	}
+}
+
+func BenchmarkPatternDistanceExcluding(b *testing.B) {
+	cs := benchCodes(1024, 64)
+	pats := make([]Pattern, 512)
+	for i := range pats {
+		pats[i] = Shared(cs[2*i], cs[2*i+1])
+	}
+	ex := cs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pats[i%512].DistanceExcluding(cs[i%1024], ex)
+	}
+}
+
+func BenchmarkShared(b *testing.B) {
+	cs := benchCodes(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Shared(cs...)
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	cs := benchCodes(1024, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cs[i%1024].Key()
+	}
+}

@@ -1,0 +1,72 @@
+package bitvec
+
+import (
+	"testing"
+)
+
+// Native fuzz targets; under plain `go test` they run their seed corpus,
+// and `go test -fuzz` explores further.
+
+func FuzzFromString(f *testing.F) {
+	for _, seed := range []string{"", "0", "1", "0101", "001 001 010", "abc", "0x1", "111111111111111111111111111111111"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := FromString(s)
+		if err != nil {
+			return
+		}
+		// Round-trip through String must be stable (spaces removed).
+		again, err := FromString(c.String())
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if !again.Equal(c) {
+			t.Fatalf("round trip changed code: %q vs %q", c.String(), again.String())
+		}
+	})
+}
+
+func FuzzCodeFromBytes(f *testing.F) {
+	f.Add([]byte{}, 8)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 64)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1}, 3)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n <= 0 || n > 1024 {
+			return
+		}
+		c, used, err := CodeFromBytes(data, n)
+		if err != nil {
+			return
+		}
+		// Tail bits beyond n must have been preserved as stored; encoding
+		// again must reproduce the consumed prefix up to tail masking.
+		out := c.AppendBytes(nil)
+		if len(out) != used {
+			t.Fatalf("encoded %d bytes, consumed %d", len(out), used)
+		}
+		back, _, err := CodeFromBytes(out, n)
+		if err != nil || !back.Equal(c) {
+			t.Fatal("re-decode mismatch")
+		}
+	})
+}
+
+func FuzzPatternFromString(f *testing.F) {
+	for _, seed := range []string{"", "·", "0·1", "...", "**1", "01x"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := PatternFromString(s)
+		if err != nil {
+			return
+		}
+		again, err := PatternFromString(p.String())
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if !again.Equal(p) {
+			t.Fatal("pattern round trip changed")
+		}
+	})
+}

@@ -1,0 +1,245 @@
+// Package btree implements an in-memory B+-tree keyed by uint64 with integer
+// payloads and bidirectional leaf iteration. It is the disk-index substrate
+// of the LSB-Tree baseline (Tao et al., TODS'10), which stores Z-order values
+// of LSH projections in a B-tree and expands bidirectionally from the query's
+// position.
+package btree
+
+import "fmt"
+
+const degree = 32 // max keys per node
+
+// Tree is a B+-tree multimap from uint64 keys to int values.
+type Tree struct {
+	root *node
+	n    int
+}
+
+type node struct {
+	keys     []uint64
+	children []*node // nil for leaves
+	vals     []int   // leaves only
+	next     *node   // leaf chain
+	prev     *node
+}
+
+func (nd *node) leaf() bool { return nd.children == nil }
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{}}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.n }
+
+// Insert adds (key, val); duplicate keys are allowed.
+func (t *Tree) Insert(key uint64, val int) {
+	t.n++
+	r := t.root
+	if len(r.keys) >= degree {
+		// Split the root preemptively.
+		nr := &node{children: []*node{r}}
+		nr.splitChild(0)
+		t.root = nr
+		r = nr
+	}
+	r.insertNonFull(key, val)
+}
+
+func (nd *node) insertNonFull(key uint64, val int) {
+	if nd.leaf() {
+		i := nd.lowerBound(key)
+		nd.keys = append(nd.keys, 0)
+		nd.vals = append(nd.vals, 0)
+		copy(nd.keys[i+1:], nd.keys[i:])
+		copy(nd.vals[i+1:], nd.vals[i:])
+		nd.keys[i] = key
+		nd.vals[i] = val
+		return
+	}
+	i := nd.childIndex(key)
+	child := nd.children[i]
+	if len(child.keys) >= degree {
+		nd.splitChild(i)
+		if key >= nd.keys[i] {
+			i++
+		}
+	}
+	nd.children[i].insertNonFull(key, val)
+}
+
+// lowerBound returns the first index with keys[i] >= key.
+func (nd *node) lowerBound(key uint64) int {
+	lo, hi := 0, len(nd.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nd.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns the child subtree for key in an internal node, whose
+// keys[i] is the smallest key in children[i+1].
+func (nd *node) childIndex(key uint64) int {
+	lo, hi := 0, len(nd.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nd.keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// splitChild splits the full child i, promoting its median separator.
+func (nd *node) splitChild(i int) {
+	child := nd.children[i]
+	mid := len(child.keys) / 2
+	var sep uint64
+	right := &node{}
+	if child.leaf() {
+		sep = child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid:]...)
+		right.vals = append(right.vals, child.vals[mid:]...)
+		child.keys = child.keys[:mid]
+		child.vals = child.vals[:mid]
+		right.next = child.next
+		if right.next != nil {
+			right.next.prev = right
+		}
+		right.prev = child
+		child.next = right
+	} else {
+		sep = child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.keys = child.keys[:mid]
+		child.children = child.children[:mid+1]
+	}
+	nd.keys = append(nd.keys, 0)
+	copy(nd.keys[i+1:], nd.keys[i:])
+	nd.keys[i] = sep
+	nd.children = append(nd.children, nil)
+	copy(nd.children[i+2:], nd.children[i+1:])
+	nd.children[i+1] = right
+}
+
+// Iter is a bidirectional cursor over leaf entries.
+type Iter struct {
+	leaf *node
+	pos  int
+}
+
+// Seek positions a cursor at the first entry with key >= target. The cursor
+// may be past the end (Valid reports false) when all keys are smaller.
+func (t *Tree) Seek(key uint64) Iter {
+	nd := t.root
+	for !nd.leaf() {
+		nd = nd.children[nd.childIndex(key)]
+	}
+	i := nd.lowerBound(key)
+	it := Iter{leaf: nd, pos: i}
+	if i >= len(nd.keys) {
+		it.leaf = nd.next
+		it.pos = 0
+	}
+	return it
+}
+
+// Min returns a cursor at the smallest entry.
+func (t *Tree) Min() Iter {
+	nd := t.root
+	for !nd.leaf() {
+		nd = nd.children[0]
+	}
+	return Iter{leaf: nd, pos: 0}
+}
+
+// Max returns a cursor at the largest entry (invalid when empty).
+func (t *Tree) Max() Iter {
+	nd := t.root
+	for !nd.leaf() {
+		nd = nd.children[len(nd.children)-1]
+	}
+	if len(nd.keys) == 0 {
+		return Iter{}
+	}
+	return Iter{leaf: nd, pos: len(nd.keys) - 1}
+}
+
+// Valid reports whether the cursor references an entry.
+func (it Iter) Valid() bool { return it.leaf != nil && it.pos >= 0 && it.pos < len(it.leaf.keys) }
+
+// Key returns the current key; the cursor must be Valid.
+func (it Iter) Key() uint64 { return it.leaf.keys[it.pos] }
+
+// Val returns the current value; the cursor must be Valid.
+func (it Iter) Val() int { return it.leaf.vals[it.pos] }
+
+// Next returns a cursor advanced by one entry (possibly invalid).
+func (it Iter) Next() Iter {
+	if it.leaf == nil {
+		return it
+	}
+	it.pos++
+	for it.leaf != nil && it.pos >= len(it.leaf.keys) {
+		it.leaf = it.leaf.next
+		it.pos = 0
+	}
+	return it
+}
+
+// Prev returns a cursor moved back by one entry (possibly invalid).
+func (it Iter) Prev() Iter {
+	if it.leaf == nil {
+		return it
+	}
+	it.pos--
+	for it.leaf != nil && it.pos < 0 {
+		it.leaf = it.leaf.prev
+		if it.leaf != nil {
+			it.pos = len(it.leaf.keys) - 1
+		}
+	}
+	return it
+}
+
+// Check validates the B+-tree invariants; it is used by tests.
+func (t *Tree) Check() error {
+	count := 0
+	var prevKey uint64
+	first := true
+	for it := t.Min(); it.Valid(); it = it.Next() {
+		if !first && it.Key() < prevKey {
+			return fmt.Errorf("btree: keys out of order: %d after %d", it.Key(), prevKey)
+		}
+		prevKey = it.Key()
+		first = false
+		count++
+	}
+	if count != t.n {
+		return fmt.Errorf("btree: iterated %d entries, Len()=%d", count, t.n)
+	}
+	return nil
+}
+
+// SizeBytes returns the approximate in-memory footprint.
+func (t *Tree) SizeBytes() int {
+	sz := 0
+	var walk func(*node)
+	walk = func(nd *node) {
+		sz += 80 + 8*len(nd.keys) + 8*len(nd.vals) + 8*len(nd.children)
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return sz
+}

@@ -1,0 +1,138 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertAndIterate(t *testing.T) {
+	bt := New()
+	keys := []uint64{5, 3, 8, 1, 9, 7, 2, 6, 4, 0}
+	for _, k := range keys {
+		bt.Insert(k, int(k)*10)
+	}
+	if bt.Len() != len(keys) {
+		t.Fatalf("len=%d", bt.Len())
+	}
+	if err := bt.Check(); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(0)
+	for it := bt.Min(); it.Valid(); it = it.Next() {
+		if it.Key() != want || it.Val() != int(want)*10 {
+			t.Fatalf("got (%d,%d) want (%d,%d)", it.Key(), it.Val(), want, want*10)
+		}
+		want++
+	}
+	if want != 10 {
+		t.Fatalf("iterated %d", want)
+	}
+}
+
+func TestLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	bt := New()
+	n := 20000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 5000 // force duplicates
+		bt.Insert(keys[i], i)
+	}
+	if err := bt.Check(); err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := 0
+	for it := bt.Min(); it.Valid(); it = it.Next() {
+		if it.Key() != sorted[i] {
+			t.Fatalf("pos %d: key %d want %d", i, it.Key(), sorted[i])
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("iterated %d want %d", i, n)
+	}
+}
+
+func TestSeek(t *testing.T) {
+	bt := New()
+	for _, k := range []uint64{10, 20, 30, 40, 50} {
+		bt.Insert(k, int(k))
+	}
+	cases := []struct {
+		seek uint64
+		want uint64
+		ok   bool
+	}{
+		{0, 10, true}, {10, 10, true}, {11, 20, true}, {35, 40, true},
+		{50, 50, true}, {51, 0, false},
+	}
+	for _, c := range cases {
+		it := bt.Seek(c.seek)
+		if it.Valid() != c.ok {
+			t.Fatalf("seek %d: valid=%v", c.seek, it.Valid())
+		}
+		if c.ok && it.Key() != c.want {
+			t.Fatalf("seek %d: key %d want %d", c.seek, it.Key(), c.want)
+		}
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	bt := New()
+	for k := uint64(0); k < 100; k += 2 {
+		bt.Insert(k, int(k))
+	}
+	it := bt.Seek(51) // lands on 52
+	if !it.Valid() || it.Key() != 52 {
+		t.Fatalf("seek: %v", it)
+	}
+	prev := it.Prev()
+	if !prev.Valid() || prev.Key() != 50 {
+		t.Fatalf("prev: %v", prev.Key())
+	}
+	// Walk all the way back.
+	count := 0
+	for p := prev; p.Valid(); p = p.Prev() {
+		count++
+	}
+	if count != 26 { // 0..50 step 2
+		t.Fatalf("backward count %d", count)
+	}
+	// Max cursor.
+	mx := bt.Max()
+	if !mx.Valid() || mx.Key() != 98 {
+		t.Fatalf("max %v", mx.Key())
+	}
+	if bad := (New()).Max(); bad.Valid() {
+		t.Fatal("empty max should be invalid")
+	}
+}
+
+func TestQuickOrderedInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bt := New()
+		n := rng.Intn(3000)
+		for i := 0; i < n; i++ {
+			bt.Insert(rng.Uint64()%1000, i)
+		}
+		return bt.Check() == nil && bt.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	bt := New()
+	for i := uint64(0); i < 1000; i++ {
+		bt.Insert(i, int(i))
+	}
+	if bt.SizeBytes() < 16000 {
+		t.Errorf("size %d seems too small for 1000 entries", bt.SizeBytes())
+	}
+}

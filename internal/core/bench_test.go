@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkHBuildSequential(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	codes := clusteredCodes(rng, 20000, 32, 16, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildDynamic(codes, nil, Options{})
+	}
+}
+
+func BenchmarkHBuildParallel4(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	codes := clusteredCodes(rng, 20000, 32, 16, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildDynamicParallel(codes, nil, Options{}, 4)
+	}
+}
+
+func BenchmarkHSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	codes := clusteredCodes(rng, 20000, 32, 16, 3)
+	idx := BuildDynamic(codes, nil, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Search(codes[i%len(codes)], 3)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	codes := clusteredCodes(rng, 20000, 32, 16, 3)
+	idx := BuildDynamic(codes, nil, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := idx.Encode(&buf, true); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	codes := clusteredCodes(rng, 20000, 32, 16, 3)
+	idx := BuildDynamic(codes, nil, Options{})
+	var buf bytes.Buffer
+	if err := idx.Encode(&buf, true); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeDynamic(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDelete(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	codes := clusteredCodes(rng, 20000, 32, 16, 3)
+	idx := BuildDynamic(codes, nil, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := i % len(codes)
+		idx.Delete(id, codes[id])
+		idx.Insert(id, codes[id])
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import "haindex/internal/bitvec"
+
+// Merge combines per-partition HA-Indexes into one global index (the
+// post-processing step of Section 5.2). When the partitions hold disjoint
+// code sets — which histogram pivoting guarantees, since partitions are
+// contiguous Gray ranges — the local hierarchies are grafted together and
+// top-level nodes with identical FLSSeq patterns are consolidated, so the
+// merge touches only index nodes, never the data. If code sets overlap the
+// merge falls back to a rebuild over the union.
+//
+// The returned index adopts the options of the first input.
+func Merge(parts ...*DynamicIndex) *DynamicIndex {
+	if len(parts) == 0 {
+		panic("core: Merge of no indexes")
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	first := parts[0]
+	out := &DynamicIndex{
+		opts:   first.opts,
+		length: first.length,
+		byCode: make(map[string]*leafGroup),
+	}
+	disjoint := true
+	for _, p := range parts {
+		if p.length != out.length {
+			panic("core: merging indexes with different code lengths")
+		}
+		p.Flush()
+		for key, g := range p.byCode {
+			if _, dup := out.byCode[key]; dup {
+				disjoint = false
+			}
+			out.byCode[key] = g
+			out.n += len(g.ids)
+		}
+	}
+	if !disjoint {
+		// Overlapping code sets: rebuild over the union of tuples. Fresh
+		// leaf groups are created so the inputs stay usable.
+		out.byCode = make(map[string]*leafGroup)
+		out.n = 0
+		for _, p := range parts {
+			p.Tuples(func(id int, c bitvec.Code) { out.addLeaf(id, c) })
+		}
+		out.rebuild()
+		return out
+	}
+	// Graft: concatenate top levels, consolidating equal root patterns.
+	rootByPat := make(map[string]*dnode)
+	for _, p := range parts {
+		for _, r := range p.roots {
+			key := r.pat.Key()
+			if prev, ok := rootByPat[key]; ok {
+				prev.children = append(prev.children, r.children...)
+				for _, c := range r.children {
+					c.parent = prev
+				}
+				prev.leaves = append(prev.leaves, r.leaves...)
+				for _, g := range r.leaves {
+					g.parent = prev
+				}
+				prev.freq += r.freq
+				continue
+			}
+			rootByPat[key] = r
+			out.roots = append(out.roots, r)
+		}
+		out.topLeaves = append(out.topLeaves, p.topLeaves...)
+	}
+	out.finalizeResiduals()
+	return out
+}

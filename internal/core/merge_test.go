@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/gray"
+	"haindex/internal/histo"
+)
+
+// TestMergeDisjoint merges per-partition indexes built from gray-range
+// partitions (the MapReduce scenario) and checks the global index answers
+// like a single index over the union.
+func TestMergeDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	codes := clusteredCodes(rng, 600, 32, 8, 3)
+	// Dedup: gray-range partitioning guarantees disjoint code sets across
+	// partitions, but identical codes may repeat within one partition.
+	pivots := histo.Pivots(codes[:200], 4)
+	parts := make([][]bitvec.Code, 4)
+	ids := make([][]int, 4)
+	for i, c := range codes {
+		p := histo.PartitionID(pivots, c)
+		parts[p] = append(parts[p], c)
+		ids[p] = append(ids[p], i)
+	}
+	var locals []*DynamicIndex
+	for p := range parts {
+		if len(parts[p]) == 0 {
+			continue
+		}
+		locals = append(locals, BuildDynamic(parts[p], ids[p], Options{Window: 8}))
+	}
+	if len(locals) < 2 {
+		t.Skip("degenerate partitioning")
+	}
+	global := Merge(locals...)
+	if global.Len() != len(codes) {
+		t.Fatalf("global Len=%d want %d", global.Len(), len(codes))
+	}
+	for q := 0; q < 30; q++ {
+		query := codes[rng.Intn(len(codes))].Clone()
+		for f := 0; f < rng.Intn(4); f++ {
+			query.FlipBit(rng.Intn(32))
+		}
+		h := rng.Intn(6)
+		if got, want := global.Search(query, h), oracle(codes, query, h); !equalIDs(got, want) {
+			t.Fatalf("merged search mismatch: got %d want %d", len(got), len(want))
+		}
+	}
+}
+
+// TestMergeOverlapping forces the rebuild path with shared codes.
+func TestMergeOverlapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	codes := clusteredCodes(rng, 200, 32, 4, 2)
+	a := BuildDynamic(codes[:120], nil, Options{Window: 8})
+	idsB := make([]int, 100)
+	for i := range idsB {
+		idsB[i] = 100 + i
+	}
+	b := BuildDynamic(codes[100:], idsB, Options{Window: 8})
+	global := Merge(a, b)
+	if global.Len() != 220 {
+		t.Fatalf("Len=%d want 220", global.Len())
+	}
+	q := codes[110]
+	got := global.Search(q, 0)
+	// Tuple 110 appears as id 110 in both inputs (overlap), so it must be
+	// reported twice.
+	count := 0
+	for _, id := range got {
+		if id == 110 {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("overlapping tuple reported %d times, want 2", count)
+	}
+}
+
+func TestMergeSingle(t *testing.T) {
+	codes := paperCodes()
+	a := BuildDynamic(codes, nil, Options{Window: 2})
+	if Merge(a) != a {
+		t.Fatal("single merge should return input")
+	}
+}
+
+// TestMergeGrayPartitionsShareNothing double-checks the disjointness
+// premise: gray-range partitions cannot contain the same code.
+func TestMergeGrayPartitionsShareNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	codes := make([]bitvec.Code, 300)
+	for i := range codes {
+		codes[i] = bitvec.Rand(rng, 16)
+	}
+	pivots := histo.Pivots(codes, 5)
+	seen := map[string]int{}
+	for _, c := range codes {
+		p := histo.PartitionID(pivots, c)
+		if prev, ok := seen[c.Key()]; ok && prev != p {
+			t.Fatalf("code %s in partitions %d and %d", c.String(), prev, p)
+		}
+		seen[c.Key()] = p
+	}
+	_ = gray.Compare // keep import if unused otherwise
+}

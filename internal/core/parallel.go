@@ -1,0 +1,172 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/gray"
+)
+
+// BuildDynamicParallel bulkloads a Dynamic HA-Index using several workers:
+// the codes are split into contiguous Gray-rank ranges (the same
+// partitioning the distributed build uses, so ranges are disjoint in code
+// space), each range is H-Built concurrently, and the local indexes are
+// grafted with Merge. The result answers queries identically to
+// BuildDynamic; the hierarchy differs only in how top-level nodes are
+// grouped. workers <= 0 selects GOMAXPROCS.
+func BuildDynamicParallel(codes []bitvec.Code, ids []int, opts Options, workers int) *DynamicIndex {
+	if len(codes) == 0 {
+		panic("core: BuildDynamicParallel over empty dataset")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(codes) < 2*workers {
+		return BuildDynamic(codes, ids, opts)
+	}
+	if ids == nil {
+		ids = make([]int, len(codes))
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	// Dedup to distinct leaf groups with a parallel group-by (dedup is the
+	// dominant build phase on duplicate-heavy data): workers group their
+	// input chunks locally, then shard-merge by key.
+	distinct, distinctCodes := parallelGroupBy(codes, ids, workers)
+	order := make([]int, len(distinct))
+	for i := range order {
+		order[i] = i
+	}
+	gray.Sort(distinctCodes, order)
+	sorted := make([]*leafGroup, len(distinct))
+	for i, j := range order {
+		sorted[i] = distinct[j]
+	}
+
+	bounds := make([]int, 0, workers+1)
+	bounds = append(bounds, 0)
+	per := (len(sorted) + workers - 1) / workers
+	for at := per; at < len(sorted); at += per {
+		bounds = append(bounds, at)
+	}
+	bounds = append(bounds, len(sorted))
+
+	locals := make([]*DynamicIndex, len(bounds)-1)
+	var wg sync.WaitGroup
+	for w := 0; w < len(bounds)-1; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			locals[w] = buildDynamicFromGroups(sorted[lo:hi], opts)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	nonNil := locals[:0]
+	for _, l := range locals {
+		if l != nil {
+			nonNil = append(nonNil, l)
+		}
+	}
+	return Merge(nonNil...)
+}
+
+// parallelGroupBy groups (code, id) pairs into leaf groups: each worker
+// groups one input chunk into a local map, then each worker merges one key
+// shard across all local maps. Returns the distinct groups and their codes
+// (parallel slices, unordered).
+func parallelGroupBy(codes []bitvec.Code, ids []int, workers int) ([]*leafGroup, []bitvec.Code) {
+	locals := make([]map[string]*leafGroup, workers)
+	chunk := (len(codes) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(codes) {
+			hi = len(codes)
+		}
+		if lo >= hi {
+			locals[w] = map[string]*leafGroup{}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			m := make(map[string]*leafGroup, hi-lo)
+			for i := lo; i < hi; i++ {
+				key := codes[i].Key()
+				g := m[key]
+				if g == nil {
+					g = &leafGroup{code: codes[i]}
+					m[key] = g
+				}
+				g.ids = append(g.ids, ids[i])
+			}
+			locals[w] = m
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Shard-merge: worker s owns the keys whose first byte mod workers == s.
+	shardGroups := make([][]*leafGroup, workers)
+	for sh := 0; sh < workers; sh++ {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			merged := make(map[string]*leafGroup)
+			for _, m := range locals {
+				for key, g := range m {
+					if int(key[0])%workers != sh {
+						continue
+					}
+					if prev, ok := merged[key]; ok {
+						prev.ids = append(prev.ids, g.ids...)
+					} else {
+						merged[key] = g
+					}
+				}
+			}
+			out := make([]*leafGroup, 0, len(merged))
+			for _, g := range merged {
+				out = append(out, g)
+			}
+			shardGroups[sh] = out
+		}(sh)
+	}
+	wg.Wait()
+
+	var distinct []*leafGroup
+	for _, sg := range shardGroups {
+		distinct = append(distinct, sg...)
+	}
+	distinctCodes := make([]bitvec.Code, len(distinct))
+	for i, g := range distinct {
+		distinctCodes[i] = g.code
+	}
+	return distinct, distinctCodes
+}
+
+// buildDynamicFromGroups bulkloads over pre-deduplicated leaf groups already
+// in Gray order.
+func buildDynamicFromGroups(groups []*leafGroup, opts Options) *DynamicIndex {
+	n := 0
+	for _, g := range groups {
+		n += len(g.ids)
+	}
+	x := &DynamicIndex{
+		opts:   opts.withDefaults(n),
+		length: groups[0].code.Len(),
+		byCode: make(map[string]*leafGroup, len(groups)),
+		n:      n,
+	}
+	for _, g := range groups {
+		x.byCode[g.code.Key()] = g
+	}
+	x.buildFromSorted(groups)
+	return x
+}

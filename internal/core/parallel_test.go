@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"haindex/internal/bitvec"
+)
+
+func TestParallelBuildEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 5; trial++ {
+		n := 200 + rng.Intn(2000)
+		codes := clusteredCodes(rng, n, 32, 8, 3)
+		seq := BuildDynamic(codes, nil, Options{})
+		for _, workers := range []int{2, 4, 8} {
+			par := BuildDynamicParallel(codes, nil, Options{}, workers)
+			if par.Len() != seq.Len() {
+				t.Fatalf("workers=%d: Len %d vs %d", workers, par.Len(), seq.Len())
+			}
+			for q := 0; q < 15; q++ {
+				query := codes[rng.Intn(n)].Clone()
+				query.FlipBit(rng.Intn(32))
+				h := rng.Intn(6)
+				if !equalIDs(par.Search(query, h), seq.Search(query, h)) {
+					t.Fatalf("workers=%d: search mismatch", workers)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelBuildSmallFallsBack(t *testing.T) {
+	codes := paperCodes()
+	par := BuildDynamicParallel(codes, nil, Options{Window: 2}, 8)
+	got := par.Search(paperCodes()[0], 0)
+	if !equalIDs(got, []int{0}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParallelBuildDuplicateRuns(t *testing.T) {
+	// A large duplicate run crossing the nominal cut boundary must stay in
+	// one partition (Merge requires disjoint code sets).
+	rng := rand.New(rand.NewSource(212))
+	dup := bitvec.Rand(rng, 32)
+	codes := make([]bitvec.Code, 0, 1000)
+	for i := 0; i < 600; i++ {
+		codes = append(codes, dup)
+	}
+	codes = append(codes, clusteredCodes(rng, 400, 32, 4, 3)...)
+	par := BuildDynamicParallel(codes, nil, Options{}, 4)
+	if par.Len() != 1000 {
+		t.Fatalf("Len=%d", par.Len())
+	}
+	got := par.Search(dup, 0)
+	if len(got) != 600 {
+		t.Fatalf("duplicate run returned %d ids", len(got))
+	}
+}

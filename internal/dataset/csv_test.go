@@ -1,0 +1,44 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.csv")
+	if err := os.WriteFile(path, []byte("1,2,3\n4,5,6\n\n7,8,9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := ReadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 || vs[1][2] != 6 {
+		t.Fatalf("vs = %v", vs)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.csv")
+	os.WriteFile(bad, []byte("1,x,3\n"), 0o644)
+	if _, err := ReadCSV(bad); err == nil {
+		t.Error("expected parse error")
+	}
+	ragged := filepath.Join(dir, "ragged.csv")
+	os.WriteFile(ragged, []byte("1,2\n1,2,3\n"), 0o644)
+	if _, err := ReadCSV(ragged); err == nil {
+		t.Error("expected ragged-row error")
+	}
+	empty := filepath.Join(dir, "empty.csv")
+	os.WriteFile(empty, nil, 0o644)
+	if _, err := ReadCSV(empty); err == nil {
+		t.Error("expected empty error")
+	}
+	if _, err := ReadCSV(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("expected missing-file error")
+	}
+}

@@ -1,0 +1,155 @@
+// Package dfs is a minimal in-memory distributed-filesystem model with the
+// two properties the reproduction needs from HDFS: named immutable blobs
+// and byte-level I/O accounting. The MapReduce pipelines use it the way the
+// paper's jobs use the real DFS — reducers persist their serialized local
+// HA-Indexes, the merge phase reads them back — so the index wire codec is
+// exercised on the exact path a cluster deployment would take, and the
+// DFS read/write volumes become measurable alongside shuffle and broadcast.
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// FS is one simulated filesystem instance. The zero value is not usable;
+// call New.
+type FS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	// Replication is the block replication factor charged on writes
+	// (HDFS default 3). Reads are charged once.
+	replication int
+
+	written int64
+	read    int64
+}
+
+// New returns an empty filesystem with the given replication factor
+// (0 selects HDFS's default of 3).
+func New(replication int) *FS {
+	if replication <= 0 {
+		replication = 3
+	}
+	return &FS{files: make(map[string][]byte), replication: replication}
+}
+
+// Create returns a writer for a new file. The file becomes visible when the
+// writer is closed; creating an existing path fails at Close (immutable
+// write-once files, as in HDFS).
+func (fs *FS) Create(path string) io.WriteCloser {
+	return &fileWriter{fs: fs, path: path}
+}
+
+type fileWriter struct {
+	fs   *FS
+	path string
+	buf  bytes.Buffer
+	done bool
+}
+
+func (w *fileWriter) Write(p []byte) (int, error) {
+	if w.done {
+		return 0, fmt.Errorf("dfs: write to closed file %q", w.path)
+	}
+	return w.buf.Write(p)
+}
+
+func (w *fileWriter) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if _, exists := w.fs.files[w.path]; exists {
+		return fmt.Errorf("dfs: file %q already exists", w.path)
+	}
+	data := append([]byte(nil), w.buf.Bytes()...)
+	w.fs.files[w.path] = data
+	w.fs.written += int64(len(data)) * int64(w.fs.replication)
+	return nil
+}
+
+// WriteFile stores data at path in one call.
+func (fs *FS) WriteFile(path string, data []byte) error {
+	w := fs.Create(path)
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// Open returns a reader over an existing file.
+func (fs *FS) Open(path string) (io.Reader, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q not found", path)
+	}
+	fs.read += int64(len(data))
+	return bytes.NewReader(data), nil
+}
+
+// ReadFile returns a file's contents.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	r, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return io.ReadAll(r)
+}
+
+// List returns the paths with the given prefix, sorted.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []string
+	for p := range fs.files {
+		if len(p) >= len(prefix) && p[:len(prefix)] == prefix {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns a file's length in bytes, or an error if absent.
+func (fs *FS) Size(path string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("dfs: file %q not found", path)
+	}
+	return int64(len(data)), nil
+}
+
+// Remove deletes a file; removing a missing file is an error.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("dfs: file %q not found", path)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// BytesWritten returns the cumulative write volume including replication.
+func (fs *FS) BytesWritten() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.written
+}
+
+// BytesRead returns the cumulative read volume.
+func (fs *FS) BytesRead() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.read
+}

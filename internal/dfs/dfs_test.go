@@ -1,0 +1,123 @@
+package dfs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New(3)
+	if err := fs.WriteFile("/idx/part-0", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/idx/part-0")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read %q err %v", got, err)
+	}
+	if fs.BytesWritten() != 15 { // 5 bytes × replication 3
+		t.Fatalf("written = %d", fs.BytesWritten())
+	}
+	if fs.BytesRead() != 5 {
+		t.Fatalf("read = %d", fs.BytesRead())
+	}
+	if sz, err := fs.Size("/idx/part-0"); err != nil || sz != 5 {
+		t.Fatalf("size = %d err %v", sz, err)
+	}
+}
+
+func TestWriteOnce(t *testing.T) {
+	fs := New(1)
+	if err := fs.WriteFile("/a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a", []byte("y")); err == nil {
+		t.Fatal("overwrite must fail")
+	}
+	// Streaming writer semantics: invisible before close.
+	w := fs.Create("/b")
+	if _, err := w.Write([]byte("zz")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/b"); err == nil {
+		t.Fatal("file visible before close")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/b"); err != nil {
+		t.Fatal(err)
+	}
+	// Double close is a no-op; write-after-close fails.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("q")); err == nil {
+		t.Fatal("write after close must fail")
+	}
+}
+
+func TestListAndRemove(t *testing.T) {
+	fs := New(1)
+	for i := 0; i < 5; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/idx/part-%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.WriteFile("/other", []byte("x"))
+	got := fs.List("/idx/")
+	if len(got) != 5 || got[0] != "/idx/part-0" || got[4] != "/idx/part-4" {
+		t.Fatalf("list = %v", got)
+	}
+	if err := fs.Remove("/idx/part-2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.List("/idx/")) != 4 {
+		t.Fatal("remove did not take")
+	}
+	if err := fs.Remove("/idx/part-2"); err == nil {
+		t.Fatal("double remove must fail")
+	}
+	if _, err := fs.Open("/missing"); err == nil {
+		t.Fatal("open missing must fail")
+	}
+	if _, err := fs.Size("/missing"); err == nil {
+		t.Fatal("size missing must fail")
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	fs := New(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := fs.WriteFile(fmt.Sprintf("/p/%d", i), make([]byte, 100)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(fs.List("/p/")) != 16 {
+		t.Fatal("missing files after concurrent writes")
+	}
+	if fs.BytesWritten() != 1600 {
+		t.Fatalf("written = %d", fs.BytesWritten())
+	}
+}
+
+func TestOpenIsSnapshot(t *testing.T) {
+	fs := New(1)
+	fs.WriteFile("/f", []byte("abc"))
+	r, err := fs.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Remove("/f")
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "abc" {
+		t.Fatal("reader must survive removal")
+	}
+}

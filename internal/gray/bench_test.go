@@ -1,0 +1,46 @@
+package gray
+
+import (
+	"math/rand"
+	"testing"
+
+	"haindex/internal/bitvec"
+)
+
+func BenchmarkRank(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cs := make([]bitvec.Code, 1024)
+	for i := range cs {
+		cs[i] = bitvec.Rand(rng, 64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Rank(cs[i%1024])
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	cs := make([]bitvec.Code, 1024)
+	for i := range cs {
+		cs[i] = bitvec.Rand(rng, 64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compare(cs[i%1024], cs[(i+1)%1024])
+	}
+}
+
+func BenchmarkSort10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	base := make([]bitvec.Code, 10000)
+	for i := range base {
+		base[i] = bitvec.Rand(rng, 32)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := make([]bitvec.Code, len(base))
+		copy(cs, base)
+		Sort(cs, nil)
+	}
+}

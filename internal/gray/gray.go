@@ -1,0 +1,152 @@
+// Package gray implements binary-reflected Gray codes over fixed-length
+// binary codes of arbitrary width.
+//
+// Definition 5 of the paper orders binary codes by their position in the
+// reflected Gray sequence: consecutive codewords in that sequence differ in
+// exactly one bit, so sorting a dataset's codes by Gray rank clusters codes
+// with small mutual Hamming distance (Proposition 2), which is what makes the
+// sliding-window FLSSeq extraction of H-Build productive.
+package gray
+
+import (
+	"math/bits"
+	"sort"
+
+	"haindex/internal/bitvec"
+)
+
+// Rank interprets code g as a reflected-Gray codeword and returns its rank in
+// the Gray sequence as a binary code of the same width: the inverse Gray
+// transform b[i] = g[0] XOR ... XOR g[i] (prefix parity, bit 0 leftmost).
+func Rank(g bitvec.Code) bitvec.Code {
+	out := bitvec.New(g.Len())
+	gw := g.Words()
+	ow := out.Words()
+	carry := uint64(0) // 0 or all-ones: parity of all bits above this word
+	for i, w := range gw {
+		// In-word prefix XOR from the MSB down.
+		x := w
+		x ^= x >> 1
+		x ^= x >> 2
+		x ^= x >> 4
+		x ^= x >> 8
+		x ^= x >> 16
+		x ^= x >> 32
+		x ^= carry
+		ow[i] = x
+		if x&1 != 0 {
+			carry = ^uint64(0)
+		} else {
+			carry = 0
+		}
+	}
+	// Unused tail bits of g are zero, so the tail of the rank is a constant
+	// run equal to the last meaningful parity; clear it for canonical form.
+	clearTail(out)
+	return out
+}
+
+// FromRank is the inverse of Rank: it returns the Gray codeword at binary
+// rank b, using g[i] = b[i] XOR b[i-1] with b[-1] = 0.
+func FromRank(b bitvec.Code) bitvec.Code {
+	out := bitvec.New(b.Len())
+	bw := b.Words()
+	ow := out.Words()
+	prev := uint64(0) // b's bit immediately above the current word (0 or 1)
+	for i, w := range bw {
+		ow[i] = w ^ (w >> 1) ^ (prev << 63)
+		prev = w & 1
+	}
+	clearTail(out)
+	return out
+}
+
+func clearTail(c bitvec.Code) {
+	if r := uint(c.Len() % 64); r != 0 {
+		w := c.Words()
+		w[len(w)-1] &= ^uint64(0) << (64 - r)
+	}
+}
+
+// Compare orders two equal-length codes by Gray rank without materializing
+// the ranks. The Gray rank order at the first differing bit position depends
+// on the parity of the shared prefix: even parity preserves bit order, odd
+// parity reverses it.
+func Compare(a, b bitvec.Code) int {
+	aw, bw := a.Words(), b.Words()
+	parity := 0
+	for i := range aw {
+		x := aw[i] ^ bw[i]
+		if x == 0 {
+			parity ^= bits.OnesCount64(aw[i]) & 1
+			continue
+		}
+		lead := bits.LeadingZeros64(x)
+		// Parity of the shared prefix: previous words plus this word's bits
+		// above the first difference.
+		p := parity ^ (bits.OnesCount64(aw[i]>>(64-uint(lead))<<(64-uint(lead))) & 1)
+		aBit := aw[i]>>(63-uint(lead))&1 == 1
+		less := !aBit // even prefix parity: 0 ranks before 1
+		if p == 1 {
+			less = aBit
+		}
+		if less {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Sort sorts codes in nondecreasing Gray-rank order in place, carrying along
+// the parallel ids slice when it is non-nil. Ranks are precomputed so the
+// sort costs O(nL) transform work plus O(n log n) word comparisons.
+func Sort(codes []bitvec.Code, ids []int) {
+	if ids != nil && len(ids) != len(codes) {
+		panic("gray: ids length mismatch")
+	}
+	ranks := make([]bitvec.Code, len(codes))
+	for i, c := range codes {
+		ranks[i] = Rank(c)
+	}
+	idx := make([]int, len(codes))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Unstable sort: equal ranks mean identical codes, so any relative
+	// order of ties is acceptable and pattern-defeating quicksort is much
+	// faster than the stable merge.
+	sort.Slice(idx, func(i, j int) bool {
+		return ranks[idx[i]].Compare(ranks[idx[j]]) < 0
+	})
+	permute(codes, idx)
+	if ids != nil {
+		permuteInts(ids, idx)
+	}
+}
+
+func permute(s []bitvec.Code, idx []int) {
+	out := make([]bitvec.Code, len(s))
+	for i, j := range idx {
+		out[i] = s[j]
+	}
+	copy(s, out)
+}
+
+func permuteInts(s []int, idx []int) {
+	out := make([]int, len(s))
+	for i, j := range idx {
+		out[i] = s[j]
+	}
+	copy(s, out)
+}
+
+// IsSorted reports whether codes are in nondecreasing Gray-rank order.
+func IsSorted(codes []bitvec.Code) bool {
+	for i := 1; i < len(codes); i++ {
+		if Compare(codes[i-1], codes[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,195 @@
+package gray
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"haindex/internal/bitvec"
+)
+
+func TestRankSmall(t *testing.T) {
+	// Classic 3-bit reflected Gray sequence: 000,001,011,010,110,111,101,100.
+	seq := []string{"000", "001", "011", "010", "110", "111", "101", "100"}
+	for rank, s := range seq {
+		g := bitvec.MustFromString(s)
+		r := Rank(g)
+		if got := int(r.Uint64()); got != rank {
+			t.Errorf("Rank(%s) = %d, want %d", s, got, rank)
+		}
+		if back := FromRank(r); !back.Equal(g) {
+			t.Errorf("FromRank(Rank(%s)) = %s", s, back.String())
+		}
+	}
+}
+
+func TestRankRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		g := bitvec.Rand(rng, n)
+		return FromRank(Rank(g)).Equal(g) && Rank(FromRank(g)).Equal(g)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAdjacencyProperty verifies Definition 5: consecutive ranks map to
+// codewords at Hamming distance exactly 1, including across word boundaries.
+func TestAdjacencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 300; i++ {
+		n := 2 + rng.Intn(200)
+		r := bitvec.Rand(rng, n)
+		// next rank = r + 1 (big-endian increment); skip all-ones.
+		next := increment(r)
+		if next.IsZero() {
+			continue
+		}
+		a, b := FromRank(r), FromRank(next)
+		if d := a.Distance(b); d != 1 {
+			t.Fatalf("adjacent gray codes at distance %d (n=%d rank=%s)", d, n, r.String())
+		}
+	}
+}
+
+// increment adds one to a big-endian code; returns zero value on overflow.
+func increment(c bitvec.Code) bitvec.Code {
+	out := c.Clone()
+	for i := c.Len() - 1; i >= 0; i-- {
+		if !out.Bit(i) {
+			out.SetBit(i, true)
+			return out
+		}
+		out.SetBit(i, false)
+	}
+	return bitvec.Code{}
+}
+
+func TestCompareAgainstRanks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		a, b := bitvec.Rand(rng, n), bitvec.Rand(rng, n)
+		want := Rank(a).Compare(Rank(b))
+		return Compare(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareReflexive(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 100; i++ {
+		c := bitvec.Rand(rng, 1+rng.Intn(100))
+		if Compare(c, c) != 0 {
+			t.Fatal("Compare(c,c) != 0")
+		}
+	}
+}
+
+func TestSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(100)
+		count := 1 + rng.Intn(200)
+		codes := make([]bitvec.Code, count)
+		ids := make([]int, count)
+		for i := range codes {
+			codes[i] = bitvec.Rand(rng, n)
+			ids[i] = i
+		}
+		orig := make([]bitvec.Code, count)
+		copy(orig, codes)
+		Sort(codes, ids)
+		if !IsSorted(codes) {
+			t.Fatal("not gray-sorted")
+		}
+		// ids permuted consistently with codes.
+		for i, id := range ids {
+			if !codes[i].Equal(orig[id]) {
+				t.Fatal("ids not permuted consistently")
+			}
+		}
+	}
+}
+
+// TestSortClusters checks Proposition 2 qualitatively: after Gray sorting,
+// the average adjacent-pair Hamming distance is no worse than under
+// lexicographic sorting, and strictly better than random order on clustered
+// data.
+func TestSortClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	n := 64
+	var codes []bitvec.Code
+	for c := 0; c < 8; c++ {
+		center := bitvec.Rand(rng, n)
+		for i := 0; i < 50; i++ {
+			v := center.Clone()
+			for f := 0; f < 3; f++ {
+				v.FlipBit(rng.Intn(n))
+			}
+			codes = append(codes, v)
+		}
+	}
+	adjSum := func(cs []bitvec.Code) int {
+		s := 0
+		for i := 1; i < len(cs); i++ {
+			s += cs[i-1].Distance(cs[i])
+		}
+		return s
+	}
+	shuffled := make([]bitvec.Code, len(codes))
+	copy(shuffled, codes)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	randomSum := adjSum(shuffled)
+
+	graySorted := make([]bitvec.Code, len(codes))
+	copy(graySorted, codes)
+	Sort(graySorted, nil)
+	graySum := adjSum(graySorted)
+
+	lexSorted := make([]bitvec.Code, len(codes))
+	copy(lexSorted, codes)
+	sort.Slice(lexSorted, func(i, j int) bool { return lexSorted[i].Compare(lexSorted[j]) < 0 })
+	lexSum := adjSum(lexSorted)
+
+	if graySum >= randomSum {
+		t.Errorf("gray order (%d) should cluster better than random (%d)", graySum, randomSum)
+	}
+	if graySum > lexSum {
+		t.Errorf("gray order (%d) should be no worse than lexicographic (%d)", graySum, lexSum)
+	}
+}
+
+func TestPaperSortExample(t *testing.T) {
+	// Table 2a codes; the paper sorts them into {t0,t1,t2,t7,t4,t6,t3,t5}
+	// "based on the Gray order ... in descending order". Verify that our
+	// ordering is a valid Gray ordering (monotone ranks) over those codes
+	// and that t2,t7 — the pair the paper highlights — end up adjacent.
+	codes := []bitvec.Code{
+		bitvec.MustFromString("001001010"), // t0
+		bitvec.MustFromString("001011101"), // t1
+		bitvec.MustFromString("011001100"), // t2
+		bitvec.MustFromString("101001010"), // t3
+		bitvec.MustFromString("101110110"), // t4
+		bitvec.MustFromString("101011101"), // t5
+		bitvec.MustFromString("101101010"), // t6
+		bitvec.MustFromString("111001100"), // t7
+	}
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	Sort(codes, ids)
+	if !IsSorted(codes) {
+		t.Fatal("not sorted")
+	}
+	pos := make(map[int]int)
+	for i, id := range ids {
+		pos[id] = i
+	}
+	if d := pos[2] - pos[7]; d != 1 && d != -1 {
+		t.Errorf("t2 and t7 should be adjacent in Gray order, positions %d and %d", pos[2], pos[7])
+	}
+}

@@ -1,0 +1,215 @@
+// Package hash implements the similarity hash functions that map
+// d-dimensional feature vectors to fixed-length binary codes, the
+// preprocessing step every Hamming-distance query in the paper assumes.
+//
+// Two families are provided: Spectral Hashing (Weiss, Torralba, Fergus,
+// NIPS'08) — the data-dependent, learned function the paper uses in all
+// experiments — and SimHash (Charikar, STOC'02) random-hyperplane hashing,
+// the data-independent function used by near-duplicate detection systems
+// such as Manku et al.'s web crawler.
+package hash
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/vector"
+)
+
+// Func maps feature vectors to binary codes of a fixed length. A Func learned
+// from a sample of one dataset must be applied to every tuple of both join
+// sides so their codes are comparable.
+type Func interface {
+	// Hash maps one vector to its binary code.
+	Hash(v vector.Vec) bitvec.Code
+	// Bits returns the code length L.
+	Bits() int
+	// Dim returns the input dimensionality d.
+	Dim() int
+}
+
+// HashAll maps a batch of vectors through f.
+func HashAll(f Func, vs []vector.Vec) []bitvec.Code {
+	out := make([]bitvec.Code, len(vs))
+	for i, v := range vs {
+		out[i] = f.Hash(v)
+	}
+	return out
+}
+
+// Spectral is a learned spectral-hashing function. Learning fits PCA to a
+// sample, then selects the bits analytical eigenfunctions with the smallest
+// eigenvalues across the principal directions; each output bit thresholds a
+// sinusoidal eigenfunction of one principal projection.
+type Spectral struct {
+	mean vector.Vec
+	proj *vector.Mat // nPC×d principal directions (rows)
+	bits []spectralBit
+	dim  int
+}
+
+type spectralBit struct {
+	pc    int     // principal component index
+	omega float64 // angular frequency kπ/(mx-mn)
+	mn    float64 // lower end of the projected range
+}
+
+// LearnSpectral learns a bits-bit spectral hash function from a sample of the
+// dataset. The number of principal components used is min(bits, d). It
+// returns an error when the sample is too small to estimate a covariance.
+func LearnSpectral(sample []vector.Vec, bits int) (*Spectral, error) {
+	if len(sample) < 2 {
+		return nil, fmt.Errorf("hash: spectral learning needs >= 2 samples, got %d", len(sample))
+	}
+	if bits <= 0 {
+		return nil, fmt.Errorf("hash: invalid code length %d", bits)
+	}
+	d := len(sample[0])
+	npc := bits
+	if npc > d {
+		npc = d
+	}
+	mean, proj := vector.PCATopK(sample, npc, 100)
+
+	// Projected ranges per principal direction.
+	mn := make([]float64, npc)
+	mx := make([]float64, npc)
+	for i := range mn {
+		mn[i] = math.Inf(1)
+		mx[i] = math.Inf(-1)
+	}
+	for _, v := range sample {
+		c := v.Sub(mean)
+		for i := 0; i < npc; i++ {
+			p := vector.Vec(proj.Row(i)).Dot(c)
+			if p < mn[i] {
+				mn[i] = p
+			}
+			if p > mx[i] {
+				mx[i] = p
+			}
+		}
+	}
+
+	// Candidate eigenfunctions (pc, mode k) with analytical eigenvalue
+	// proportional to (k/(mx-mn))²; keep the bits smallest.
+	type cand struct {
+		pc  int
+		k   int
+		val float64
+	}
+	maxMode := bits + 1
+	cands := make([]cand, 0, npc*maxMode)
+	for i := 0; i < npc; i++ {
+		r := mx[i] - mn[i]
+		if r <= 0 || math.IsInf(r, 0) {
+			// Degenerate direction (constant projection): unusable.
+			continue
+		}
+		for k := 1; k <= maxMode; k++ {
+			f := float64(k) / r
+			cands = append(cands, cand{pc: i, k: k, val: f * f})
+		}
+	}
+	if len(cands) < bits {
+		return nil, fmt.Errorf("hash: sample too degenerate for %d bits (%d usable eigenfunctions)", bits, len(cands))
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].val != cands[b].val {
+			return cands[a].val < cands[b].val
+		}
+		if cands[a].pc != cands[b].pc {
+			return cands[a].pc < cands[b].pc
+		}
+		return cands[a].k < cands[b].k
+	})
+	sb := make([]spectralBit, bits)
+	for j := 0; j < bits; j++ {
+		c := cands[j]
+		sb[j] = spectralBit{
+			pc:    c.pc,
+			omega: float64(c.k) * math.Pi / (mx[c.pc] - mn[c.pc]),
+			mn:    mn[c.pc],
+		}
+	}
+	return &Spectral{mean: mean, proj: proj, bits: sb, dim: d}, nil
+}
+
+// Hash maps v to its spectral binary code. Bit j is the sign of the
+// eigenfunction sin(π/2 + ω(p - mn)) evaluated at v's projection p on bit
+// j's principal direction.
+func (s *Spectral) Hash(v vector.Vec) bitvec.Code {
+	if len(v) != s.dim {
+		panic(fmt.Sprintf("hash: spectral hash of %d-d vector, learned on %d-d", len(v), s.dim))
+	}
+	c := v.Sub(s.mean)
+	nproj := s.proj.Rows
+	ps := make([]float64, nproj)
+	for i := 0; i < nproj; i++ {
+		ps[i] = vector.Vec(s.proj.Row(i)).Dot(c)
+	}
+	code := bitvec.New(len(s.bits))
+	for j, b := range s.bits {
+		y := math.Sin(math.Pi/2 + b.omega*(ps[b.pc]-b.mn))
+		if y > 0 {
+			code.SetBit(j, true)
+		}
+	}
+	return code
+}
+
+// Bits returns the code length.
+func (s *Spectral) Bits() int { return len(s.bits) }
+
+// Dim returns the input dimensionality.
+func (s *Spectral) Dim() int { return s.dim }
+
+// SimHash is Charikar's random-hyperplane hash: bit j is the sign of the
+// inner product with a fixed random Gaussian direction. It is
+// data-independent; two vectors' codes collide on a bit with probability
+// 1 - angle/π.
+type SimHash struct {
+	planes []vector.Vec
+	dim    int
+}
+
+// NewSimHash returns a bits-bit SimHash over d-dimensional inputs with
+// hyperplanes drawn deterministically from seed.
+func NewSimHash(d, bits int, seed int64) *SimHash {
+	if d <= 0 || bits <= 0 {
+		panic(fmt.Sprintf("hash: invalid SimHash dims d=%d bits=%d", d, bits))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	planes := make([]vector.Vec, bits)
+	for j := range planes {
+		p := make(vector.Vec, d)
+		for i := range p {
+			p[i] = rng.NormFloat64()
+		}
+		planes[j] = p
+	}
+	return &SimHash{planes: planes, dim: d}
+}
+
+// Hash maps v to its SimHash code.
+func (s *SimHash) Hash(v vector.Vec) bitvec.Code {
+	if len(v) != s.dim {
+		panic(fmt.Sprintf("hash: simhash of %d-d vector, constructed for %d-d", len(v), s.dim))
+	}
+	code := bitvec.New(len(s.planes))
+	for j, p := range s.planes {
+		if p.Dot(v) > 0 {
+			code.SetBit(j, true)
+		}
+	}
+	return code
+}
+
+// Bits returns the code length.
+func (s *SimHash) Bits() int { return len(s.planes) }
+
+// Dim returns the input dimensionality.
+func (s *SimHash) Dim() int { return s.dim }

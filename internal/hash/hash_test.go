@@ -1,0 +1,164 @@
+package hash
+
+import (
+	"math/rand"
+	"testing"
+
+	"haindex/internal/vector"
+)
+
+func gaussianCluster(rng *rand.Rand, center vector.Vec, spread float64, n int) []vector.Vec {
+	out := make([]vector.Vec, n)
+	for i := range out {
+		v := make(vector.Vec, len(center))
+		for j := range v {
+			v[j] = center[j] + rng.NormFloat64()*spread
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func randomCenters(rng *rand.Rand, d, k int) []vector.Vec {
+	out := make([]vector.Vec, k)
+	for i := range out {
+		v := make(vector.Vec, d)
+		for j := range v {
+			v[j] = rng.Float64() * 4
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestLearnSpectralBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var sample []vector.Vec
+	for _, c := range randomCenters(rng, 16, 4) {
+		sample = append(sample, gaussianCluster(rng, c, 0.2, 100)...)
+	}
+	s, err := LearnSpectral(sample, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Bits() != 32 || s.Dim() != 16 {
+		t.Fatalf("bits=%d dim=%d", s.Bits(), s.Dim())
+	}
+	// Deterministic.
+	c1 := s.Hash(sample[0])
+	c2 := s.Hash(sample[0])
+	if !c1.Equal(c2) {
+		t.Error("hash not deterministic")
+	}
+	if c1.Len() != 32 {
+		t.Errorf("code length %d", c1.Len())
+	}
+}
+
+func TestLearnSpectralErrors(t *testing.T) {
+	if _, err := LearnSpectral(nil, 8); err == nil {
+		t.Error("expected error on empty sample")
+	}
+	if _, err := LearnSpectral([]vector.Vec{{1}, {2}}, 0); err == nil {
+		t.Error("expected error on zero bits")
+	}
+	// All-identical sample: no usable direction.
+	same := make([]vector.Vec, 10)
+	for i := range same {
+		same[i] = vector.Vec{1, 1}
+	}
+	if _, err := LearnSpectral(same, 8); err == nil {
+		t.Error("expected error on degenerate sample")
+	}
+}
+
+// TestSpectralLocality verifies the similarity-preservation property that
+// makes Hamming search meaningful: points in the same cluster get codes
+// with smaller Hamming distance than points in different clusters, on
+// average.
+func TestSpectralLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	centers := randomCenters(rng, 24, 4)
+	var sample []vector.Vec
+	clusters := make([][]vector.Vec, len(centers))
+	for i, c := range centers {
+		clusters[i] = gaussianCluster(rng, c, 0.1, 80)
+		sample = append(sample, clusters[i]...)
+	}
+	s, err := LearnSpectral(sample, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, across := 0.0, 0.0
+	nw, na := 0, 0
+	for ci, cl := range clusters {
+		for i := 0; i+1 < len(cl); i += 2 {
+			within += float64(s.Hash(cl[i]).Distance(s.Hash(cl[i+1])))
+			nw++
+		}
+		other := clusters[(ci+1)%len(clusters)]
+		for i := 0; i < len(cl); i += 4 {
+			across += float64(s.Hash(cl[i]).Distance(s.Hash(other[i])))
+			na++
+		}
+	}
+	within /= float64(nw)
+	across /= float64(na)
+	if within >= across {
+		t.Errorf("spectral hash not locality preserving: within=%.2f across=%.2f", within, across)
+	}
+}
+
+func TestSimHashDeterminismAndSeed(t *testing.T) {
+	a := NewSimHash(8, 16, 1)
+	b := NewSimHash(8, 16, 1)
+	c := NewSimHash(8, 16, 2)
+	v := vector.Vec{1, -2, 3, -4, 5, -6, 7, -8}
+	if !a.Hash(v).Equal(b.Hash(v)) {
+		t.Error("same seed must give same codes")
+	}
+	if a.Hash(v).Equal(c.Hash(v)) {
+		t.Error("different seeds should give different codes (overwhelmingly)")
+	}
+	if a.Bits() != 16 || a.Dim() != 8 {
+		t.Errorf("bits=%d dim=%d", a.Bits(), a.Dim())
+	}
+}
+
+// TestSimHashAngleMonotonicity: closer vectors should collide on more bits.
+func TestSimHashAngleMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	s := NewSimHash(32, 64, 7)
+	near, far := 0, 0
+	trials := 200
+	for i := 0; i < trials; i++ {
+		v := make(vector.Vec, 32)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		nearV := v.Clone()
+		nearV[0] += 0.1
+		farV := make(vector.Vec, 32)
+		for j := range farV {
+			farV[j] = rng.NormFloat64()
+		}
+		hv := s.Hash(v)
+		near += hv.Distance(s.Hash(nearV))
+		far += hv.Distance(s.Hash(farV))
+	}
+	if near >= far {
+		t.Errorf("simhash not angle-monotone: near=%d far=%d", near, far)
+	}
+}
+
+func TestHashAll(t *testing.T) {
+	s := NewSimHash(4, 8, 3)
+	vs := []vector.Vec{{1, 2, 3, 4}, {-1, -2, -3, -4}}
+	codes := HashAll(s, vs)
+	if len(codes) != 2 {
+		t.Fatalf("len=%d", len(codes))
+	}
+	if !codes[0].Equal(s.Hash(vs[0])) {
+		t.Error("HashAll mismatch")
+	}
+}

@@ -1,0 +1,64 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"haindex/internal/core"
+	"haindex/internal/hash"
+	"haindex/internal/vector"
+)
+
+func benchSetup(b *testing.B) (*HammingKNN, *E2LSH, *LSBTree, []int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	data := clusteredVecs(rng, 5000, 24, 16, 0.12)
+	sh, err := hash.LearnSpectral(data[:800], 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := core.BuildDynamic(hash.HashAll(sh, data), nil, core.Options{})
+	h := NewHammingKNN(idx, sh, data)
+	lsh := NewE2LSH(data, E2LSHConfig{Tables: 20, Seed: 1})
+	lsb := NewLSBTree(data, LSBConfig{Trees: 10, Seed: 1})
+	q := make([]int, 64)
+	for i := range q {
+		q[i] = (i * 73) % len(data)
+	}
+	benchData = data
+	return h, lsh, lsb, q
+}
+
+var benchData []vector.Vec
+
+func BenchmarkSelectHammingKNN(b *testing.B) {
+	h, _, _, q := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Select(benchData[q[i%len(q)]], 10)
+	}
+}
+
+func BenchmarkSelectE2LSH(b *testing.B) {
+	_, lsh, _, q := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lsh.Select(benchData[q[i%len(q)]], 10)
+	}
+}
+
+func BenchmarkSelectLSBTree(b *testing.B) {
+	_, _, lsb, q := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lsb.Select(benchData[q[i%len(q)]], 10)
+	}
+}
+
+func BenchmarkSelectExact(b *testing.B) {
+	_, _, _, q := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(benchData, benchData[q[i%len(q)]], 10)
+	}
+}

@@ -1,0 +1,109 @@
+package knn
+
+import (
+	"haindex/internal/bitvec"
+	"haindex/internal/core"
+	"haindex/internal/vector"
+)
+
+// HammingSearcher is the Hamming range-query contract the approximate kNN
+// driver accepts; both HA-Index variants, the Radix-Tree, and every baseline
+// index satisfy it.
+type HammingSearcher interface {
+	Search(q bitvec.Code, h int) []int
+}
+
+// statelessSearcher is the race-free variant exposed by the Dynamic
+// HA-Index; when available, concurrent drivers (Join) use it with
+// caller-owned statistics.
+type statelessSearcher interface {
+	SearchInto(q bitvec.Code, h int, stats *core.SearchStats) []int
+}
+
+// Hasher maps a feature vector to its binary code (satisfied by hash.Func).
+type Hasher interface {
+	Hash(v vector.Vec) bitvec.Code
+	Bits() int
+}
+
+// HammingKNN answers approximate kNN-select queries by Hamming threshold
+// escalation (Section 2): the query vector is hashed, a Hamming range query
+// runs at a small threshold, and if fewer than k answers are found a larger
+// threshold is estimated and the near-neighbor query repeats; the k closest
+// answers by true distance are reported.
+type HammingKNN struct {
+	idx    HammingSearcher
+	hasher Hasher
+	data   []vector.Vec
+	// InitialH is the first Hamming threshold tried (default 1);
+	// thresholds escalate by doubling (h -> 2h+1).
+	InitialH int
+}
+
+// NewHammingKNN wires an index over the codes of data to the original
+// vectors for exact re-ranking.
+func NewHammingKNN(idx HammingSearcher, hasher Hasher, data []vector.Vec) *HammingKNN {
+	return &HammingKNN{idx: idx, hasher: hasher, data: data, InitialH: 1}
+}
+
+// Select returns the approximate k nearest neighbors of q.
+func (a *HammingKNN) Select(q vector.Vec, k int) []Neighbor {
+	return a.selectWith(q, k, a.idx.Search)
+}
+
+// selectConcurrent is Select for use from multiple goroutines; it requires
+// the index to expose the stateless search and falls back to the plain
+// (unsynchronized) path otherwise.
+func (a *HammingKNN) selectConcurrent(q vector.Vec, k int, stats *core.SearchStats) []Neighbor {
+	if ss, ok := a.idx.(statelessSearcher); ok {
+		return a.selectWith(q, k, func(c bitvec.Code, h int) []int {
+			return ss.SearchInto(c, h, stats)
+		})
+	}
+	return a.Select(q, k)
+}
+
+func (a *HammingKNN) selectWith(q vector.Vec, k int, search func(bitvec.Code, int) []int) []Neighbor {
+	code := a.hasher.Hash(q)
+	h := a.InitialH
+	if h < 0 {
+		h = 1
+	}
+	maxH := a.hasher.Bits()
+	for {
+		ids := search(code, h)
+		if len(ids) >= k || h >= maxH {
+			return ExactSubset(a.data, ids, q, k)
+		}
+		h = h*2 + 1
+		if h > maxH {
+			h = maxH
+		}
+	}
+}
+
+// SelectByCode runs the escalation purely in Hamming space, returning tuple
+// ids ranked by code distance; used when original vectors are unavailable
+// (e.g. MapReduce option B post-processing).
+func SelectByCode(idx HammingSearcher, codes []bitvec.Code, q bitvec.Code, k int) []Neighbor {
+	h := 1
+	maxH := q.Len()
+	for {
+		ids := idx.Search(q, h)
+		if len(ids) >= k || h >= maxH {
+			ns := make([]Neighbor, 0, len(ids))
+			for _, id := range ids {
+				ns = append(ns, Neighbor{ID: id, Dist: float64(q.Distance(codes[id]))})
+			}
+			sortNeighbors(ns)
+			if len(ns) > k {
+				ns = ns[:k]
+			}
+			return ns
+		}
+		h = h*2 + 1
+		if h > maxH {
+			h = maxH
+		}
+	}
+}

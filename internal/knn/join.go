@@ -1,0 +1,77 @@
+package knn
+
+import (
+	"sync"
+
+	"haindex/internal/core"
+	"haindex/internal/vector"
+)
+
+// JoinResult maps each probe-side tuple index to its k nearest neighbors on
+// the indexed side.
+type JoinResult map[int][]Neighbor
+
+// HammingJoin computes the approximate R kNN-join S of Section 2: for every
+// tuple of probe, the k approximate nearest indexed tuples, found by
+// Hamming threshold escalation over the shared index and re-ranked by exact
+// distance. Workers share the index read-only; workers <= 0 selects 4.
+func (a *HammingKNN) Join(probe []vector.Vec, k, workers int) JoinResult {
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > len(probe) && len(probe) > 0 {
+		workers = len(probe)
+	}
+	out := make(JoinResult, len(probe))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	chunk := (len(probe) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(probe) {
+			hi = len(probe)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var stats core.SearchStats
+			local := make(JoinResult, hi-lo)
+			for i := lo; i < hi; i++ {
+				local[i] = a.selectConcurrent(probe[i], k, &stats)
+			}
+			mu.Lock()
+			for i, ns := range local {
+				out[i] = ns
+			}
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// ExactJoin computes the exact R kNN-join S by per-tuple linear scan — the
+// ground truth for join recall measurements.
+func ExactJoin(data []vector.Vec, probe []vector.Vec, k int) JoinResult {
+	out := make(JoinResult, len(probe))
+	for i, q := range probe {
+		out[i] = Exact(data, q, k)
+	}
+	return out
+}
+
+// JoinRecall averages per-tuple Recall of approx against exact.
+func JoinRecall(approx, exact JoinResult) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for i, e := range exact {
+		sum += Recall(approx[i], e)
+	}
+	return sum / float64(len(exact))
+}

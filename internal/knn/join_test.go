@@ -1,0 +1,66 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"haindex/internal/core"
+	"haindex/internal/hash"
+)
+
+func TestHammingJoinRecallAndShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	data := clusteredVecs(rng, 1200, 24, 10, 0.12)
+	probe := clusteredVecs(rng, 120, 24, 10, 0.12)
+	sh, err := hash.LearnSpectral(data[:400], 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := core.BuildDynamic(hash.HashAll(sh, data), nil, core.Options{})
+	a := NewHammingKNN(idx, sh, data)
+	k := 8
+	approx := a.Join(probe, k, 4)
+	if len(approx) != len(probe) {
+		t.Fatalf("join covers %d of %d probes", len(approx), len(probe))
+	}
+	for i, ns := range approx {
+		if len(ns) != k {
+			t.Fatalf("probe %d got %d neighbors", i, len(ns))
+		}
+	}
+	exact := ExactJoin(data, probe, k)
+	if r := JoinRecall(approx, exact); r < 0.3 {
+		t.Fatalf("join recall %.2f too low", r)
+	}
+	// Sequential and concurrent joins agree.
+	seq := a.Join(probe, k, 1)
+	for i := range probe {
+		for j := range seq[i] {
+			if seq[i][j] != approx[i][j] {
+				t.Fatal("worker count changed results")
+			}
+		}
+	}
+}
+
+func TestJoinRecallMetric(t *testing.T) {
+	exact := JoinResult{0: {{ID: 1}, {ID: 2}}, 1: {{ID: 3}}}
+	approx := JoinResult{0: {{ID: 1}, {ID: 9}}, 1: {{ID: 3}}}
+	if r := JoinRecall(approx, exact); r != 0.75 {
+		t.Fatalf("recall = %v", r)
+	}
+	if JoinRecall(nil, nil) != 1 {
+		t.Fatal("empty join recall should be 1")
+	}
+}
+
+func TestExactJoin(t *testing.T) {
+	data := clusteredVecs(rand.New(rand.NewSource(182)), 50, 8, 3, 0.1)
+	probe := data[:5]
+	res := ExactJoin(data, probe, 3)
+	for i := range probe {
+		if res[i][0].ID != i || res[i][0].Dist != 0 {
+			t.Fatalf("probe %d nearest should be itself: %v", i, res[i][0])
+		}
+	}
+}

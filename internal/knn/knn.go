@@ -1,0 +1,113 @@
+// Package knn implements k-nearest-neighbor selection and join over
+// high-dimensional data: the exact linear-scan reference, the approximate
+// Hamming-code-based kNN the paper accelerates with the HA-Index, and the
+// two state-of-the-art baselines of Table 5 — E2LSH (p-stable
+// locality-sensitive hashing) and the LSB-Tree (Z-order of LSH projections
+// over a B-tree).
+package knn
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"haindex/internal/vector"
+)
+
+// Neighbor is one kNN result.
+type Neighbor struct {
+	ID   int
+	Dist float64
+}
+
+// maxHeap keeps the k largest-distance neighbors on top for replacement.
+type maxHeap []Neighbor
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Exact returns the k nearest neighbors of q among data by linear scan,
+// sorted by ascending distance (ties broken by id for determinism).
+func Exact(data []vector.Vec, q vector.Vec, k int) []Neighbor {
+	h := make(maxHeap, 0, k)
+	for i, v := range data {
+		d := q.Dist2(v)
+		if len(h) < k {
+			heap.Push(&h, Neighbor{ID: i, Dist: d})
+		} else if d < h[0].Dist {
+			h[0] = Neighbor{ID: i, Dist: d}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := []Neighbor(h)
+	for i := range out {
+		out[i].Dist = sqrt(out[i].Dist)
+	}
+	sortNeighbors(out)
+	return out
+}
+
+// ExactSubset is Exact restricted to the given candidate ids.
+func ExactSubset(data []vector.Vec, ids []int, q vector.Vec, k int) []Neighbor {
+	h := make(maxHeap, 0, k)
+	for _, id := range ids {
+		d := q.Dist2(data[id])
+		if len(h) < k {
+			heap.Push(&h, Neighbor{ID: id, Dist: d})
+		} else if d < h[0].Dist {
+			h[0] = Neighbor{ID: id, Dist: d}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := []Neighbor(h)
+	for i := range out {
+		out[i].Dist = sqrt(out[i].Dist)
+	}
+	sortNeighbors(out)
+	return out
+}
+
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].ID < ns[j].ID
+	})
+}
+
+// sqrt converts the heap's cheap squared distances back to distances.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// Recall measures |approx ∩ exact| / |exact| over the neighbor id sets — the
+// standard approximate-kNN quality metric used in Figure 10.
+func Recall(approx, exact []Neighbor) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	in := make(map[int]bool, len(exact))
+	for _, n := range exact {
+		in[n.ID] = true
+	}
+	hit := 0
+	for _, n := range approx {
+		if in[n.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}

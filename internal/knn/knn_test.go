@@ -1,0 +1,185 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"haindex/internal/baseline"
+	"haindex/internal/core"
+	"haindex/internal/hash"
+	"haindex/internal/vector"
+)
+
+func clusteredVecs(rng *rand.Rand, n, d, clusters int, spread float64) []vector.Vec {
+	centers := make([]vector.Vec, clusters)
+	for i := range centers {
+		c := make(vector.Vec, d)
+		for j := range c {
+			c[j] = rng.Float64() * 4
+		}
+		centers[i] = c
+	}
+	out := make([]vector.Vec, n)
+	for i := range out {
+		c := centers[rng.Intn(clusters)]
+		v := make(vector.Vec, d)
+		for j := range v {
+			v[j] = c[j] + rng.NormFloat64()*spread
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestExact(t *testing.T) {
+	data := []vector.Vec{{0}, {1}, {2}, {3}, {10}}
+	got := Exact(data, vector.Vec{1.4}, 3)
+	if len(got) != 3 {
+		t.Fatalf("len=%d", len(got))
+	}
+	if got[0].ID != 1 || got[1].ID != 2 || got[2].ID != 0 {
+		t.Fatalf("ids = %v", got)
+	}
+	if got[0].Dist > got[1].Dist || got[1].Dist > got[2].Dist {
+		t.Fatal("not sorted by distance")
+	}
+}
+
+func TestExactSmallerThanK(t *testing.T) {
+	data := []vector.Vec{{0}, {1}}
+	got := Exact(data, vector.Vec{0}, 5)
+	if len(got) != 2 {
+		t.Fatalf("len=%d", len(got))
+	}
+}
+
+func TestExactSubset(t *testing.T) {
+	data := []vector.Vec{{0}, {1}, {2}, {3}}
+	got := ExactSubset(data, []int{0, 3}, vector.Vec{2.6}, 1)
+	if len(got) != 1 || got[0].ID != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	exact := []Neighbor{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}}
+	approx := []Neighbor{{ID: 2}, {ID: 4}, {ID: 9}}
+	if r := Recall(approx, exact); r != 0.5 {
+		t.Fatalf("recall=%v", r)
+	}
+	if r := Recall(nil, nil); r != 1 {
+		t.Fatalf("empty recall=%v", r)
+	}
+}
+
+// TestHammingKNNRecall: the HA-Index-backed approximate kNN should achieve
+// reasonable recall on clustered data — the property Table 5 relies on.
+func TestHammingKNNRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	data := clusteredVecs(rng, 2000, 24, 12, 0.15)
+	sh, err := hash.LearnSpectral(data[:500], 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := hash.HashAll(sh, data)
+	idx := core.BuildDynamic(codes, nil, core.Options{})
+	a := NewHammingKNN(idx, sh, data)
+	k := 10
+	sumRecall := 0.0
+	trials := 30
+	for i := 0; i < trials; i++ {
+		q := data[rng.Intn(len(data))]
+		approx := a.Select(q, k)
+		exact := Exact(data, q, k)
+		sumRecall += Recall(approx, exact)
+	}
+	if avg := sumRecall / float64(trials); avg < 0.5 {
+		t.Errorf("average recall %.2f too low", avg)
+	}
+}
+
+// TestHammingKNNEscalation: with fewer than k matches at small thresholds,
+// escalation must still deliver k results.
+func TestHammingKNNEscalation(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	data := clusteredVecs(rng, 200, 16, 200, 0.01) // every point its own cluster
+	sh := hash.NewSimHash(16, 32, 5)
+	codes := hash.HashAll(sh, data)
+	idx := baseline.NewNestedLoop(codes, nil)
+	a := NewHammingKNN(idx, sh, data)
+	got := a.Select(data[0], 50)
+	if len(got) != 50 {
+		t.Fatalf("escalation returned %d results, want 50", len(got))
+	}
+	if got[0].ID != 0 || got[0].Dist != 0 {
+		t.Fatalf("nearest should be the query point itself: %v", got[0])
+	}
+}
+
+func TestSelectByCode(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	data := clusteredVecs(rng, 300, 16, 5, 0.1)
+	sh := hash.NewSimHash(16, 32, 6)
+	codes := hash.HashAll(sh, data)
+	idx := core.BuildDynamic(codes, nil, core.Options{})
+	got := SelectByCode(idx, codes, codes[7], 5)
+	if len(got) != 5 {
+		t.Fatalf("len=%d", len(got))
+	}
+	if got[0].Dist != 0 {
+		t.Fatalf("self distance %v", got[0].Dist)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestE2LSHRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	data := clusteredVecs(rng, 2000, 24, 12, 0.15)
+	l := NewE2LSH(data, E2LSHConfig{Tables: 20, K: 6, Seed: 1})
+	k := 10
+	sumRecall := 0.0
+	trials := 30
+	for i := 0; i < trials; i++ {
+		q := data[rng.Intn(len(data))]
+		sumRecall += Recall(l.Select(q, k), Exact(data, q, k))
+	}
+	if avg := sumRecall / float64(trials); avg < 0.4 {
+		t.Errorf("E2LSH average recall %.2f too low", avg)
+	}
+	if l.SizeBytes() <= 0 {
+		t.Error("size must be positive")
+	}
+}
+
+func TestLSBTreeRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	data := clusteredVecs(rng, 2000, 24, 12, 0.15)
+	f := NewLSBTree(data, LSBConfig{Trees: 10, M: 6, U: 8, Seed: 2})
+	k := 10
+	sumRecall := 0.0
+	trials := 30
+	for i := 0; i < trials; i++ {
+		q := data[rng.Intn(len(data))]
+		sumRecall += Recall(f.Select(q, k), Exact(data, q, k))
+	}
+	if avg := sumRecall / float64(trials); avg < 0.4 {
+		t.Errorf("LSB-Tree average recall %.2f too low", avg)
+	}
+	if f.SizeBytes() <= 0 {
+		t.Error("size must be positive")
+	}
+}
+
+func TestLSBTreeEdgeSeeks(t *testing.T) {
+	// Data collapsing to extreme z-values must not break expansion.
+	data := []vector.Vec{{0, 0}, {0, 0.0001}, {100, 100}, {100, 100.0001}}
+	f := NewLSBTree(data, LSBConfig{Trees: 3, M: 2, U: 4, Seed: 3})
+	got := f.Select(vector.Vec{200, 200}, 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d results", len(got))
+	}
+}

@@ -1,0 +1,171 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+
+	"haindex/internal/btree"
+	"haindex/internal/vector"
+	"haindex/internal/zorder"
+)
+
+// LSBTree is the LSB-Tree baseline of Tao, Yi, Sheng & Kalnis (TODS'10):
+// each of T trees projects every point onto m p-stable LSH directions,
+// quantizes each projection to u bits, interleaves them into a Z-order value
+// and stores it in a B-tree. A query seeks its own Z-value in every tree and
+// expands bidirectionally, collecting candidates whose exact distances are
+// then ranked. The paper configures an LSB-forest of 25 trees and highlights
+// its long construction time and large index footprint.
+type LSBTree struct {
+	data  []vector.Vec
+	trees []*lsbOne
+	// ProbesPerTree bounds the bidirectional expansion per tree (default
+	// 4k at query time).
+	ProbesPerTree int
+	u             int
+
+	visited []uint32
+	epoch   uint32
+}
+
+type lsbOne struct {
+	dirs []vector.Vec
+	lo   []float64
+	hi   []float64
+	bt   *btree.Tree
+}
+
+// LSBConfig tunes the forest.
+type LSBConfig struct {
+	Trees int // T; 0 selects the paper's 25
+	M     int // projection dimensions per tree; 0 selects 8
+	U     int // bits per projection; 0 selects 8
+	Seed  int64
+}
+
+// NewLSBTree builds the forest over data.
+func NewLSBTree(data []vector.Vec, cfg LSBConfig) *LSBTree {
+	if cfg.Trees <= 0 {
+		cfg.Trees = 25
+	}
+	if cfg.M <= 0 {
+		cfg.M = 8
+	}
+	if cfg.U <= 0 {
+		cfg.U = 8
+	}
+	if cfg.M*cfg.U > 64 {
+		panic("knn: LSB z-values exceed 64 bits; reduce M or U")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := len(data[0])
+	f := &LSBTree{data: data, visited: make([]uint32, len(data)), u: cfg.U}
+	for t := 0; t < cfg.Trees; t++ {
+		one := &lsbOne{
+			dirs: make([]vector.Vec, cfg.M),
+			lo:   make([]float64, cfg.M),
+			hi:   make([]float64, cfg.M),
+			bt:   btree.New(),
+		}
+		for j := range one.dirs {
+			a := make(vector.Vec, d)
+			for i := range a {
+				a[i] = rng.NormFloat64()
+			}
+			one.dirs[j] = a
+			one.lo[j] = math.Inf(1)
+			one.hi[j] = math.Inf(-1)
+		}
+		// Projection ranges for quantization.
+		projs := make([][]float64, len(data))
+		for i, v := range data {
+			p := make([]float64, cfg.M)
+			for j, a := range one.dirs {
+				p[j] = a.Dot(v)
+				if p[j] < one.lo[j] {
+					one.lo[j] = p[j]
+				}
+				if p[j] > one.hi[j] {
+					one.hi[j] = p[j]
+				}
+			}
+			projs[i] = p
+		}
+		for i := range data {
+			one.bt.Insert(one.zvalue(projs[i], cfg.U), i)
+		}
+		f.trees = append(f.trees, one)
+	}
+	f.ProbesPerTree = 0
+	return f
+}
+
+func (o *lsbOne) zvalue(projs []float64, u int) uint64 {
+	coords := make([]uint32, len(projs))
+	for j, p := range projs {
+		coords[j] = zorder.Quantize(p, o.lo[j], o.hi[j], u)
+	}
+	return zorder.Interleave(coords, u)
+}
+
+func (o *lsbOne) queryZ(v vector.Vec, u int) uint64 {
+	projs := make([]float64, len(o.dirs))
+	for j, a := range o.dirs {
+		projs[j] = a.Dot(v)
+	}
+	return o.zvalue(projs, u)
+}
+
+// Select returns the approximate k nearest neighbors of q.
+func (f *LSBTree) Select(q vector.Vec, k int) []Neighbor {
+	f.epoch++
+	probes := f.ProbesPerTree
+	if probes <= 0 {
+		probes = 4 * k
+	}
+	u := f.u
+	var cands []int
+	for _, one := range f.trees {
+		z := one.queryZ(q, u)
+		fwd := one.bt.Seek(z)
+		bwd := fwd.Prev()
+		if !fwd.Valid() && !bwd.Valid() {
+			// Query beyond the largest key: expand backward from the tail.
+			bwd = one.bt.Max()
+		}
+		for taken := 0; taken < probes && (fwd.Valid() || bwd.Valid()); taken++ {
+			// Expand toward the closer Z-value first, the LSB bidirectional
+			// scan.
+			useFwd := fwd.Valid()
+			if fwd.Valid() && bwd.Valid() {
+				useFwd = fwd.Key()-z <= z-bwd.Key()
+			}
+			var id int
+			if useFwd {
+				id = fwd.Val()
+				fwd = fwd.Next()
+			} else {
+				id = bwd.Val()
+				bwd = bwd.Prev()
+			}
+			if f.visited[id] != f.epoch {
+				f.visited[id] = f.epoch
+				cands = append(cands, id)
+			}
+		}
+	}
+	return ExactSubset(f.data, cands, q, k)
+}
+
+// SizeBytes returns the approximate forest footprint.
+func (f *LSBTree) SizeBytes() int {
+	sz := len(f.visited) * 4
+	for _, one := range f.trees {
+		sz += one.bt.SizeBytes()
+		for _, a := range one.dirs {
+			sz += 8 * len(a)
+		}
+		sz += 16 * len(one.lo)
+	}
+	return sz
+}

@@ -1,0 +1,147 @@
+package knn
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"haindex/internal/vector"
+)
+
+// E2LSH is the classic p-stable locality-sensitive hashing index for
+// Euclidean space (Andoni & Indyk): L hash tables, each keyed by a composite
+// of k quantized Gaussian projections h(v) = floor((a·v + b)/w). A query
+// probes its bucket in each table and re-ranks the union of candidates by
+// exact distance. The paper configures 20 tables.
+type E2LSH struct {
+	data    []vector.Vec
+	tables  []map[uint64][]int32
+	funcs   [][]pstable
+	w       float64
+	visited []uint32
+	epoch   uint32
+}
+
+type pstable struct {
+	a vector.Vec
+	b float64
+}
+
+// E2LSHConfig tunes the index.
+type E2LSHConfig struct {
+	Tables int     // L; 0 selects the paper's 20
+	K      int     // projections per table; 0 selects 8
+	W      float64 // quantization width; 0 estimates from a data sample
+	Seed   int64
+}
+
+// NewE2LSH indexes the data.
+func NewE2LSH(data []vector.Vec, cfg E2LSHConfig) *E2LSH {
+	if cfg.Tables <= 0 {
+		cfg.Tables = 20
+	}
+	if cfg.K <= 0 {
+		cfg.K = 8
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := len(data[0])
+	if cfg.W <= 0 {
+		cfg.W = estimateW(data, rng)
+	}
+	l := &E2LSH{
+		data:    data,
+		tables:  make([]map[uint64][]int32, cfg.Tables),
+		funcs:   make([][]pstable, cfg.Tables),
+		w:       cfg.W,
+		visited: make([]uint32, len(data)),
+	}
+	for t := 0; t < cfg.Tables; t++ {
+		fs := make([]pstable, cfg.K)
+		for j := range fs {
+			a := make(vector.Vec, d)
+			for i := range a {
+				a[i] = rng.NormFloat64()
+			}
+			fs[j] = pstable{a: a, b: rng.Float64() * cfg.W}
+		}
+		l.funcs[t] = fs
+		tab := make(map[uint64][]int32, len(data))
+		for i, v := range data {
+			key := l.bucketKey(t, v)
+			tab[key] = append(tab[key], int32(i))
+		}
+		l.tables[t] = tab
+	}
+	return l
+}
+
+// estimateW picks the quantization width as the mean distance between a few
+// sampled pairs divided by the projection count — a standard heuristic that
+// keeps near neighbors in one cell.
+func estimateW(data []vector.Vec, rng *rand.Rand) float64 {
+	n := len(data)
+	if n < 2 {
+		return 1
+	}
+	sum, cnt := 0.0, 0
+	for i := 0; i < 50; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		sum += data[a].Dist(data[b])
+		cnt++
+	}
+	if cnt == 0 || sum == 0 {
+		return 1
+	}
+	// Half the mean pairwise distance: wide enough that true neighbors
+	// collide with useful probability at k in the tens (the recall regime
+	// Table 5 compares at), at the cost of larger buckets to verify.
+	return sum / float64(cnt) / 2
+}
+
+func (l *E2LSH) bucketKey(t int, v vector.Vec) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, f := range l.funcs[t] {
+		q := int64(math.Floor((f.a.Dot(v) + f.b) / l.w))
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(q >> uint(8*i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Select returns the approximate k nearest neighbors of q.
+func (l *E2LSH) Select(q vector.Vec, k int) []Neighbor {
+	l.epoch++
+	var cands []int
+	for t := range l.tables {
+		for _, pos := range l.tables[t][l.bucketKey(t, q)] {
+			if l.visited[pos] != l.epoch {
+				l.visited[pos] = l.epoch
+				cands = append(cands, int(pos))
+			}
+		}
+	}
+	return ExactSubset(l.data, cands, q, k)
+}
+
+// SizeBytes returns the approximate footprint of the hash tables (excluding
+// the shared data vectors).
+func (l *E2LSH) SizeBytes() int {
+	sz := len(l.visited) * 4
+	for _, tab := range l.tables {
+		for _, b := range tab {
+			sz += 24 + 4*len(b)
+		}
+	}
+	for _, fs := range l.funcs {
+		for _, f := range fs {
+			sz += 8*len(f.a) + 8
+		}
+	}
+	return sz
+}

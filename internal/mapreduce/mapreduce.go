@@ -1,0 +1,319 @@
+// Package mapreduce is an in-process MapReduce runtime with exact cost
+// accounting, standing in for the paper's 16-node Hadoop 0.22 cluster
+// (see DESIGN.md, substitution 1).
+//
+// The runtime executes real map and reduce functions on a bounded pool of
+// workers that model cluster nodes. Every intermediate record crosses the
+// map→reduce boundary as serialized bytes, so the shuffle volume the paper
+// plots in Figure 7 is measured, not estimated; distributed-cache broadcasts
+// (how the HA-Index and pivot tables reach every node) are charged per node.
+// Per-task wall times and per-reducer record counts expose the load balance
+// that the histogram-based partitioning of Section 5.1 is designed to
+// achieve.
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// KV is one key-value record. Keys and values are raw bytes, as on the wire.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// MapFunc consumes one input record and emits intermediate records.
+type MapFunc func(in KV, emit func(KV)) error
+
+// ReduceFunc consumes one key group and emits output records.
+type ReduceFunc func(key []byte, values [][]byte, emit func(KV)) error
+
+// PartitionFunc routes an intermediate key to one of n reduce partitions.
+type PartitionFunc func(key []byte, n int) int
+
+// Broadcast is a distributed-cache entry: a read-only object shipped to every
+// node before the job starts (Section 5.2 loads the pivots, the hash
+// function, and the global HA-Index this way). Size is the serialized size
+// charged once per node.
+type Broadcast struct {
+	Name string
+	Size int64
+}
+
+// Config describes one MapReduce job.
+type Config struct {
+	Name     string
+	Mappers  int // map tasks; 0 selects Nodes
+	Reducers int // reduce tasks; 0 selects Nodes
+	Nodes    int // concurrently executing workers (cluster size); 0 selects 4
+
+	Map MapFunc // required
+	// Combine, when set, runs on each map task's local output per key
+	// before the shuffle — Hadoop's combiner. It must be semantically
+	// idempotent with Reduce's aggregation; the runtime applies it once
+	// per (map task, key) group.
+	Combine   ReduceFunc
+	Reduce    ReduceFunc
+	Partition PartitionFunc // nil selects FNV-1a hash partitioning
+	Broadcast []Broadcast
+}
+
+// Metrics reports what one job cost.
+type Metrics struct {
+	ShuffleBytes   int64 // serialized intermediate data crossing map→reduce
+	ShuffleRecords int64
+	BroadcastBytes int64 // distributed-cache bytes (size × nodes)
+	OutputRecords  int64
+
+	MapTaskTimes    []time.Duration
+	ReduceTaskTimes []time.Duration
+	ReducerRecords  []int64 // per-reducer input records (skew indicator)
+	Wall            time.Duration
+}
+
+// Skew returns max/mean of per-reducer record counts; 1.0 is perfectly
+// balanced. It returns 0 when the job had no reduce input.
+func (m Metrics) Skew() float64 {
+	var max, sum int64
+	for _, r := range m.ReducerRecords {
+		if r > max {
+			max = r
+		}
+		sum += r
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(m.ReducerRecords))
+	return float64(max) / mean
+}
+
+// Add accumulates the cost counters of another job, for multi-job pipelines.
+func (m *Metrics) Add(o Metrics) {
+	m.ShuffleBytes += o.ShuffleBytes
+	m.ShuffleRecords += o.ShuffleRecords
+	m.BroadcastBytes += o.BroadcastBytes
+	m.OutputRecords += o.OutputRecords
+	m.Wall += o.Wall
+}
+
+// recordOverhead models per-record framing (key length + value length).
+const recordOverhead = 8
+
+// HashPartition is the default FNV-1a key partitioner.
+func HashPartition(key []byte, n int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(n))
+}
+
+// Run executes the job over the input and returns the reduce output and the
+// job metrics. Output records are sorted by (key, value) for determinism.
+func Run(cfg Config, input []KV) ([]KV, Metrics, error) {
+	if cfg.Map == nil {
+		return nil, Metrics{}, fmt.Errorf("mapreduce: job %q has no map function", cfg.Name)
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Mappers <= 0 {
+		cfg.Mappers = cfg.Nodes
+	}
+	if cfg.Reducers <= 0 {
+		cfg.Reducers = cfg.Nodes
+	}
+	if cfg.Partition == nil {
+		cfg.Partition = HashPartition
+	}
+	var metrics Metrics
+	for _, b := range cfg.Broadcast {
+		metrics.BroadcastBytes += b.Size * int64(cfg.Nodes)
+	}
+	start := time.Now()
+
+	// ---- Map phase ----
+	splits := splitInput(input, cfg.Mappers)
+	type mapOut struct {
+		parts [][]KV
+		took  time.Duration
+		err   error
+	}
+	mapOuts := make([]mapOut, len(splits))
+	sem := make(chan struct{}, cfg.Nodes)
+	var wg sync.WaitGroup
+	for mi := range splits {
+		wg.Add(1)
+		go func(mi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			parts := make([][]KV, cfg.Reducers)
+			emit := func(kv KV) {
+				p := cfg.Partition(kv.Key, cfg.Reducers)
+				parts[p] = append(parts[p], kv)
+			}
+			for _, in := range splits[mi] {
+				if err := cfg.Map(in, emit); err != nil {
+					mapOuts[mi] = mapOut{err: fmt.Errorf("mapreduce: job %q map task %d: %w", cfg.Name, mi, err)}
+					return
+				}
+			}
+			if cfg.Combine != nil {
+				for p := range parts {
+					combined, err := combine(cfg.Combine, parts[p])
+					if err != nil {
+						mapOuts[mi] = mapOut{err: fmt.Errorf("mapreduce: job %q combiner (map task %d): %w", cfg.Name, mi, err)}
+						return
+					}
+					parts[p] = combined
+				}
+			}
+			mapOuts[mi] = mapOut{parts: parts, took: time.Since(t0)}
+		}(mi)
+	}
+	wg.Wait()
+	for _, mo := range mapOuts {
+		if mo.err != nil {
+			return nil, metrics, mo.err
+		}
+		metrics.MapTaskTimes = append(metrics.MapTaskTimes, mo.took)
+	}
+
+	// ---- Shuffle ----
+	partData := make([][]KV, cfg.Reducers)
+	for _, mo := range mapOuts {
+		for p, kvs := range mo.parts {
+			for _, kv := range kvs {
+				metrics.ShuffleBytes += int64(len(kv.Key) + len(kv.Value) + recordOverhead)
+				metrics.ShuffleRecords++
+			}
+			partData[p] = append(partData[p], kvs...)
+		}
+	}
+	metrics.ReducerRecords = make([]int64, cfg.Reducers)
+	for p, kvs := range partData {
+		metrics.ReducerRecords[p] = int64(len(kvs))
+	}
+
+	// ---- Reduce phase ----
+	if cfg.Reduce == nil {
+		// Identity job: the shuffled records are the output.
+		var out []KV
+		for _, kvs := range partData {
+			out = append(out, kvs...)
+		}
+		sortKVs(out)
+		metrics.OutputRecords = int64(len(out))
+		metrics.Wall = time.Since(start)
+		return out, metrics, nil
+	}
+	type redOut struct {
+		out  []KV
+		took time.Duration
+		err  error
+	}
+	redOuts := make([]redOut, cfg.Reducers)
+	for p := range partData {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			kvs := partData[p]
+			sortKVs(kvs)
+			var out []KV
+			emit := func(kv KV) { out = append(out, kv) }
+			for i := 0; i < len(kvs); {
+				j := i
+				for j < len(kvs) && bytes.Equal(kvs[j].Key, kvs[i].Key) {
+					j++
+				}
+				vals := make([][]byte, 0, j-i)
+				for _, kv := range kvs[i:j] {
+					vals = append(vals, kv.Value)
+				}
+				if err := cfg.Reduce(kvs[i].Key, vals, emit); err != nil {
+					redOuts[p] = redOut{err: fmt.Errorf("mapreduce: job %q reduce task %d: %w", cfg.Name, p, err)}
+					return
+				}
+				i = j
+			}
+			redOuts[p] = redOut{out: out, took: time.Since(t0)}
+		}(p)
+	}
+	wg.Wait()
+	var out []KV
+	for _, ro := range redOuts {
+		if ro.err != nil {
+			return nil, metrics, ro.err
+		}
+		metrics.ReduceTaskTimes = append(metrics.ReduceTaskTimes, ro.took)
+		out = append(out, ro.out...)
+	}
+	sortKVs(out)
+	metrics.OutputRecords = int64(len(out))
+	metrics.Wall = time.Since(start)
+	return out, metrics, nil
+}
+
+// combine groups one map task's output for one partition by key and runs
+// the combiner over each group.
+func combine(fn ReduceFunc, kvs []KV) ([]KV, error) {
+	if len(kvs) == 0 {
+		return kvs, nil
+	}
+	sortKVs(kvs)
+	var out []KV
+	emit := func(kv KV) { out = append(out, kv) }
+	for i := 0; i < len(kvs); {
+		j := i
+		for j < len(kvs) && bytes.Equal(kvs[j].Key, kvs[i].Key) {
+			j++
+		}
+		vals := make([][]byte, 0, j-i)
+		for _, kv := range kvs[i:j] {
+			vals = append(vals, kv.Value)
+		}
+		if err := fn(kvs[i].Key, vals, emit); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return out, nil
+}
+
+// splitInput divides the input into contiguous chunks, one per map task.
+func splitInput(input []KV, mappers int) [][]KV {
+	if mappers > len(input) && len(input) > 0 {
+		mappers = len(input)
+	}
+	if len(input) == 0 {
+		return [][]KV{nil}
+	}
+	splits := make([][]KV, 0, mappers)
+	per := (len(input) + mappers - 1) / mappers
+	for at := 0; at < len(input); at += per {
+		end := at + per
+		if end > len(input) {
+			end = len(input)
+		}
+		splits = append(splits, input[at:end])
+	}
+	return splits
+}
+
+func sortKVs(kvs []KV) {
+	sort.Slice(kvs, func(i, j int) bool {
+		if c := bytes.Compare(kvs[i].Key, kvs[j].Key); c != 0 {
+			return c < 0
+		}
+		return bytes.Compare(kvs[i].Value, kvs[j].Value) < 0
+	})
+}

@@ -1,0 +1,154 @@
+package mrjoin
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/core"
+	"haindex/internal/histo"
+	"haindex/internal/mapreduce"
+	"haindex/internal/vector"
+)
+
+// GlobalIndex is the phase-2 output: the merged HA-Index over R together
+// with the cost of producing it.
+type GlobalIndex struct {
+	Index   *core.DynamicIndex
+	Metrics mapreduce.Metrics
+	Merge   time.Duration
+	// DFSWritten and DFSRead are the bytes the local-index persistence
+	// moved through the distributed filesystem (zero without Options.FS).
+	DFSWritten int64
+	DFSRead    int64
+}
+
+// buildSeq disambiguates DFS paths across pipeline invocations sharing one
+// filesystem.
+var buildSeq atomic.Int64
+
+type codeWithID struct {
+	id   int
+	code bitvec.Code
+}
+
+// partitionID routes a code to the partition owning its Gray range.
+func partitionID(pre *Preprocessed, c bitvec.Code) int {
+	return histo.PartitionID(pre.Pivots, c)
+}
+
+// hashFuncSize estimates the broadcast size of the learned hash function:
+// the PCA projection matrix plus per-bit parameters.
+func hashFuncSize(pre *Preprocessed) int64 {
+	return int64(8*pre.Hash.Dim()*pre.Hash.Bits() + 24*pre.Hash.Bits())
+}
+
+// buildLocal bulkloads one partition's HA-Index (the reducer-side H-Build).
+func buildLocal(cs []codeWithID, opt Options) *core.DynamicIndex {
+	codes := make([]bitvec.Code, len(cs))
+	ids := make([]int, len(cs))
+	for i, c := range cs {
+		codes[i] = c.code
+		ids[i] = c.id
+	}
+	return core.BuildDynamic(codes, ids, opt.IndexOpts)
+}
+
+// BuildGlobalIndex runs the first MapReduce job of Figure 5: every mapper
+// hashes its R tuples into binary codes and routes them to the partition
+// owning their Gray range (binary search over the broadcast pivots); every
+// reducer bulkloads a local HA-Index via H-Build; the local indexes are then
+// merged into the global index for R.
+func BuildGlobalIndex(r []vector.Vec, pre *Preprocessed, opt Options) (*GlobalIndex, error) {
+	opt = opt.withDefaults()
+	if err := checkBits(pre, opt); err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	var locals []*core.DynamicIndex
+	var dfsPrefix string
+	var wBefore, rBefore int64
+	if opt.FS != nil {
+		dfsPrefix = fmt.Sprintf("/haindex/build-%d/", buildSeq.Add(1))
+		wBefore, rBefore = opt.FS.BytesWritten(), opt.FS.BytesRead()
+	}
+
+	pivotBytes := int64(0)
+	for _, p := range pre.Pivots {
+		pivotBytes += int64(p.SizeBytes())
+	}
+	cfg := mapreduce.Config{
+		Name:      "mrha-build-index",
+		Nodes:     opt.Nodes,
+		Reducers:  opt.Partitions,
+		Partition: partitionByKeyUint32,
+		Broadcast: []mapreduce.Broadcast{
+			{Name: "pivots", Size: pivotBytes},
+			{Name: "hash", Size: hashFuncSize(pre)},
+		},
+		Map: func(in mapreduce.KV, emit func(mapreduce.KV)) error {
+			id := decodeID(in.Key)
+			code := pre.Hash.Hash(decodeVecValue(in.Value))
+			pid := partitionID(pre, code)
+			emit(mapreduce.KV{Key: encodeUint32(uint32(pid)), Value: encodeIDCode(id, code)})
+			return nil
+		},
+		Reduce: func(key []byte, values [][]byte, emit func(mapreduce.KV)) error {
+			cs := make([]codeWithID, 0, len(values))
+			for _, v := range values {
+				id, c, err := decodeIDCode(v, opt.Bits)
+				if err != nil {
+					return err
+				}
+				cs = append(cs, codeWithID{id: id, code: c})
+			}
+			local := buildLocal(cs, opt)
+			if opt.FS != nil {
+				// Persist the serialized local index to the DFS, as the
+				// paper's reducers do; the merge phase reads it back.
+				w := opt.FS.Create(fmt.Sprintf("%spart-%05d", dfsPrefix, decodeID(key)))
+				if err := local.Encode(w, true); err != nil {
+					return fmt.Errorf("encoding local index: %w", err)
+				}
+				if err := w.Close(); err != nil {
+					return err
+				}
+				return nil
+			}
+			mu.Lock()
+			locals = append(locals, local)
+			mu.Unlock()
+			return nil
+		},
+	}
+	_, metrics, err := mapreduce.Run(cfg, VecInput(r))
+	if err != nil {
+		return nil, fmt.Errorf("mrjoin: build-index job: %w", err)
+	}
+	if opt.FS != nil {
+		for _, path := range opt.FS.List(dfsPrefix) {
+			rd, err := opt.FS.Open(path)
+			if err != nil {
+				return nil, fmt.Errorf("mrjoin: reading local index %s: %w", path, err)
+			}
+			local, err := core.DecodeDynamic(rd)
+			if err != nil {
+				return nil, fmt.Errorf("mrjoin: decoding local index %s: %w", path, err)
+			}
+			locals = append(locals, local)
+		}
+	}
+	if len(locals) == 0 {
+		return nil, fmt.Errorf("mrjoin: no local indexes built (empty R?)")
+	}
+	t0 := time.Now()
+	global := core.Merge(locals...)
+	out := &GlobalIndex{Index: global, Metrics: metrics, Merge: time.Since(t0)}
+	if opt.FS != nil {
+		out.DFSWritten = opt.FS.BytesWritten() - wBefore
+		out.DFSRead = opt.FS.BytesRead() - rBefore
+	}
+	return out, nil
+}

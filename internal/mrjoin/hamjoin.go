@@ -1,0 +1,234 @@
+package mrjoin
+
+import (
+	"fmt"
+	"time"
+
+	"haindex/internal/baseline"
+	"haindex/internal/bitvec"
+	"haindex/internal/core"
+	"haindex/internal/hash"
+	"haindex/internal/mapreduce"
+	"haindex/internal/vector"
+)
+
+// JoinResult is the output of one distributed Hamming-join.
+type JoinResult struct {
+	Pairs    []Pair
+	Metrics  mapreduce.Metrics
+	PostJoin time.Duration // Option B's id-recovery join
+}
+
+// decodePairs converts the reduce output into result pairs.
+func decodePairs(out []mapreduce.KV) []Pair {
+	pairs := make([]Pair, len(out))
+	for i, kv := range out {
+		pairs[i] = Pair{RID: decodeID(kv.Key), SID: decodeID(kv.Value)}
+	}
+	return pairs
+}
+
+// HammingJoinA is Option A of Section 5.3: the global HA-Index of R — leaves
+// included — is broadcast to every node; S is partitioned by the Gray-order
+// pivots and every reducer joins its partition against the replicated index.
+func HammingJoinA(s []vector.Vec, g *GlobalIndex, pre *Preprocessed, opt Options) (*JoinResult, error) {
+	opt = opt.withDefaults()
+	if err := checkBits(pre, opt); err != nil {
+		return nil, err
+	}
+	idx := g.Index
+	cfg := mapreduce.Config{
+		Name:      "mrha-join-a",
+		Nodes:     opt.Nodes,
+		Reducers:  opt.Partitions,
+		Partition: partitionByKeyUint32,
+		Broadcast: []mapreduce.Broadcast{
+			{Name: "global-ha-index", Size: int64(idx.BroadcastSizeBytes(true))},
+			{Name: "hash", Size: hashFuncSize(pre)},
+			{Name: "pivots", Size: pivotsSize(pre)},
+		},
+		Map: func(in mapreduce.KV, emit func(mapreduce.KV)) error {
+			sid := decodeID(in.Key)
+			code := pre.Hash.Hash(decodeVecValue(in.Value))
+			pid := partitionID(pre, code)
+			emit(mapreduce.KV{Key: encodeUint32(uint32(pid)), Value: encodeIDCode(sid, code)})
+			return nil
+		},
+		Reduce: func(key []byte, values [][]byte, emit func(mapreduce.KV)) error {
+			var stats core.SearchStats
+			for _, v := range values {
+				sid, code, err := decodeIDCode(v, opt.Bits)
+				if err != nil {
+					return err
+				}
+				for _, rid := range idx.SearchInto(code, opt.Threshold, &stats) {
+					emit(mapreduce.KV{Key: encodeUint32(uint32(rid)), Value: encodeUint32(uint32(sid))})
+				}
+			}
+			return nil
+		},
+	}
+	out, metrics, err := mapreduce.Run(cfg, VecInput(s))
+	if err != nil {
+		return nil, fmt.Errorf("mrjoin: join job (option A): %w", err)
+	}
+	return &JoinResult{Pairs: decodePairs(out), Metrics: metrics}, nil
+}
+
+// HammingJoinB is Option B of Section 5.3: for large R the leaf id tables
+// dominate the index, so a leafless index is broadcast; reducers emit the
+// qualifying binary codes, and a post-processing hash join against R's
+// code→id table recovers the tuple ids.
+func HammingJoinB(s []vector.Vec, g *GlobalIndex, pre *Preprocessed, opt Options) (*JoinResult, error) {
+	opt = opt.withDefaults()
+	if err := checkBits(pre, opt); err != nil {
+		return nil, err
+	}
+	idx := g.Index
+	cfg := mapreduce.Config{
+		Name:      "mrha-join-b",
+		Nodes:     opt.Nodes,
+		Reducers:  opt.Partitions,
+		Partition: partitionByKeyUint32,
+		Broadcast: []mapreduce.Broadcast{
+			{Name: "global-ha-index-leafless", Size: int64(idx.BroadcastSizeBytes(false))},
+			{Name: "hash", Size: hashFuncSize(pre)},
+			{Name: "pivots", Size: pivotsSize(pre)},
+		},
+		Map: func(in mapreduce.KV, emit func(mapreduce.KV)) error {
+			sid := decodeID(in.Key)
+			code := pre.Hash.Hash(decodeVecValue(in.Value))
+			pid := partitionID(pre, code)
+			emit(mapreduce.KV{Key: encodeUint32(uint32(pid)), Value: encodeIDCode(sid, code)})
+			return nil
+		},
+		Reduce: func(key []byte, values [][]byte, emit func(mapreduce.KV)) error {
+			var stats core.SearchStats
+			for _, v := range values {
+				sid, code, err := decodeIDCode(v, opt.Bits)
+				if err != nil {
+					return err
+				}
+				for _, qc := range idx.SearchCodesInto(code, opt.Threshold, &stats) {
+					emit(mapreduce.KV{Key: qc.AppendBytes(nil), Value: encodeUint32(uint32(sid))})
+				}
+			}
+			return nil
+		},
+	}
+	out, metrics, err := mapreduce.Run(cfg, VecInput(s))
+	if err != nil {
+		return nil, fmt.Errorf("mrjoin: join job (option B): %w", err)
+	}
+	// Post-processing: R fits in memory here, so the qualifying codes join
+	// against R's in-memory code→ids hash table (Section 5.3's small-R
+	// path; the large-R path would be one more MapReduce hash-join).
+	t0 := time.Now()
+	byCode := make(map[string][]int)
+	idx.Tuples(func(id int, c bitvec.Code) {
+		k := c.Key()
+		byCode[k] = append(byCode[k], id)
+	})
+	var pairs []Pair
+	for _, kv := range out {
+		c, _, err := bitvec.CodeFromBytes(kv.Key, opt.Bits)
+		if err != nil {
+			return nil, fmt.Errorf("mrjoin: decoding qualifying code: %w", err)
+		}
+		sid := decodeID(kv.Value)
+		for _, rid := range byCode[c.Key()] {
+			pairs = append(pairs, Pair{RID: rid, SID: sid})
+		}
+	}
+	return &JoinResult{Pairs: pairs, Metrics: metrics, PostJoin: time.Since(t0)}, nil
+}
+
+// PMHJoin is the parallel MultiHashTable baseline (Manku et al. extended to
+// MapReduce): the entire R table — full-dimensional records — is broadcast
+// to every node, S is hash-partitioned, and each reducer builds a
+// MultiHashTable (tables per PMH-k) over R's codes and probes it per S
+// tuple. Its broadcast cost is O(m·N·d), the term the HA-Index eliminates.
+func PMHJoin(r, s []vector.Vec, pre *Preprocessed, tables int, opt Options) (*JoinResult, error) {
+	opt = opt.withDefaults()
+	if err := checkBits(pre, opt); err != nil {
+		return nil, err
+	}
+	if tables <= 0 {
+		tables = 10
+	}
+	rBytes := int64(0)
+	for _, v := range r {
+		rBytes += int64(4*len(v) + 8)
+	}
+	// R's codes are computed once per node from the broadcast records.
+	rCodes := hash.HashAll(pre.Hash, r)
+	cfg := mapreduce.Config{
+		Name:      "pmh-join",
+		Nodes:     opt.Nodes,
+		Reducers:  opt.Partitions,
+		Partition: partitionByKeyUint32,
+		Broadcast: []mapreduce.Broadcast{
+			{Name: "table-r", Size: rBytes},
+			{Name: "hash", Size: hashFuncSize(pre)},
+		},
+		Map: func(in mapreduce.KV, emit func(mapreduce.KV)) error {
+			sid := decodeID(in.Key)
+			code := pre.Hash.Hash(decodeVecValue(in.Value))
+			pid := sid % opt.Partitions
+			emit(mapreduce.KV{Key: encodeUint32(uint32(pid)), Value: encodeIDCode(sid, code)})
+			return nil
+		},
+		Reduce: func(key []byte, values [][]byte, emit func(mapreduce.KV)) error {
+			var mh *baseline.MultiHash
+			var err error
+			if tables == 10 {
+				mh, err = baseline.NewMH10(rCodes, nil)
+			} else {
+				mh, err = baseline.NewMultiHash(rCodes, nil, tables, 1)
+			}
+			if err != nil {
+				return err
+			}
+			for _, v := range values {
+				sid, code, err := decodeIDCode(v, opt.Bits)
+				if err != nil {
+					return err
+				}
+				for _, rid := range mh.Search(code, opt.Threshold) {
+					emit(mapreduce.KV{Key: encodeUint32(uint32(rid)), Value: encodeUint32(uint32(sid))})
+				}
+			}
+			return nil
+		},
+	}
+	out, metrics, err := mapreduce.Run(cfg, VecInput(s))
+	if err != nil {
+		return nil, fmt.Errorf("mrjoin: PMH join job: %w", err)
+	}
+	return &JoinResult{Pairs: decodePairs(out), Metrics: metrics}, nil
+}
+
+func pivotsSize(pre *Preprocessed) int64 {
+	sz := int64(0)
+	for _, p := range pre.Pivots {
+		sz += int64(p.SizeBytes())
+	}
+	return sz
+}
+
+// ReferenceJoin computes the Hamming-join centrally (nested loop over the
+// hashed codes); tests and precision/recall measurements use it as ground
+// truth for the distributed plans.
+func ReferenceJoin(r, s []vector.Vec, pre *Preprocessed, h int) []Pair {
+	rc := hash.HashAll(pre.Hash, r)
+	sc := hash.HashAll(pre.Hash, s)
+	var out []Pair
+	for i, a := range rc {
+		for j, b := range sc {
+			if _, ok := a.DistanceWithin(b, h); ok {
+				out = append(out, Pair{RID: i, SID: j})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package mrjoin
+
+import (
+	"fmt"
+
+	"haindex/internal/core"
+	"haindex/internal/hash"
+	"haindex/internal/mapreduce"
+	"haindex/internal/vector"
+)
+
+// HammingJoinBLarge is Option B's large-R path (Section 5.3): when table R
+// is too large for the post-processing id recovery to run in one memory,
+// the (qualifying code, sid) pairs produced by the leafless join are joined
+// back to R's (code, rid) tuples with one more MapReduce job — the standard
+// repartition hash-join of Blanas et al. [23]: both sides shuffle keyed on
+// the binary code, and each reducer pairs the R ids with the S ids of its
+// key group.
+func HammingJoinBLarge(r, s []vector.Vec, g *GlobalIndex, pre *Preprocessed, opt Options) (*JoinResult, error) {
+	opt = opt.withDefaults()
+	if err := checkBits(pre, opt); err != nil {
+		return nil, err
+	}
+	idx := g.Index
+	// Stage 1: identical to HammingJoinB's join job — emit (code, sid).
+	cfg := mapreduce.Config{
+		Name:      "mrha-join-b-stage1",
+		Nodes:     opt.Nodes,
+		Reducers:  opt.Partitions,
+		Partition: partitionByKeyUint32,
+		Broadcast: []mapreduce.Broadcast{
+			{Name: "global-ha-index-leafless", Size: int64(idx.BroadcastSizeBytes(false))},
+			{Name: "hash", Size: hashFuncSize(pre)},
+			{Name: "pivots", Size: pivotsSize(pre)},
+		},
+		Map: func(in mapreduce.KV, emit func(mapreduce.KV)) error {
+			sid := decodeID(in.Key)
+			code := pre.Hash.Hash(decodeVecValue(in.Value))
+			pid := partitionID(pre, code)
+			emit(mapreduce.KV{Key: encodeUint32(uint32(pid)), Value: encodeIDCode(sid, code)})
+			return nil
+		},
+		Reduce: func(key []byte, values [][]byte, emit func(mapreduce.KV)) error {
+			var stats core.SearchStats
+			for _, v := range values {
+				sid, code, err := decodeIDCode(v, opt.Bits)
+				if err != nil {
+					return err
+				}
+				for _, qc := range idx.SearchCodesInto(code, opt.Threshold, &stats) {
+					emit(mapreduce.KV{Key: qc.AppendBytes(nil), Value: encodeUint32(uint32(sid))})
+				}
+			}
+			return nil
+		},
+	}
+	stage1, metrics, err := mapreduce.Run(cfg, VecInput(s))
+	if err != nil {
+		return nil, fmt.Errorf("mrjoin: join job (option B large): %w", err)
+	}
+
+	// Stage 2: repartition hash-join on the code key. The R side streams
+	// its (code, rid) records; the stage-1 output streams its (code, sid)
+	// records; reducers cross the two lists per code.
+	const (
+		sideR = 0
+		sideS = 1
+	)
+	rCodes := hash.HashAll(pre.Hash, r)
+	input := make([]mapreduce.KV, 0, len(r)+len(stage1))
+	for rid, code := range rCodes {
+		input = append(input, mapreduce.KV{
+			Key:   code.AppendBytes(nil),
+			Value: append([]byte{sideR}, encodeUint32(uint32(rid))...),
+		})
+	}
+	for _, kv := range stage1 {
+		input = append(input, mapreduce.KV{
+			Key:   kv.Key,
+			Value: append([]byte{sideS}, kv.Value...),
+		})
+	}
+	joinCfg := mapreduce.Config{
+		Name:     "mrha-join-b-hashjoin",
+		Nodes:    opt.Nodes,
+		Reducers: opt.Partitions,
+		Map: func(in mapreduce.KV, emit func(mapreduce.KV)) error {
+			emit(in)
+			return nil
+		},
+		Reduce: func(key []byte, values [][]byte, emit func(mapreduce.KV)) error {
+			var rids, sids []uint32
+			for _, v := range values {
+				if len(v) != 5 {
+					return fmt.Errorf("mrjoin: malformed hash-join record (%d bytes)", len(v))
+				}
+				id := uint32(v[1])<<24 | uint32(v[2])<<16 | uint32(v[3])<<8 | uint32(v[4])
+				if v[0] == sideR {
+					rids = append(rids, id)
+				} else {
+					sids = append(sids, id)
+				}
+			}
+			for _, rid := range rids {
+				for _, sid := range sids {
+					emit(mapreduce.KV{Key: encodeUint32(rid), Value: encodeUint32(sid)})
+				}
+			}
+			return nil
+		},
+	}
+	out, m2, err := mapreduce.Run(joinCfg, input)
+	if err != nil {
+		return nil, fmt.Errorf("mrjoin: option B hash-join job: %w", err)
+	}
+	metrics.Add(m2)
+	return &JoinResult{Pairs: decodePairs(out), Metrics: metrics}, nil
+}

@@ -1,0 +1,191 @@
+// Package mrjoin implements the parallel Hamming-join of Section 5 on the
+// MapReduce runtime, together with the two distributed baselines the paper
+// evaluates against:
+//
+//   - MRHA (Options A and B): preprocessing (sampling, hash learning,
+//     histogram pivot selection) → a first MapReduce job that partitions R
+//     by Gray-order pivots and builds per-partition HA-Indexes that are
+//     merged into a global index → a second job that broadcasts the (leafy
+//     or leafless) index and joins S against it.
+//   - PMH: Manku et al.'s approach — broadcast the whole of table R to
+//     every node and run a MultiHashTable join per partition of S.
+//   - PGBJ: Lu et al.'s exact kNN-join via pivot (Voronoi) partitioning
+//     with full-dimensional record shuffling.
+package mrjoin
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/core"
+	"haindex/internal/dataset"
+	"haindex/internal/dfs"
+	"haindex/internal/hash"
+	"haindex/internal/histo"
+	"haindex/internal/mapreduce"
+	"haindex/internal/vector"
+)
+
+// Options configures the distributed join pipelines.
+type Options struct {
+	Bits       int     // binary code length L; 0 selects 32
+	Partitions int     // number of data partitions N; 0 selects Nodes
+	Nodes      int     // simulated cluster size; 0 selects 16 (the paper's)
+	SampleRate float64 // preprocessing sample fraction; 0 selects 0.1
+	Threshold  int     // Hamming-join threshold h; 0 selects 3 (the paper's default)
+	Seed       int64
+	IndexOpts  core.Options // HA-Index build options
+
+	// FS, when set, routes the per-partition local indexes through the
+	// simulated distributed filesystem: reducers persist their serialized
+	// index (the paper's "produces the local HA-Index as output"), and the
+	// merge phase reads the parts back. When nil the indexes are handed
+	// over in memory.
+	FS *dfs.FS
+}
+
+func (o Options) withDefaults() Options {
+	if o.Bits <= 0 {
+		o.Bits = 32
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 16
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = o.Nodes
+	}
+	if o.SampleRate <= 0 {
+		o.SampleRate = 0.1
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 3
+	}
+	return o
+}
+
+// Pair is one Hamming-join result: tuple RID of R and SID of S whose binary
+// codes are within the threshold.
+type Pair struct {
+	RID, SID int
+}
+
+// Preprocessed carries the phase-1 artifacts of Figure 5: the learned hash
+// function and the histogram pivots, with their costs.
+type Preprocessed struct {
+	Hash       *hash.Spectral
+	Pivots     []bitvec.Code
+	SampleSize int
+
+	SampleTime time.Duration
+	LearnTime  time.Duration
+	PivotTime  time.Duration
+}
+
+// Preprocess runs the phase-1 of the pipeline: reservoir-sample R and S,
+// learn the spectral hash on the sample, and derive equi-depth Gray-order
+// pivots from the sampled codes.
+func Preprocess(r, s []vector.Vec, opt Options) (*Preprocessed, error) {
+	opt = opt.withDefaults()
+	t0 := time.Now()
+	want := int(opt.SampleRate * float64(len(r)+len(s)))
+	if want < 2 {
+		want = 2
+	}
+	sample := dataset.Reservoir(append(append([]vector.Vec{}, r...), s...), want, opt.Seed)
+	sampleTime := time.Since(t0)
+
+	t0 = time.Now()
+	h, err := hash.LearnSpectral(sample, opt.Bits)
+	if err != nil {
+		return nil, fmt.Errorf("mrjoin: learning hash: %w", err)
+	}
+	learnTime := time.Since(t0)
+
+	t0 = time.Now()
+	codes := hash.HashAll(h, sample)
+	pivots := histo.Pivots(codes, opt.Partitions)
+	pivotTime := time.Since(t0)
+
+	return &Preprocessed{
+		Hash:       h,
+		Pivots:     pivots,
+		SampleSize: len(sample),
+		SampleTime: sampleTime,
+		LearnTime:  learnTime,
+		PivotTime:  pivotTime,
+	}, nil
+}
+
+// ---- record encodings (the bytes that cross the simulated wire) ----
+
+// encodeVecKV packs a tuple id and its feature vector (float32 components,
+// matching typical feature storage) as one KV.
+func encodeVecKV(id int, v vector.Vec) mapreduce.KV {
+	key := make([]byte, 4)
+	binary.BigEndian.PutUint32(key, uint32(id))
+	val := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.BigEndian.PutUint32(val[4*i:], math.Float32bits(float32(x)))
+	}
+	return mapreduce.KV{Key: key, Value: val}
+}
+
+func decodeVecValue(b []byte) vector.Vec {
+	v := make(vector.Vec, len(b)/4)
+	for i := range v {
+		v[i] = float64(math.Float32frombits(binary.BigEndian.Uint32(b[4*i:])))
+	}
+	return v
+}
+
+// VecInput encodes a dataset as MapReduce input records.
+func VecInput(data []vector.Vec) []mapreduce.KV {
+	out := make([]mapreduce.KV, len(data))
+	for i, v := range data {
+		out[i] = encodeVecKV(i, v)
+	}
+	return out
+}
+
+func decodeID(b []byte) int { return int(binary.BigEndian.Uint32(b)) }
+
+func encodeUint32(v uint32) []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, v)
+	return b
+}
+
+// encodeIDCode packs (tuple id, binary code) as a value.
+func encodeIDCode(id int, c bitvec.Code) []byte {
+	b := make([]byte, 4, 4+bitvec.EncodedLen(c.Len()))
+	binary.BigEndian.PutUint32(b, uint32(id))
+	return c.AppendBytes(b)
+}
+
+func decodeIDCode(b []byte, bits int) (int, bitvec.Code, error) {
+	if len(b) < 4 {
+		return 0, bitvec.Code{}, fmt.Errorf("mrjoin: short id+code record (%d bytes)", len(b))
+	}
+	id := int(binary.BigEndian.Uint32(b))
+	c, _, err := bitvec.CodeFromBytes(b[4:], bits)
+	return id, c, err
+}
+
+// checkBits guards against a silent reinterpretation hazard: codes are
+// wire-encoded without a length marker (the job config carries it), so a
+// config whose Bits disagrees with the learned hash would decode garbage.
+func checkBits(pre *Preprocessed, opt Options) error {
+	if pre.Hash.Bits() != opt.Bits {
+		return fmt.Errorf("mrjoin: options declare %d-bit codes but the learned hash produces %d-bit codes",
+			opt.Bits, pre.Hash.Bits())
+	}
+	return nil
+}
+
+// partitionByKeyUint32 routes 4-byte big-endian partition-id keys directly.
+func partitionByKeyUint32(key []byte, n int) int {
+	return int(binary.BigEndian.Uint32(key)) % n
+}

@@ -1,0 +1,209 @@
+// Package planner adds a cost-based access-path choice on top of the
+// HA-Index, in the spirit of the paper's Section 4.7 cost analysis: the
+// index's search cost is bounded by its nodes and edges and collapses
+// toward a scan when the threshold stops pruning, so a query engine should
+// not probe the index blindly. The planner estimates the Hamming-ball
+// selectivity from a pairwise-distance histogram, tracks the index's
+// measured per-threshold cost, and routes each query to the cheaper of
+// H-Search and the linear scan, re-probing periodically so it adapts when
+// the data or threshold regime changes.
+package planner
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/core"
+)
+
+// Strategy names an access path.
+type Strategy int
+
+const (
+	// UseIndex routes the query through H-Search.
+	UseIndex Strategy = iota
+	// UseScan routes the query through the linear scan.
+	UseScan
+)
+
+func (s Strategy) String() string {
+	if s == UseIndex {
+		return "ha-index"
+	}
+	return "scan"
+}
+
+// Plan describes one routing decision.
+type Plan struct {
+	Strategy Strategy
+	// EstimatedResults is the selectivity-based expected answer count.
+	EstimatedResults float64
+	// IndexCost is the tracked per-threshold index cost in distance
+	// computations (0 until first measured).
+	IndexCost float64
+	// ScanCost is the scan cost in distance computations (= n).
+	ScanCost float64
+	// Reason is a human-readable justification (EXPLAIN).
+	Reason string
+}
+
+// Planner owns the dataset's codes, its HA-Index, and the cost state.
+type Planner struct {
+	codes []bitvec.Code
+	ids   []int
+	idx   *core.DynamicIndex
+
+	n        int
+	bits     int
+	distHist []float64 // P(pairwise distance = d), sampled
+
+	// ewma[h] tracks the index's measured distance computations at
+	// threshold h; sinceProbe[h] counts scan-routed queries since the last
+	// index probe at h.
+	ewma       []float64
+	sinceProbe []int
+}
+
+// reprobeEvery forces an index probe after this many consecutive
+// scan-routed queries at one threshold, so the planner notices when the
+// index becomes competitive again.
+const reprobeEvery = 32
+
+// New builds a planner (and the underlying Dynamic HA-Index) over the
+// codes; ids default to positions.
+func New(codes []bitvec.Code, ids []int, opts core.Options, seed int64) *Planner {
+	if len(codes) == 0 {
+		panic("planner: empty dataset")
+	}
+	if ids == nil {
+		ids = make([]int, len(codes))
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	bits := codes[0].Len()
+	p := &Planner{
+		codes:      codes,
+		ids:        ids,
+		idx:        core.BuildDynamic(codes, ids, opts),
+		n:          len(codes),
+		bits:       bits,
+		ewma:       make([]float64, bits+1),
+		sinceProbe: make([]int, bits+1),
+	}
+	p.distHist = sampleDistanceHistogram(codes, seed)
+	return p
+}
+
+// sampleDistanceHistogram estimates P(dist = d) from random pairs.
+func sampleDistanceHistogram(codes []bitvec.Code, seed int64) []float64 {
+	bits := codes[0].Len()
+	hist := make([]float64, bits+1)
+	rng := rand.New(rand.NewSource(seed))
+	const pairs = 2000
+	for i := 0; i < pairs; i++ {
+		a := codes[rng.Intn(len(codes))]
+		b := codes[rng.Intn(len(codes))]
+		hist[a.Distance(b)]++
+	}
+	for d := range hist {
+		hist[d] /= pairs
+	}
+	return hist
+}
+
+// Selectivity returns the estimated fraction of tuples within distance h of
+// a data-distributed query.
+func (p *Planner) Selectivity(h int) float64 {
+	if h >= p.bits {
+		return 1
+	}
+	s := 0.0
+	for d := 0; d <= h; d++ {
+		s += p.distHist[d]
+	}
+	return s
+}
+
+// Plan decides the access path for threshold h without executing.
+func (p *Planner) Plan(h int) Plan {
+	if h < 0 {
+		h = 0
+	}
+	if h > p.bits {
+		h = p.bits
+	}
+	pl := Plan{
+		EstimatedResults: p.Selectivity(h) * float64(p.n),
+		ScanCost:         float64(p.n),
+		IndexCost:        p.ewma[h],
+	}
+	switch {
+	case p.ewma[h] == 0:
+		pl.Strategy = UseIndex
+		pl.Reason = "no measured index cost yet at this threshold; probing the HA-Index"
+	case p.sinceProbe[h] >= reprobeEvery:
+		pl.Strategy = UseIndex
+		pl.Reason = fmt.Sprintf("re-probing the HA-Index after %d scan-routed queries", p.sinceProbe[h])
+	case p.ewma[h] < float64(p.n):
+		pl.Strategy = UseIndex
+		pl.Reason = fmt.Sprintf("index cost %.0f < scan cost %d", p.ewma[h], p.n)
+	default:
+		pl.Strategy = UseScan
+		pl.Reason = fmt.Sprintf("index cost %.0f >= scan cost %d (threshold too loose to prune)", p.ewma[h], p.n)
+	}
+	return pl
+}
+
+// Select answers the Hamming-select through the planned path and returns
+// the plan that was used.
+func (p *Planner) Select(q bitvec.Code, h int) ([]int, Plan) {
+	pl := p.Plan(h)
+	if pl.Strategy == UseScan {
+		p.sinceProbe[h]++
+		var out []int
+		for i, c := range p.codes {
+			if _, ok := q.DistanceWithin(c, h); ok {
+				out = append(out, p.ids[i])
+			}
+		}
+		return out, pl
+	}
+	var stats core.SearchStats
+	out := p.idx.SearchInto(q, h, &stats)
+	p.observe(h, float64(stats.DistanceComputations))
+	return out, pl
+}
+
+// observe folds a measured index cost into the per-threshold EWMA.
+func (p *Planner) observe(h int, cost float64) {
+	p.sinceProbe[h] = 0
+	if p.ewma[h] == 0 {
+		p.ewma[h] = cost
+		return
+	}
+	const alpha = 0.25
+	p.ewma[h] = (1-alpha)*p.ewma[h] + alpha*cost
+}
+
+// Explain renders the decision for threshold h, EXPLAIN-style.
+func (p *Planner) Explain(h int) string {
+	pl := p.Plan(h)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hamming-select h=%d over %d tuples (%d-bit codes)\n", h, p.n, p.bits)
+	fmt.Fprintf(&b, "  estimated selectivity: %.4f (~%.0f results)\n", p.Selectivity(h), pl.EstimatedResults)
+	fmt.Fprintf(&b, "  scan cost:  %d distance computations\n", p.n)
+	if pl.IndexCost > 0 {
+		fmt.Fprintf(&b, "  index cost: %.0f distance computations (measured EWMA)\n", pl.IndexCost)
+	} else {
+		fmt.Fprintf(&b, "  index cost: unmeasured (V=%d, E=%d bound)\n", p.idx.NodeCount(), p.idx.EdgeCount())
+	}
+	fmt.Fprintf(&b, "  -> %s: %s\n", pl.Strategy, pl.Reason)
+	return b.String()
+}
+
+// Index exposes the underlying HA-Index (e.g. for updates; the planner's
+// cost state adapts automatically as measurements change).
+func (p *Planner) Index() *core.DynamicIndex { return p.idx }

@@ -1,0 +1,157 @@
+package planner
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/core"
+)
+
+func clustered(rng *rand.Rand, n, bits, clusters, flips int) []bitvec.Code {
+	out := make([]bitvec.Code, 0, n)
+	for len(out) < n {
+		center := bitvec.Rand(rng, bits)
+		for i := 0; i < n/clusters+1 && len(out) < n; i++ {
+			c := center.Clone()
+			for f := 0; f < flips; f++ {
+				c.FlipBit(rng.Intn(bits))
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func equalIDs(a, b []int) bool {
+	sort.Ints(a)
+	sort.Ints(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCorrectEitherPath: whatever path the planner picks, results match the
+// oracle.
+func TestCorrectEitherPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	codes := clustered(rng, 1000, 32, 8, 3)
+	p := New(codes, nil, core.Options{}, 1)
+	for trial := 0; trial < 40; trial++ {
+		q := codes[rng.Intn(len(codes))].Clone()
+		q.FlipBit(rng.Intn(32))
+		h := []int{1, 3, 8, 16, 31}[trial%5]
+		got, _ := p.Select(q, h)
+		var want []int
+		for i, c := range codes {
+			if q.Distance(c) <= h {
+				want = append(want, i)
+			}
+		}
+		if !equalIDs(got, want) {
+			t.Fatalf("h=%d mismatch", h)
+		}
+	}
+}
+
+// TestRegimeSwitch: tight thresholds stay on the index; loose thresholds
+// converge to the scan.
+func TestRegimeSwitch(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	codes := clustered(rng, 3000, 32, 12, 3)
+	p := New(codes, nil, core.Options{}, 1)
+	q := codes[0]
+	// Warm both thresholds.
+	for i := 0; i < 5; i++ {
+		p.Select(q, 2)
+		p.Select(q, 30)
+	}
+	if pl := p.Plan(2); pl.Strategy != UseIndex {
+		t.Errorf("tight threshold should use the index: %+v", pl)
+	}
+	if pl := p.Plan(30); pl.Strategy != UseScan {
+		t.Errorf("loose threshold should use the scan: %+v", pl)
+	}
+}
+
+// TestReprobe: after enough scan-routed queries the planner probes the
+// index again.
+func TestReprobe(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	codes := clustered(rng, 800, 32, 6, 3)
+	p := New(codes, nil, core.Options{}, 1)
+	h := 30
+	p.Select(codes[0], h) // measure once: expensive -> scan from now on
+	if p.Plan(h).Strategy != UseScan {
+		t.Skip("index unexpectedly cheap at loose threshold")
+	}
+	probes := 0
+	for i := 0; i < 3*reprobeEvery+3; i++ {
+		pl := p.Plan(h)
+		if pl.Strategy == UseIndex {
+			probes++
+		}
+		p.Select(codes[i%len(codes)], h)
+	}
+	if probes == 0 {
+		t.Fatal("planner never re-probed the index")
+	}
+}
+
+func TestSelectivityMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	codes := clustered(rng, 500, 24, 4, 2)
+	p := New(codes, nil, core.Options{}, 1)
+	prev := 0.0
+	for h := 0; h <= 24; h++ {
+		s := p.Selectivity(h)
+		if s < prev-1e-12 {
+			t.Fatalf("selectivity not monotone at h=%d", h)
+		}
+		prev = s
+	}
+	if p.Selectivity(24) < 0.999 {
+		t.Fatalf("selectivity at h=L should be ~1, got %v", p.Selectivity(24))
+	}
+	// Self-distance mass makes tiny-h selectivity nonzero on clustered data.
+	if p.Selectivity(4) <= 0 {
+		t.Fatal("clustered data should have nonzero tight selectivity")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	codes := clustered(rng, 300, 32, 4, 2)
+	p := New(codes, nil, core.Options{}, 1)
+	out := p.Explain(3)
+	for _, want := range []string{"h=3", "scan cost", "index cost", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	p.Select(codes[0], 3)
+	out = p.Explain(3)
+	if !strings.Contains(out, "measured EWMA") {
+		t.Errorf("explain after probe should show measured cost:\n%s", out)
+	}
+}
+
+func TestPlanBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(206))
+	codes := clustered(rng, 100, 16, 2, 1)
+	p := New(codes, nil, core.Options{}, 1)
+	if pl := p.Plan(-5); pl.Strategy != UseIndex {
+		t.Error("negative h should clamp and plan")
+	}
+	if pl := p.Plan(99); pl.EstimatedResults < float64(len(codes))-1 {
+		t.Error("h > L should estimate full selectivity")
+	}
+}

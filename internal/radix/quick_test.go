@@ -1,0 +1,54 @@
+package radix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"haindex/internal/bitvec"
+)
+
+// Property: the trie equals the oracle for arbitrary seeds, sizes, and
+// thresholds.
+func TestQuickOracleEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(150)
+		bits := 4 + rng.Intn(60)
+		codes := make([]bitvec.Code, n)
+		for i := range codes {
+			codes[i] = bitvec.Rand(rng, bits)
+		}
+		tr := Build(codes, nil)
+		q := bitvec.Rand(rng, bits)
+		h := rng.Intn(bits)
+		return equalIDs(tr.Search(q, h), oracle(codes, q, h))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: insert then delete restores the previous answer set.
+func TestQuickInsertDeleteInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(80)
+		codes := make([]bitvec.Code, n)
+		for i := range codes {
+			codes[i] = bitvec.Rand(rng, 24)
+		}
+		tr := Build(codes, nil)
+		q := bitvec.Rand(rng, 24)
+		before := tr.Search(q, 3)
+		extra := bitvec.Rand(rng, 24)
+		tr.Insert(999, extra)
+		if !tr.Delete(999, extra) {
+			return false
+		}
+		return equalIDs(tr.Search(q, 3), before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package radix implements the Radix-Tree (PATRICIA trie) approach of
+// Section 4.2: binary codes are stored in a path-compressed binary trie, and
+// a Hamming range query walks the trie top-down accumulating the distance
+// between the query and each compressed edge label, pruning a whole subtree
+// as soon as the accumulated prefix distance exceeds the threshold (the
+// Hamming downward-closure property, Proposition 1, applied to prefixes).
+//
+// The structure is prefix-sensitive: codes differing in an early bit are
+// split into distant branches even when their suffixes agree, which is the
+// redundancy the HA-Index removes.
+package radix
+
+import (
+	"fmt"
+
+	"haindex/internal/bitvec"
+)
+
+// Tree is a Hamming-searchable PATRICIA trie over fixed-length binary codes.
+type Tree struct {
+	root   *node
+	length int
+	n      int
+	// Stats counts work done by the most recent Search.
+	Stats Stats
+}
+
+// Stats reports the per-query work of the trie search.
+type Stats struct {
+	NodesVisited int
+	BitsCompared int
+}
+
+type node struct {
+	// edge is the compressed label on the edge from the parent, expressed as
+	// the absolute bit range [from, from+width) of the full code together
+	// with the label bits (stored left-aligned in a width-bit code).
+	from, width int
+	edge        bitvec.Code
+	children    [2]*node
+	ids         []int // non-empty at leaves (depth == code length)
+}
+
+// New returns an empty tree over codes of the given bit length.
+func New(length int) *Tree {
+	if length <= 0 {
+		panic(fmt.Sprintf("radix: invalid code length %d", length))
+	}
+	return &Tree{root: &node{}, length: length}
+}
+
+// Build returns a tree over the codes with their tuple ids (positions if ids
+// is nil).
+func Build(codes []bitvec.Code, ids []int) *Tree {
+	if len(codes) == 0 {
+		panic("radix: empty dataset")
+	}
+	t := New(codes[0].Len())
+	for i, c := range codes {
+		id := i
+		if ids != nil {
+			id = ids[i]
+		}
+		t.Insert(id, c)
+	}
+	return t
+}
+
+// Len returns the number of stored tuples.
+func (t *Tree) Len() int { return t.n }
+
+// Insert adds a tuple id under the code.
+func (t *Tree) Insert(id int, c bitvec.Code) {
+	if c.Len() != t.length {
+		panic(fmt.Sprintf("radix: inserting %d-bit code into %d-bit tree", c.Len(), t.length))
+	}
+	t.n++
+	cur := t.root
+	depth := 0
+	for depth < t.length {
+		b := 0
+		if c.Bit(depth) {
+			b = 1
+		}
+		child := cur.children[b]
+		if child == nil {
+			// Attach the whole remaining suffix as one compressed edge.
+			leaf := &node{from: depth, width: t.length - depth, edge: c.Segment(depth, t.length-depth), ids: []int{id}}
+			cur.children[b] = leaf
+			return
+		}
+		// Match against the child's edge label.
+		m := matchLen(c, depth, child.edge)
+		if m == child.width {
+			cur = child
+			depth += m
+			continue
+		}
+		// Split the edge at the first mismatch.
+		split := &node{from: child.from, width: m, edge: child.edge.Segment(0, m)}
+		child.from += m
+		child.edge = child.edge.Segment(m, child.width-m)
+		child.width -= m
+		cb := 0
+		if child.edge.Bit(0) {
+			cb = 1
+		}
+		split.children[cb] = child
+		cur.children[b] = split
+		cur = split
+		depth += m
+	}
+	// depth == length: exact code already present at cur.
+	cur.ids = append(cur.ids, id)
+}
+
+// matchLen returns how many leading bits of edge agree with c starting at
+// absolute position from.
+func matchLen(c bitvec.Code, from int, edge bitvec.Code) int {
+	m := 0
+	for m < edge.Len() && c.Bit(from+m) == edge.Bit(m) {
+		m++
+	}
+	return m
+}
+
+// Delete removes one occurrence of id under the code. It reports whether the
+// tuple was found. Structural merging of underfull nodes is not performed;
+// empty leaves are detached.
+func (t *Tree) Delete(id int, c bitvec.Code) bool {
+	var walk func(n *node, depth int) (removed, empty bool)
+	walk = func(n *node, depth int) (bool, bool) {
+		if depth == t.length {
+			for i, x := range n.ids {
+				if x == id {
+					n.ids = append(n.ids[:i], n.ids[i+1:]...)
+					t.n--
+					return true, len(n.ids) == 0
+				}
+			}
+			return false, false
+		}
+		b := 0
+		if c.Bit(depth) {
+			b = 1
+		}
+		child := n.children[b]
+		if child == nil || matchLen(c, depth, child.edge) != child.width {
+			return false, false
+		}
+		removed, empty := walk(child, depth+child.width)
+		if empty {
+			n.children[b] = nil
+		}
+		return removed, n.children[0] == nil && n.children[1] == nil && len(n.ids) == 0
+	}
+	removed, _ := walk(t.root, 0)
+	return removed
+}
+
+// Search returns the ids of all codes within Hamming distance h of q,
+// pruning subtrees whose prefix distance already exceeds h.
+func (t *Tree) Search(q bitvec.Code, h int) []int {
+	if q.Len() != t.length {
+		panic(fmt.Sprintf("radix: searching %d-bit query in %d-bit tree", q.Len(), t.length))
+	}
+	t.Stats = Stats{}
+	var out []int
+	var walk func(n *node, depth, dist int)
+	walk = func(n *node, depth, dist int) {
+		t.Stats.NodesVisited++
+		if depth == t.length {
+			out = append(out, n.ids...)
+			return
+		}
+		for b := 0; b < 2; b++ {
+			child := n.children[b]
+			if child == nil {
+				continue
+			}
+			d := dist + t.edgeDistance(q, child)
+			if d <= h {
+				walk(child, depth+child.width, d)
+			}
+		}
+	}
+	walk(t.root, 0, 0)
+	return out
+}
+
+// edgeDistance counts differing bits between the query and the child's edge
+// label over the edge's absolute bit range.
+func (t *Tree) edgeDistance(q bitvec.Code, n *node) int {
+	d := 0
+	for i := 0; i < n.width; i++ {
+		t.Stats.BitsCompared++
+		if q.Bit(n.from+i) != n.edge.Bit(i) {
+			d++
+		}
+	}
+	return d
+}
+
+// SizeBytes returns the approximate in-memory footprint of the trie.
+func (t *Tree) SizeBytes() int {
+	sz := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		sz += 48 + n.edge.SizeBytes() + 8*len(n.ids)
+		for _, c := range n.children {
+			if c != nil {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return sz
+}

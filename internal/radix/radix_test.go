@@ -1,0 +1,186 @@
+package radix
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"haindex/internal/bitvec"
+)
+
+func oracle(codes []bitvec.Code, q bitvec.Code, h int) []int {
+	var out []int
+	for i, c := range codes {
+		if q.Distance(c) <= h {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func equalIDs(a, b []int) bool {
+	sort.Ints(a)
+	sort.Ints(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPaperExample(t *testing.T) {
+	// Table 2a + Example 1: query "101100010", h=3 selects {t0,t3,t4,t6}.
+	codes := []bitvec.Code{
+		bitvec.MustFromString("001001010"),
+		bitvec.MustFromString("001011101"),
+		bitvec.MustFromString("011001100"),
+		bitvec.MustFromString("101001010"),
+		bitvec.MustFromString("101110110"),
+		bitvec.MustFromString("101011101"),
+		bitvec.MustFromString("101101010"),
+		bitvec.MustFromString("111001100"),
+	}
+	tr := Build(codes, nil)
+	got := tr.Search(bitvec.MustFromString("101100010"), 3)
+	if !equalIDs(got, []int{0, 3, 4, 6}) {
+		t.Errorf("paper example: got %v want [0 3 4 6]", got)
+	}
+}
+
+func TestAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 8; trial++ {
+		n := 1 + rng.Intn(300)
+		bitsLen := []int{8, 16, 32, 64, 100}[trial%5]
+		codes := make([]bitvec.Code, n)
+		for i := range codes {
+			codes[i] = bitvec.Rand(rng, bitsLen)
+		}
+		tr := Build(codes, nil)
+		if tr.Len() != n {
+			t.Fatalf("Len = %d want %d", tr.Len(), n)
+		}
+		for q := 0; q < 25; q++ {
+			query := codes[rng.Intn(n)].Clone()
+			for f := 0; f < rng.Intn(5); f++ {
+				query.FlipBit(rng.Intn(bitsLen))
+			}
+			h := rng.Intn(6)
+			if !equalIDs(tr.Search(query, h), oracle(codes, query, h)) {
+				t.Fatalf("trial %d mismatch", trial)
+			}
+		}
+	}
+}
+
+func TestDuplicateCodes(t *testing.T) {
+	c := bitvec.MustFromString("1010")
+	tr := New(4)
+	tr.Insert(1, c)
+	tr.Insert(2, c)
+	tr.Insert(3, bitvec.MustFromString("0101"))
+	got := tr.Search(c, 0)
+	if !equalIDs(got, []int{1, 2}) {
+		t.Errorf("got %v", got)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("len = %d", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	codes := make([]bitvec.Code, 100)
+	for i := range codes {
+		codes[i] = bitvec.Rand(rng, 24)
+	}
+	tr := Build(codes, nil)
+	for i := 0; i < 50; i++ {
+		if !tr.Delete(i, codes[i]) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	// Remaining half still searchable and deleted half gone.
+	for i := 0; i < 100; i++ {
+		got := tr.Search(codes[i], 0)
+		found := false
+		for _, id := range got {
+			if id == i {
+				found = true
+			}
+		}
+		if i < 50 && found {
+			t.Fatalf("deleted %d still present", i)
+		}
+		if i >= 50 && !found {
+			t.Fatalf("surviving %d missing", i)
+		}
+	}
+	if tr.Delete(7, codes[7]) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Delete(51, bitvec.Rand(rng, 24)) {
+		t.Fatal("deleting absent code succeeded")
+	}
+}
+
+// TestPrefixPruning verifies the Radix-Tree's selling point: when no code
+// shares a prefix with the query within the budget, the search touches few
+// nodes.
+func TestPrefixPruning(t *testing.T) {
+	// All codes start with 1111; query starts 0000 with h=2 → everything
+	// pruned at the top.
+	var codes []bitvec.Code
+	rng := rand.New(rand.NewSource(63))
+	for i := 0; i < 200; i++ {
+		c := bitvec.Rand(rng, 32)
+		for j := 0; j < 4; j++ {
+			c.SetBit(j, true)
+		}
+		codes = append(codes, c)
+	}
+	tr := Build(codes, nil)
+	q := bitvec.New(32) // all zeros
+	got := tr.Search(q, 2)
+	if len(got) != 0 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if tr.Stats.NodesVisited > 10 {
+		t.Errorf("pruning ineffective: visited %d nodes", tr.Stats.NodesVisited)
+	}
+}
+
+func TestInsertSplitsEdges(t *testing.T) {
+	tr := New(8)
+	tr.Insert(0, bitvec.MustFromString("11110000"))
+	tr.Insert(1, bitvec.MustFromString("11111111"))
+	tr.Insert(2, bitvec.MustFromString("11000000"))
+	for i, s := range []string{"11110000", "11111111", "11000000"} {
+		got := tr.Search(bitvec.MustFromString(s), 0)
+		if !equalIDs(got, []int{i}) {
+			t.Fatalf("exact search %s = %v", s, got)
+		}
+	}
+	if got := tr.Search(bitvec.MustFromString("11110000"), 4); !equalIDs(got, []int{0, 1, 2}) {
+		t.Fatalf("h=4 got %v", got)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	codes := make([]bitvec.Code, 50)
+	for i := range codes {
+		codes[i] = bitvec.Rand(rng, 32)
+	}
+	tr := Build(codes, nil)
+	if tr.SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+}

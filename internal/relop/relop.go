@@ -1,0 +1,95 @@
+// Package relop implements Hamming-distance-aware relational operators —
+// the direction the paper's concluding remarks point to (Section 7, citing
+// the similarity-aware relational intersect operator of Marri et al.,
+// SISAP'14). All operators take an HA-Index (or any Hamming searcher) over
+// one side and stream the other side through it, so their cost profile is
+// the Hamming-select's rather than a quadratic scan's.
+//
+// Semantics over datasets R and S with threshold h:
+//
+//   - SemiJoin:   tuples of R with at least one S tuple within h
+//     (similarity EXISTS — the probe side of the intersect operator).
+//   - AntiJoin:   tuples of R with no S tuple within h (similarity NOT
+//     EXISTS — similarity set difference).
+//   - Intersect:  distinct R codes that also appear in S within h, paired
+//     with their witnesses' counts (the similarity-aware intersection).
+//   - Subsumes:   whether every S tuple has an R tuple within h
+//     (similarity division / containment check).
+package relop
+
+import (
+	"haindex/internal/bitvec"
+)
+
+// Searcher is the Hamming range-query contract the operators run on.
+type Searcher interface {
+	Search(q bitvec.Code, h int) []int
+}
+
+// SemiJoin returns the indexes i of probe[i] that have at least one indexed
+// tuple within Hamming distance h.
+func SemiJoin(idx Searcher, probe []bitvec.Code, h int) []int {
+	var out []int
+	for i, c := range probe {
+		if len(idx.Search(c, h)) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AntiJoin returns the indexes i of probe[i] that have no indexed tuple
+// within Hamming distance h.
+func AntiJoin(idx Searcher, probe []bitvec.Code, h int) []int {
+	var out []int
+	for i, c := range probe {
+		if len(idx.Search(c, h)) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IntersectRow is one result of the similarity intersection: a probe-side
+// code together with how many indexed tuples witness it.
+type IntersectRow struct {
+	Code      bitvec.Code
+	ProbeIDs  []int // probe positions sharing this code
+	Witnesses int   // indexed tuples within h
+}
+
+// Intersect computes the similarity-aware intersection: the distinct probe
+// codes having at least one indexed tuple within Hamming distance h. Rows
+// are returned in first-appearance order of the code in probe.
+func Intersect(idx Searcher, probe []bitvec.Code, h int) []IntersectRow {
+	byCode := make(map[string]int)
+	var rows []IntersectRow
+	for i, c := range probe {
+		key := c.Key()
+		if at, seen := byCode[key]; seen {
+			if at >= 0 {
+				rows[at].ProbeIDs = append(rows[at].ProbeIDs, i)
+			}
+			continue
+		}
+		w := len(idx.Search(c, h))
+		if w == 0 {
+			byCode[key] = -1
+			continue
+		}
+		byCode[key] = len(rows)
+		rows = append(rows, IntersectRow{Code: c, ProbeIDs: []int{i}, Witnesses: w})
+	}
+	return rows
+}
+
+// Subsumes reports whether every probe tuple has an indexed tuple within
+// Hamming distance h — the similarity containment check.
+func Subsumes(idx Searcher, probe []bitvec.Code, h int) bool {
+	for _, c := range probe {
+		if len(idx.Search(c, h)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,45 @@
+package tanimoto
+
+import (
+	"math/rand"
+	"testing"
+
+	"haindex/internal/core"
+)
+
+func BenchmarkTanimotoSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	prints := sparseFingerprints(rng, 20000, 1024, 50)
+	idx, err := New(prints, nil, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, t := range []float64{0.95, 0.7} {
+		b.Run(bname(t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.Search(prints[i%len(prints)], t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func bname(t float64) string {
+	if t > 0.9 {
+		return "t=0.95"
+	}
+	return "t=0.70"
+}
+
+func BenchmarkTanimotoScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	prints := sparseFingerprints(rng, 20000, 1024, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := prints[i%len(prints)]
+		for _, p := range prints {
+			Similarity(q, p)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package vector provides dense d-dimensional vectors and the small pieces
+// of numerical linear algebra (mean, covariance, symmetric eigen-
+// decomposition) that the learned similarity hash functions and the exact
+// kNN baselines are built on.
+package vector
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense d-dimensional point.
+type Vec []float64
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dot returns the inner product of v and w. It panics on dimension mismatch.
+func (v Vec) Dot(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("vector: dot of %d-d and %d-d vectors", len(v), len(w)))
+	}
+	s := 0.0
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Sub returns v - w as a new vector.
+func (v Vec) Sub(w Vec) Vec {
+	out := make(Vec, len(v))
+	for i, x := range v {
+		out[i] = x - w[i]
+	}
+	return out
+}
+
+// Add accumulates w into v in place.
+func (v Vec) Add(w Vec) {
+	for i, x := range w {
+		v[i] += x
+	}
+}
+
+// Scale multiplies v by s in place.
+func (v Vec) Scale(s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vec) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec) Dist(w Vec) float64 {
+	s := 0.0
+	for i, x := range v {
+		d := x - w[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Dist2 returns the squared Euclidean distance between v and w; cheaper when
+// only comparisons are needed.
+func (v Vec) Dist2(w Vec) float64 {
+	s := 0.0
+	for i, x := range v {
+		d := x - w[i]
+		s += d * d
+	}
+	return s
+}
+
+// Mean returns the componentwise mean of the rows. It panics if rows is
+// empty.
+func Mean(rows []Vec) Vec {
+	if len(rows) == 0 {
+		panic("vector: mean of empty set")
+	}
+	d := len(rows[0])
+	m := make(Vec, d)
+	for _, r := range rows {
+		m.Add(r)
+	}
+	m.Scale(1 / float64(len(rows)))
+	return m
+}
+
+// Covariance returns the d×d sample covariance matrix of the rows around
+// their mean, as a dense row-major matrix.
+func Covariance(rows []Vec) *Mat {
+	n := len(rows)
+	if n < 2 {
+		panic("vector: covariance needs at least 2 rows")
+	}
+	d := len(rows[0])
+	mean := Mean(rows)
+	cov := NewMat(d, d)
+	for _, r := range rows {
+		c := r.Sub(mean)
+		for i := 0; i < d; i++ {
+			ci := c[i]
+			if ci == 0 {
+				continue
+			}
+			row := cov.Row(i)
+			for j := i; j < d; j++ {
+				row[j] += ci * c[j]
+			}
+		}
+	}
+	inv := 1 / float64(n-1)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			v := cov.At(i, j) * inv
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	return cov
+}
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat returns a zeroed r×c matrix.
+func NewMat(r, c int) *Mat {
+	return &Mat{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a mutable slice aliasing the matrix storage.
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Col returns column j as a fresh vector.
+func (m *Mat) Col(j int) Vec {
+	out := make(Vec, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// MulVec returns m·v.
+func (m *Mat) MulVec(v Vec) Vec {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("vector: %dx%d matrix times %d-d vector", m.Rows, m.Cols, len(v)))
+	}
+	out := make(Vec, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Vec(m.Row(i)).Dot(v)
+	}
+	return out
+}
+
+// EigenSym computes the eigen-decomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns eigenvalues in descending order and the
+// corresponding orthonormal eigenvectors as the columns of the returned
+// matrix. The input is not modified.
+func EigenSym(a *Mat, maxSweeps int) (vals Vec, vecs *Mat) {
+	n := a.Rows
+	if n != a.Cols {
+		panic("vector: EigenSym of non-square matrix")
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 64
+	}
+	// Work on a copy.
+	w := NewMat(n, n)
+	copy(w.Data, a.Data)
+	v := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const eps = 1e-20
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < eps {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < eps {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+	vals = make(Vec, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if vals[order[j]] > vals[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	sortedVals := make(Vec, n)
+	sortedVecs := NewMat(n, n)
+	for k, idx := range order {
+		sortedVals[k] = vals[idx]
+		for i := 0; i < n; i++ {
+			sortedVecs.Set(i, k, v.At(i, idx))
+		}
+	}
+	return sortedVals, sortedVecs
+}
+
+// rotate applies a Jacobi rotation in the (p, q) plane to w and accumulates
+// it into the eigenvector matrix v.
+func rotate(w, v *Mat, p, q int, c, s float64) {
+	n := w.Rows
+	for i := 0; i < n; i++ {
+		wip, wiq := w.At(i, p), w.At(i, q)
+		w.Set(i, p, c*wip-s*wiq)
+		w.Set(i, q, s*wip+c*wiq)
+	}
+	for j := 0; j < n; j++ {
+		wpj, wqj := w.At(p, j), w.At(q, j)
+		w.Set(p, j, c*wpj-s*wqj)
+		w.Set(q, j, s*wpj+c*wqj)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+// PCA computes the top-k principal directions of the rows. It returns the
+// data mean and a k×d projection matrix whose rows are the orthonormal
+// principal directions with largest variance.
+func PCA(rows []Vec, k int) (mean Vec, proj *Mat) {
+	d := len(rows[0])
+	if k > d {
+		k = d
+	}
+	cov := Covariance(rows)
+	_, vecs := EigenSym(cov, 0)
+	mean = Mean(rows)
+	proj = NewMat(k, d)
+	for r := 0; r < k; r++ {
+		col := vecs.Col(r)
+		copy(proj.Row(r), col)
+	}
+	return mean, proj
+}

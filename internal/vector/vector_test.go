@@ -1,0 +1,198 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotSubNorm(t *testing.T) {
+	a := Vec{1, 2, 3}
+	b := Vec{4, 5, 6}
+	if got := a.Dot(b); got != 32 {
+		t.Errorf("dot = %v", got)
+	}
+	if got := a.Sub(b); got[0] != -3 || got[1] != -3 || got[2] != -3 {
+		t.Errorf("sub = %v", got)
+	}
+	if got := (Vec{3, 4}).Norm(); got != 5 {
+		t.Errorf("norm = %v", got)
+	}
+	if got := a.Dist(b); math.Abs(got-math.Sqrt(27)) > 1e-12 {
+		t.Errorf("dist = %v", got)
+	}
+	if got := a.Dist2(b); got != 27 {
+		t.Errorf("dist2 = %v", got)
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(20)
+		a, b, c := randVec(rng, d), randVec(rng, d), randVec(rng, d)
+		if math.Abs(a.Dist(b)-b.Dist(a)) > 1e-9 {
+			return false
+		}
+		if a.Dist(a) > 1e-12 {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randVec(rng *rand.Rand, d int) Vec {
+	v := make(Vec, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestMeanCovariance(t *testing.T) {
+	rows := []Vec{{1, 2}, {3, 4}, {5, 6}}
+	m := Mean(rows)
+	if m[0] != 3 || m[1] != 4 {
+		t.Fatalf("mean = %v", m)
+	}
+	cov := Covariance(rows)
+	// Var of {1,3,5} = 4; covariance with {2,4,6} also 4.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(cov.At(i, j)-4) > 1e-12 {
+				t.Fatalf("cov(%d,%d) = %v", i, j, cov.At(i, j))
+			}
+		}
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := NewMat(3, 3)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 5)
+	a.Set(2, 2, 3)
+	vals, vecs := EigenSym(a, 0)
+	want := []float64{5, 3, 1}
+	for i, w := range want {
+		if math.Abs(vals[i]-w) > 1e-9 {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	// Eigenvector columns should be signed basis vectors.
+	for k, dim := range []int{1, 2, 0} {
+		col := vecs.Col(k)
+		if math.Abs(math.Abs(col[dim])-1) > 1e-9 {
+			t.Fatalf("vec %d = %v", k, col)
+		}
+	}
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		a := NewMat(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs := EigenSym(a, 0)
+		// Check A v_k = λ_k v_k and orthonormality.
+		for k := 0; k < n; k++ {
+			v := vecs.Col(k)
+			av := a.MulVec(v)
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-vals[k]*v[i]) > 1e-7 {
+					t.Fatalf("A v != λ v at trial %d k=%d i=%d: %v vs %v", trial, k, i, av[i], vals[k]*v[i])
+				}
+			}
+			for l := 0; l < n; l++ {
+				dot := v.Dot(vecs.Col(l))
+				want := 0.0
+				if l == k {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-7 {
+					t.Fatalf("not orthonormal: <v%d,v%d>=%v", k, l, dot)
+				}
+			}
+		}
+		// Eigenvalues descending.
+		for k := 1; k < n; k++ {
+			if vals[k] > vals[k-1]+1e-9 {
+				t.Fatalf("vals not sorted: %v", vals)
+			}
+		}
+	}
+}
+
+func TestTopKMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(5)
+		// Build a PSD matrix B Bᵀ.
+		b := NewMat(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a := NewMat(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += b.At(i, k) * b.At(j, k)
+				}
+				a.Set(i, j, s)
+			}
+		}
+		jvals, _ := EigenSym(a, 0)
+		k := 2
+		pvals, pvecs := TopKEigenSym(a, k, 500)
+		for i := 0; i < k; i++ {
+			rel := math.Abs(pvals[i]-jvals[i]) / math.Max(1e-9, math.Abs(jvals[i]))
+			if rel > 1e-3 {
+				t.Fatalf("trial %d eigenvalue %d: power=%v jacobi=%v", trial, i, pvals[i], jvals[i])
+			}
+			v := Vec(pvecs.Row(i))
+			if math.Abs(v.Norm()-1) > 1e-6 {
+				t.Fatalf("eigenvector %d not unit", i)
+			}
+		}
+	}
+}
+
+func TestPCAVariance(t *testing.T) {
+	// Data stretched along one axis: PCA's first direction should align
+	// with it.
+	rng := rand.New(rand.NewSource(33))
+	rows := make([]Vec, 500)
+	for i := range rows {
+		rows[i] = Vec{rng.NormFloat64() * 10, rng.NormFloat64(), rng.NormFloat64() * 0.1}
+	}
+	_, proj := PCA(rows, 2)
+	first := Vec(proj.Row(0))
+	if math.Abs(math.Abs(first[0])-1) > 0.05 {
+		t.Errorf("first PC should align with axis 0: %v", first)
+	}
+	_, projP := PCATopK(rows, 2, 200)
+	firstP := Vec(projP.Row(0))
+	if math.Abs(math.Abs(firstP[0])-1) > 0.05 {
+		t.Errorf("power-iteration first PC should align with axis 0: %v", firstP)
+	}
+}
+
+func TestMatMulVec(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	got := m.MulVec(Vec{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Errorf("mulvec = %v", got)
+	}
+}

@@ -1,0 +1,64 @@
+// Package zorder implements Z-order (Morton) interleaving of quantized
+// coordinates, the space-filling-curve substrate of the LSB-Tree baseline:
+// LSH projections of a point are quantized to u bits each and bit-interleaved
+// into a single key whose B-tree order approximates spatial proximity.
+package zorder
+
+import "fmt"
+
+// Interleave packs the low `bits` bits of each coordinate into one uint64
+// key by bit interleaving, most significant bits first, cycling over
+// dimensions. It panics when bits*len(coords) exceeds 64.
+func Interleave(coords []uint32, bits int) uint64 {
+	m := len(coords)
+	if m == 0 || bits <= 0 || bits > 32 {
+		panic(fmt.Sprintf("zorder: invalid interleave m=%d bits=%d", m, bits))
+	}
+	if m*bits > 64 {
+		panic(fmt.Sprintf("zorder: %d dims × %d bits exceeds 64", m, bits))
+	}
+	var z uint64
+	for b := bits - 1; b >= 0; b-- {
+		for _, c := range coords {
+			z = z<<1 | uint64(c>>uint(b)&1)
+		}
+	}
+	return z
+}
+
+// Deinterleave is the inverse of Interleave for m coordinates of the given
+// bit width.
+func Deinterleave(z uint64, m, bits int) []uint32 {
+	if m == 0 || bits <= 0 || m*bits > 64 {
+		panic(fmt.Sprintf("zorder: invalid deinterleave m=%d bits=%d", m, bits))
+	}
+	out := make([]uint32, m)
+	for b := bits - 1; b >= 0; b-- {
+		for d := 0; d < m; d++ {
+			shift := uint(b*m + (m - 1 - d))
+			out[d] |= uint32(z>>shift&1) << uint(b)
+		}
+	}
+	return out
+}
+
+// Quantize maps x in [lo, hi] to a bits-bit integer grid cell; values outside
+// the range clamp to the boundary cells.
+func Quantize(x, lo, hi float64, bits int) uint32 {
+	cells := uint32(1) << uint(bits)
+	if hi <= lo {
+		return 0
+	}
+	f := (x - lo) / (hi - lo)
+	if f <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return cells - 1
+	}
+	q := uint32(f * float64(cells))
+	if q >= cells {
+		q = cells - 1
+	}
+	return q
+}

@@ -1,0 +1,100 @@
+package zorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleaveSmall(t *testing.T) {
+	// 2 dims × 2 bits: x=0b10, y=0b01 -> bits x1 y1 x0 y0 = 1 0 0 1.
+	z := Interleave([]uint32{0b10, 0b01}, 2)
+	if z != 0b1001 {
+		t.Fatalf("z=%b", z)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(8)
+		bits := 1 + rng.Intn(64/m)
+		if bits > 32 {
+			bits = 32
+		}
+		coords := make([]uint32, m)
+		for i := range coords {
+			coords[i] = rng.Uint32() & (1<<uint(bits) - 1)
+		}
+		back := Deinterleave(Interleave(coords, bits), m, bits)
+		for i := range coords {
+			if back[i] != coords[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonotone: along a single dimension with the others fixed, z-values are
+// increasing.
+func TestMonotone(t *testing.T) {
+	prev := uint64(0)
+	for x := uint32(0); x < 16; x++ {
+		z := Interleave([]uint32{x, 5}, 4)
+		if x > 0 && z <= prev {
+			t.Fatalf("not monotone at x=%d", x)
+		}
+		prev = z
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	if Quantize(0, 0, 1, 4) != 0 {
+		t.Error("lo should map to 0")
+	}
+	if got := Quantize(1, 0, 1, 4); got != 15 {
+		t.Errorf("hi -> %d want 15", got)
+	}
+	if got := Quantize(0.5, 0, 1, 4); got != 8 {
+		t.Errorf("mid -> %d want 8", got)
+	}
+	if Quantize(-5, 0, 1, 4) != 0 || Quantize(7, 0, 1, 4) != 15 {
+		t.Error("out-of-range values must clamp")
+	}
+	if Quantize(3, 5, 5, 4) != 0 {
+		t.Error("degenerate range maps to 0")
+	}
+	// Monotonicity over the range.
+	prev := uint32(0)
+	for i := 0; i <= 100; i++ {
+		q := Quantize(float64(i)/100, 0, 1, 6)
+		if q < prev {
+			t.Fatalf("quantize not monotone at %d", i)
+		}
+		prev = q
+	}
+}
+
+func TestInterleavePanics(t *testing.T) {
+	cases := []func(){
+		func() { Interleave(nil, 4) },
+		func() { Interleave(make([]uint32, 3), 33) },
+		func() { Interleave(make([]uint32, 9), 8) }, // 72 bits
+		func() { Deinterleave(0, 0, 4) },
+		func() { Deinterleave(0, 9, 8) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
