@@ -1,8 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race bench vet fuzz experiments examples clean
+.PHONY: all check build test race test-race bench vet fuzz experiments examples clean
 
 all: build vet test
+
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -15,6 +17,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Race-detector pass over the packages with real concurrency: the MapReduce
+# runtime (retries, speculation), its consumers, and the parallel builders.
+test-race:
+	$(GO) test -race ./internal/mapreduce ./internal/core ./internal/mrjoin ./internal/dfs
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

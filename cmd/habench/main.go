@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table4|fig6|fig7|fig8|fig9|fig10|table5|ablation|scaling|all")
+		exp    = flag.String("exp", "all", "experiment: table4|fig6|fig7|fig8|fig9|fig10|table5|ablation|scaling|faults|all")
 		quick  = flag.Bool("quick", false, "use the small smoke-test scale")
 		n      = flag.Int("n", 0, "override Hamming-select dataset size")
 		knnN   = flag.Int("knn-n", 0, "override kNN dataset size (Table 5)")
@@ -79,6 +79,7 @@ func main() {
 		{"fig10", bench.Fig10},
 		{"ablation", bench.Ablations},
 		{"scaling", bench.Scaling},
+		{"faults", bench.FaultSweep},
 	}
 	ran := false
 	for _, r := range runners {
@@ -95,7 +96,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fatalf("unknown experiment %q; want table4|fig6|fig7|fig8|fig9|fig10|table5|ablation|scaling|all", *exp)
+		fatalf("unknown experiment %q; want table4|fig6|fig7|fig8|fig9|fig10|table5|ablation|scaling|faults|all", *exp)
 	}
 }
 

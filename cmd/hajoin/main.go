@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"haindex/internal/dataset"
+	"haindex/internal/mapreduce"
 	"haindex/internal/mrjoin"
 )
 
@@ -32,6 +33,11 @@ func main() {
 		sample = flag.Float64("sample", 0.1, "preprocessing sample rate")
 		k      = flag.Int("k", 50, "k for the PGBJ kNN-join")
 		seed   = flag.Int64("seed", 1, "RNG seed")
+
+		failEvery = flag.Int("fail-every", 0, "inject a failure into the first attempt of every Nth map and reduce task (0 = none)")
+		straggle  = flag.Duration("straggle", 0, "stall map task 0 of every job by this duration (straggler injection)")
+		speculate = flag.Bool("speculate", false, "enable speculative execution of stragglers")
+		retries   = flag.Int("retries", 0, "per-task attempt budget (0 = Hadoop's default of 4)")
 	)
 	flag.Parse()
 	if *rPath == "" {
@@ -54,6 +60,20 @@ func main() {
 		SampleRate: *sample,
 		Threshold:  *h,
 		Seed:       *seed,
+		Retry:      mapreduce.RetryPolicy{MaxAttempts: *retries},
+	}
+	if *failEvery > 0 || *straggle > 0 {
+		plan := mapreduce.NewFaultPlan()
+		if *failEvery > 0 {
+			plan.FailEvery(mapreduce.MapTask, *failEvery).FailEvery(mapreduce.ReduceTask, *failEvery)
+		}
+		if *straggle > 0 {
+			plan.Delay(mapreduce.MapTask, 0, 0, *straggle)
+		}
+		opt.Faults = plan
+	}
+	if *speculate {
+		opt.Speculation = mapreduce.Speculation{Enabled: true}
 	}
 	fmt.Printf("R: %d tuples, S: %d tuples, h=%d, %d nodes\n", len(r), len(s), *h, *nodes)
 
@@ -64,7 +84,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("PGBJ exact %d-NN join: %d result lists in %v\n", *k, len(res.Neighbors), time.Since(t0).Round(time.Millisecond))
-		printMetrics("total", res.Metrics.ShuffleBytes, res.Metrics.BroadcastBytes, res.Metrics.Skew())
+		printMetrics("total", res.Metrics)
 		return
 	}
 
@@ -82,7 +102,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("PMH-10 join: %d pairs in %v\n", len(res.Pairs), time.Since(t0).Round(time.Millisecond))
-		printMetrics("join", res.Metrics.ShuffleBytes, res.Metrics.BroadcastBytes, res.Metrics.Skew())
+		printMetrics("join", res.Metrics)
 		return
 	}
 
@@ -92,7 +112,7 @@ func main() {
 	}
 	fmt.Printf("phase 2 (global HA-Index): %d nodes, %d edges, merge=%v\n",
 		g.Index.NodeCount(), g.Index.EdgeCount(), g.Merge.Round(time.Microsecond))
-	printMetrics("build", g.Metrics.ShuffleBytes, g.Metrics.BroadcastBytes, g.Metrics.Skew())
+	printMetrics("build", g.Metrics)
 
 	var res *mrjoin.JoinResult
 	switch *method {
@@ -107,15 +127,20 @@ func main() {
 		fatalf("%v", err)
 	}
 	fmt.Printf("phase 3 (%s): %d pairs, total %v\n", *method, len(res.Pairs), time.Since(t0).Round(time.Millisecond))
-	printMetrics("join", res.Metrics.ShuffleBytes, res.Metrics.BroadcastBytes, res.Metrics.Skew())
+	printMetrics("join", res.Metrics)
 	if res.PostJoin > 0 {
 		fmt.Printf("  post-join (id recovery): %v\n", res.PostJoin.Round(time.Microsecond))
 	}
 }
 
-func printMetrics(phase string, shuffle, broadcast int64, skew float64) {
+func printMetrics(phase string, m mapreduce.Metrics) {
 	fmt.Printf("  %s: shuffle %.3f MB, broadcast %.3f MB, reducer skew %.2f\n",
-		phase, float64(shuffle)/1e6, float64(broadcast)/1e6, skew)
+		phase, float64(m.ShuffleBytes)/1e6, float64(m.BroadcastBytes)/1e6, m.Skew())
+	if m.Attempts > int64(m.Tasks()) || m.SpeculativeLaunched > 0 {
+		fmt.Printf("  %s failures: %d attempts for %d tasks, %d retried, %d/%d speculative won/launched, wasted %.3f MB\n",
+			phase, m.Attempts, m.Tasks(), m.RetriedTasks, m.SpeculativeWon, m.SpeculativeLaunched,
+			float64(m.WastedBytes)/1e6)
+	}
 }
 
 func fatalf(format string, args ...interface{}) {

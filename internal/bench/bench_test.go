@@ -221,3 +221,26 @@ func TestScalingQuick(t *testing.T) {
 		t.Fatalf("tables=%d rows=%d", len(tables), len(tables[0].Rows))
 	}
 }
+
+func TestFaultSweepQuick(t *testing.T) {
+	sc := QuickScale()
+	tables, err := FaultSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables=%d", len(tables))
+	}
+	for _, tb := range tables {
+		for _, row := range tb.Rows {
+			if row[len(row)-1] != "yes" {
+				t.Fatalf("%s: inexact row under faults: %v", tb.Title, row)
+			}
+		}
+	}
+	for _, row := range tables[0].Rows[1:] {
+		if row[4] == "0" {
+			t.Fatalf("faulted row recorded no retries: %v", row)
+		}
+	}
+}

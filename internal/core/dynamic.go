@@ -134,6 +134,9 @@ func BuildDynamic(codes []bitvec.Code, ids []int, opts Options) *DynamicIndex {
 	if len(codes) == 0 {
 		panic("core: BuildDynamic over empty dataset")
 	}
+	if codes[0].Len() == 0 {
+		panic("core: BuildDynamic over zero-length codes")
+	}
 	length := codes[0].Len()
 	idx := &DynamicIndex{
 		opts:   opts.withDefaults(len(codes)),

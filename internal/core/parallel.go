@@ -19,6 +19,11 @@ func BuildDynamicParallel(codes []bitvec.Code, ids []int, opts Options, workers 
 	if len(codes) == 0 {
 		panic("core: BuildDynamicParallel over empty dataset")
 	}
+	if codes[0].Len() == 0 {
+		// Matches BuildDynamic's boundary validation; past this point the
+		// shard-merge of parallelGroupBy indexes into each code's key.
+		panic("core: BuildDynamicParallel over zero-length codes")
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"haindex/internal/bitvec"
@@ -56,5 +57,28 @@ func TestParallelBuildDuplicateRuns(t *testing.T) {
 	got := par.Search(dup, 0)
 	if len(got) != 600 {
 		t.Fatalf("duplicate run returned %d ids", len(got))
+	}
+}
+
+func TestBuildRejectsZeroLengthCodes(t *testing.T) {
+	// The zero value of bitvec.Code is the only way to get a 0-bit code;
+	// it used to flow into parallelGroupBy's shard-merge unchecked.
+	codes := make([]bitvec.Code, 300) // all zero values: Len() == 0
+	for name, build := range map[string]func(){
+		"BuildDynamic":         func() { BuildDynamic(codes, nil, Options{}) },
+		"BuildDynamicParallel": func() { BuildDynamicParallel(codes, nil, Options{}, 4) },
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s accepted zero-length codes", name)
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "zero-length") {
+					t.Fatalf("%s panic message %v lacks zero-length diagnosis", name, r)
+				}
+			}()
+			build()
+		}()
 	}
 }

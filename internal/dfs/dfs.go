@@ -44,11 +44,22 @@ func (fs *FS) Create(path string) io.WriteCloser {
 	return &fileWriter{fs: fs, path: path}
 }
 
+// CreateIdempotent is Create for task outputs that may be re-executed: if
+// the path already holds byte-identical content, Close succeeds without
+// charging any write volume (the re-executed or speculative attempt commits
+// what is already there); differing content still fails, preserving the
+// write-once immutability. This is the commit discipline the failure-aware
+// MapReduce runtime requires of task side effects.
+func (fs *FS) CreateIdempotent(path string) io.WriteCloser {
+	return &fileWriter{fs: fs, path: path, idempotent: true}
+}
+
 type fileWriter struct {
-	fs   *FS
-	path string
-	buf  bytes.Buffer
-	done bool
+	fs         *FS
+	path       string
+	buf        bytes.Buffer
+	done       bool
+	idempotent bool
 }
 
 func (w *fileWriter) Write(p []byte) (int, error) {
@@ -65,7 +76,10 @@ func (w *fileWriter) Close() error {
 	w.done = true
 	w.fs.mu.Lock()
 	defer w.fs.mu.Unlock()
-	if _, exists := w.fs.files[w.path]; exists {
+	if prev, exists := w.fs.files[w.path]; exists {
+		if w.idempotent && bytes.Equal(prev, w.buf.Bytes()) {
+			return nil
+		}
 		return fmt.Errorf("dfs: file %q already exists", w.path)
 	}
 	data := append([]byte(nil), w.buf.Bytes()...)

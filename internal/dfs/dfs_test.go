@@ -121,3 +121,87 @@ func TestOpenIsSnapshot(t *testing.T) {
 		t.Fatal("reader must survive removal")
 	}
 }
+
+func TestCreateIdempotent(t *testing.T) {
+	fs := New(3)
+	if err := fs.WriteFile("/job/part-0", []byte("local-index")); err != nil {
+		t.Fatal(err)
+	}
+	charged := fs.BytesWritten()
+
+	// A re-executed task attempt committing identical bytes succeeds and
+	// charges nothing.
+	w := fs.CreateIdempotent("/job/part-0")
+	if _, err := w.Write([]byte("local-index")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("idempotent rewrite failed: %v", err)
+	}
+	if fs.BytesWritten() != charged {
+		t.Fatalf("idempotent rewrite charged bytes: %d vs %d", fs.BytesWritten(), charged)
+	}
+	if got, _ := fs.ReadFile("/job/part-0"); string(got) != "local-index" {
+		t.Fatalf("content changed: %q", got)
+	}
+
+	// Divergent content still violates write-once immutability.
+	w = fs.CreateIdempotent("/job/part-0")
+	if _, err := w.Write([]byte("DIFFERENT")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("divergent rewrite must fail")
+	}
+
+	// Plain Create stays strict even against identical content.
+	w = fs.Create("/job/part-0")
+	if _, err := w.Write([]byte("local-index")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("plain Create must reject existing paths")
+	}
+
+	// First-time idempotent writes behave like Create.
+	if err := func() error {
+		w := fs.CreateIdempotent("/job/part-1")
+		if _, err := w.Write([]byte("x")); err != nil {
+			return err
+		}
+		return w.Close()
+	}(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.BytesWritten() != charged+3 {
+		t.Fatalf("first idempotent write charged %d, want %d", fs.BytesWritten()-charged, 3)
+	}
+}
+
+func TestConcurrentIdempotentWriters(t *testing.T) {
+	// Speculative duplicate attempts commit the same part file concurrently.
+	fs := New(1)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := fs.CreateIdempotent("/spec/part-7")
+			if _, err := w.Write([]byte("payload")); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = w.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	if fs.BytesWritten() != int64(len("payload")) {
+		t.Fatalf("charged %d, want one write", fs.BytesWritten())
+	}
+}

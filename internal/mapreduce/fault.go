@@ -1,0 +1,166 @@
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+)
+
+// TaskKind distinguishes map tasks from reduce tasks in fault plans and in
+// the failure-model metrics.
+type TaskKind uint8
+
+const (
+	MapTask TaskKind = iota
+	ReduceTask
+)
+
+func (k TaskKind) String() string {
+	if k == MapTask {
+		return "map"
+	}
+	return "reduce"
+}
+
+// Fault is what happens to one attempt of one task: an added latency (a
+// straggling node), a forced failure after the attempt's work completes (a
+// node dying at the end of the task, so the work is wasted), or both —
+// the delay is served first, then the work runs, then the failure fires.
+type Fault struct {
+	Fail  bool
+	Delay time.Duration
+}
+
+type faultKey struct {
+	kind    TaskKind
+	task    int
+	attempt int
+}
+
+// FaultPlan is a deterministic fault-injection schedule: it maps
+// (kind, task, attempt) triples to injected faults, so every failure a test
+// or benchmark provokes is reproducible. A nil plan injects nothing. Plans
+// are built before the job starts and read concurrently while it runs; they
+// must not be mutated mid-job.
+//
+// The same plan may be shared by every job of a pipeline: task indices are
+// per job, so FailEvery(MapTask, 4) fails the first attempt of every fourth
+// map task of each job it is attached to.
+type FaultPlan struct {
+	entries map[faultKey]Fault
+	every   map[TaskKind]int
+}
+
+// NewFaultPlan returns an empty plan.
+func NewFaultPlan() *FaultPlan {
+	return &FaultPlan{
+		entries: make(map[faultKey]Fault),
+		every:   make(map[TaskKind]int),
+	}
+}
+
+func (p *FaultPlan) upsert(kind TaskKind, task, attempt int, fn func(*Fault)) *FaultPlan {
+	k := faultKey{kind: kind, task: task, attempt: attempt}
+	f := p.entries[k]
+	fn(&f)
+	p.entries[k] = f
+	return p
+}
+
+// Fail schedules attempt `attempt` of the given task to fail after its work
+// completes. Returns the plan for chaining.
+func (p *FaultPlan) Fail(kind TaskKind, task, attempt int) *FaultPlan {
+	return p.upsert(kind, task, attempt, func(f *Fault) { f.Fail = true })
+}
+
+// Delay schedules attempt `attempt` of the given task to stall for d before
+// doing its work — the straggler injection speculative execution exists to
+// absorb. Returns the plan for chaining.
+func (p *FaultPlan) Delay(kind TaskKind, task, attempt int, d time.Duration) *FaultPlan {
+	return p.upsert(kind, task, attempt, func(f *Fault) { f.Delay = d })
+}
+
+// FailEvery schedules the first attempt of every task whose index is a
+// multiple of mod to fail — a compact way to express a failure rate of
+// 1/mod. mod <= 0 clears the rule. Explicit Fail/Delay entries take
+// precedence for their exact (task, attempt).
+func (p *FaultPlan) FailEvery(kind TaskKind, mod int) *FaultPlan {
+	if mod <= 0 {
+		delete(p.every, kind)
+		return p
+	}
+	p.every[kind] = mod
+	return p
+}
+
+// fault resolves the injected fault for one attempt; nil-receiver safe.
+func (p *FaultPlan) fault(kind TaskKind, task, attempt int) Fault {
+	if p == nil {
+		return Fault{}
+	}
+	if f, ok := p.entries[faultKey{kind: kind, task: task, attempt: attempt}]; ok {
+		return f
+	}
+	if mod, ok := p.every[kind]; ok && attempt == 0 && task%mod == 0 {
+		return Fault{Fail: true}
+	}
+	return Fault{}
+}
+
+// RetryPolicy bounds per-task re-execution. Hadoop's equivalents are
+// mapred.map.max.attempts / mapred.reduce.max.attempts (default 4) and the
+// task-retry backoff.
+type RetryPolicy struct {
+	// MaxAttempts is the failure budget per task: a task that fails this
+	// many times fails the job. 0 selects 4. Speculative attempts count
+	// against the budget only if they fail.
+	MaxAttempts int
+	// Backoff is the sleep before the first retry; it doubles per
+	// subsequent retry of the same task. 0 selects 1ms.
+	Backoff time.Duration
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 4
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = time.Millisecond
+	}
+	return r
+}
+
+// Speculation configures speculative execution of stragglers: when a task's
+// only running attempt has been executing longer than Factor times the
+// median completed-task time of its phase, one backup attempt is launched
+// and the first finisher wins; the loser's emissions are discarded and
+// charged to Metrics.WastedBytes.
+type Speculation struct {
+	Enabled bool
+	// Factor is the straggler threshold multiple over the median completed
+	// task time. 0 selects 2.
+	Factor float64
+	// MinCompleted is how many tasks of the phase must have completed
+	// before the median is trusted. 0 selects 3.
+	MinCompleted int
+	// MinRuntime floors the straggler threshold so microsecond-scale tasks
+	// do not speculate on scheduling noise. 0 selects 1ms.
+	MinRuntime time.Duration
+}
+
+func (s Speculation) withDefaults() Speculation {
+	if s.Factor <= 0 {
+		s.Factor = 2
+	}
+	if s.MinCompleted <= 0 {
+		s.MinCompleted = 3
+	}
+	if s.MinRuntime <= 0 {
+		s.MinRuntime = time.Millisecond
+	}
+	return s
+}
+
+// injectedFailure is the error an injected Fail fault produces.
+func injectedFailure(job string, kind TaskKind, task, attempt int) error {
+	return fmt.Errorf("mapreduce: job %q: injected failure of %s task %d attempt %d", job, kind, task, attempt)
+}

@@ -10,12 +10,19 @@
 // Per-task wall times and per-reducer record counts expose the load balance
 // that the histogram-based partitioning of Section 5.1 is designed to
 // achieve.
+//
+// The runtime is failure-aware: a FaultPlan injects deterministic task
+// failures and straggler delays, failed attempts are retried with
+// exponential backoff up to a bounded budget, and speculative execution
+// races a backup attempt against any straggling task, taking the first
+// finisher. Map and reduce functions are pure over their inputs, so
+// re-execution cannot change the output or the shuffle volume; only the
+// wasted-work counters and wall time reflect the failures.
 package mapreduce
 
 import (
 	"bytes"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -61,6 +68,20 @@ type Config struct {
 	Reduce    ReduceFunc
 	Partition PartitionFunc // nil selects FNV-1a hash partitioning
 	Broadcast []Broadcast
+
+	// Faults, when set, injects deterministic task failures and straggler
+	// delays (nil injects nothing). Map, Combine, and Reduce must be pure
+	// over their inputs — any task attempt may be re-executed or raced
+	// against a duplicate; external side effects must be idempotent (see
+	// dfs.CreateIdempotent).
+	Faults *FaultPlan
+	// Retry bounds per-task re-execution; the zero value selects Hadoop's
+	// defaults (4 attempts, backoff from 1ms doubling per retry).
+	Retry RetryPolicy
+	// Speculation, when enabled, launches a backup attempt for any task
+	// running longer than a multiple of the median completed-task time and
+	// takes the first finisher.
+	Speculation Speculation
 }
 
 // Metrics reports what one job cost.
@@ -74,6 +95,14 @@ type Metrics struct {
 	ReduceTaskTimes []time.Duration
 	ReducerRecords  []int64 // per-reducer input records (skew indicator)
 	Wall            time.Duration
+
+	// Failure-model counters. On a failure-free run without speculation,
+	// Attempts equals the task count and the rest are zero.
+	Attempts            int64 // task attempts launched (first runs, retries, backups)
+	RetriedTasks        int64 // tasks that succeeded only after >=1 failed attempt
+	SpeculativeLaunched int64 // backup attempts launched against stragglers
+	SpeculativeWon      int64 // backups that finished before the original
+	WastedBytes         int64 // bytes emitted by failed or losing attempts, discarded
 }
 
 // Skew returns max/mean of per-reducer record counts; 1.0 is perfectly
@@ -93,27 +122,63 @@ func (m Metrics) Skew() float64 {
 	return float64(max) / mean
 }
 
-// Add accumulates the cost counters of another job, for multi-job pipelines.
+// Add accumulates another job's metrics, for multi-job pipelines. Per-task
+// data (task times, per-reducer record counts) is concatenated, so Skew()
+// over the sum reflects every job's reducers, not just the last one's.
 func (m *Metrics) Add(o Metrics) {
 	m.ShuffleBytes += o.ShuffleBytes
 	m.ShuffleRecords += o.ShuffleRecords
 	m.BroadcastBytes += o.BroadcastBytes
 	m.OutputRecords += o.OutputRecords
 	m.Wall += o.Wall
+	m.MapTaskTimes = append(m.MapTaskTimes, o.MapTaskTimes...)
+	m.ReduceTaskTimes = append(m.ReduceTaskTimes, o.ReduceTaskTimes...)
+	m.ReducerRecords = append(m.ReducerRecords, o.ReducerRecords...)
+	m.Attempts += o.Attempts
+	m.RetriedTasks += o.RetriedTasks
+	m.SpeculativeLaunched += o.SpeculativeLaunched
+	m.SpeculativeWon += o.SpeculativeWon
+	m.WastedBytes += o.WastedBytes
+}
+
+// Tasks returns the job's task count (map + reduce); with failures injected,
+// Attempts exceeds it.
+func (m Metrics) Tasks() int {
+	return len(m.MapTaskTimes) + len(m.ReduceTaskTimes)
 }
 
 // recordOverhead models per-record framing (key length + value length).
 const recordOverhead = 8
 
-// HashPartition is the default FNV-1a key partitioner.
+// HashPartition is the default FNV-1a key partitioner. It panics when n is
+// not positive, like an out-of-range slice index would.
 func HashPartition(key []byte, n int) int {
-	h := fnv.New32a()
-	h.Write(key)
-	return int(h.Sum32() % uint32(n))
+	if n <= 0 {
+		panic(fmt.Sprintf("mapreduce: HashPartition over %d partitions", n))
+	}
+	// FNV-1a inlined: the hash.Hash32 interface allocation is measurable on
+	// the shuffle path, where this runs once per intermediate record.
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// kvBytes is one record's contribution to shuffle/output volume.
+func kvBytes(kv KV) int64 {
+	return int64(len(kv.Key) + len(kv.Value) + recordOverhead)
 }
 
 // Run executes the job over the input and returns the reduce output and the
-// job metrics. Output records are sorted by (key, value) for determinism.
+// job metrics. Output records are sorted by (key, value) for determinism;
+// injected failures, retries, and speculative execution never change the
+// output or the shuffle volume.
 func Run(cfg Config, input []KV) ([]KV, Metrics, error) {
 	if cfg.Map == nil {
 		return nil, Metrics{}, fmt.Errorf("mapreduce: job %q has no map function", cfg.Name)
@@ -135,24 +200,12 @@ func Run(cfg Config, input []KV) ([]KV, Metrics, error) {
 		metrics.BroadcastBytes += b.Size * int64(cfg.Nodes)
 	}
 	start := time.Now()
+	sem := make(chan struct{}, cfg.Nodes)
 
 	// ---- Map phase ----
 	splits := splitInput(input, cfg.Mappers)
-	type mapOut struct {
-		parts [][]KV
-		took  time.Duration
-		err   error
-	}
-	mapOuts := make([]mapOut, len(splits))
-	sem := make(chan struct{}, cfg.Nodes)
-	var wg sync.WaitGroup
-	for mi := range splits {
-		wg.Add(1)
-		go func(mi int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			t0 := time.Now()
+	mapPayloads, mapTooks, err := runPhase(MapTask, &cfg, sem, len(splits), &metrics,
+		func(mi int) (any, int64, error) {
 			parts := make([][]KV, cfg.Reducers)
 			emit := func(kv KV) {
 				p := cfg.Partition(kv.Key, cfg.Reducers)
@@ -160,37 +213,34 @@ func Run(cfg Config, input []KV) ([]KV, Metrics, error) {
 			}
 			for _, in := range splits[mi] {
 				if err := cfg.Map(in, emit); err != nil {
-					mapOuts[mi] = mapOut{err: fmt.Errorf("mapreduce: job %q map task %d: %w", cfg.Name, mi, err)}
-					return
+					return nil, emittedBytes(parts), fmt.Errorf("mapreduce: job %q map task %d: %w", cfg.Name, mi, err)
 				}
 			}
 			if cfg.Combine != nil {
 				for p := range parts {
 					combined, err := combine(cfg.Combine, parts[p])
 					if err != nil {
-						mapOuts[mi] = mapOut{err: fmt.Errorf("mapreduce: job %q combiner (map task %d): %w", cfg.Name, mi, err)}
-						return
+						return nil, emittedBytes(parts), fmt.Errorf("mapreduce: job %q combiner (map task %d): %w", cfg.Name, mi, err)
 					}
 					parts[p] = combined
 				}
 			}
-			mapOuts[mi] = mapOut{parts: parts, took: time.Since(t0)}
-		}(mi)
+			return parts, emittedBytes(parts), nil
+		})
+	if err != nil {
+		metrics.Wall = time.Since(start)
+		return nil, metrics, err
 	}
-	wg.Wait()
-	for _, mo := range mapOuts {
-		if mo.err != nil {
-			return nil, metrics, mo.err
-		}
-		metrics.MapTaskTimes = append(metrics.MapTaskTimes, mo.took)
-	}
+	metrics.MapTaskTimes = mapTooks
 
 	// ---- Shuffle ----
+	// Only winning attempts reach this point, so the shuffle volume is
+	// identical to a failure-free run.
 	partData := make([][]KV, cfg.Reducers)
-	for _, mo := range mapOuts {
-		for p, kvs := range mo.parts {
+	for _, payload := range mapPayloads {
+		for p, kvs := range payload.([][]KV) {
 			for _, kv := range kvs {
-				metrics.ShuffleBytes += int64(len(kv.Key) + len(kv.Value) + recordOverhead)
+				metrics.ShuffleBytes += kvBytes(kv)
 				metrics.ShuffleRecords++
 			}
 			partData[p] = append(partData[p], kvs...)
@@ -200,6 +250,20 @@ func Run(cfg Config, input []KV) ([]KV, Metrics, error) {
 	for p, kvs := range partData {
 		metrics.ReducerRecords[p] = int64(len(kvs))
 	}
+	// Sort each partition here, as the shuffle's merge step: reduce task
+	// attempts may be re-executed or raced concurrently, so their input
+	// must be read-only.
+	var sortWG sync.WaitGroup
+	for p := range partData {
+		sortWG.Add(1)
+		go func(p int) {
+			defer sortWG.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sortKVs(partData[p])
+		}(p)
+	}
+	sortWG.Wait()
 
 	// ---- Reduce phase ----
 	if cfg.Reduce == nil {
@@ -213,23 +277,15 @@ func Run(cfg Config, input []KV) ([]KV, Metrics, error) {
 		metrics.Wall = time.Since(start)
 		return out, metrics, nil
 	}
-	type redOut struct {
-		out  []KV
-		took time.Duration
-		err  error
-	}
-	redOuts := make([]redOut, cfg.Reducers)
-	for p := range partData {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			t0 := time.Now()
+	redPayloads, redTooks, err := runPhase(ReduceTask, &cfg, sem, cfg.Reducers, &metrics,
+		func(p int) (any, int64, error) {
 			kvs := partData[p]
-			sortKVs(kvs)
 			var out []KV
-			emit := func(kv KV) { out = append(out, kv) }
+			var emitted int64
+			emit := func(kv KV) {
+				out = append(out, kv)
+				emitted += kvBytes(kv)
+			}
 			for i := 0; i < len(kvs); {
 				j := i
 				for j < len(kvs) && bytes.Equal(kvs[j].Key, kvs[i].Key) {
@@ -240,27 +296,36 @@ func Run(cfg Config, input []KV) ([]KV, Metrics, error) {
 					vals = append(vals, kv.Value)
 				}
 				if err := cfg.Reduce(kvs[i].Key, vals, emit); err != nil {
-					redOuts[p] = redOut{err: fmt.Errorf("mapreduce: job %q reduce task %d: %w", cfg.Name, p, err)}
-					return
+					return nil, emitted, fmt.Errorf("mapreduce: job %q reduce task %d: %w", cfg.Name, p, err)
 				}
 				i = j
 			}
-			redOuts[p] = redOut{out: out, took: time.Since(t0)}
-		}(p)
+			return out, emitted, nil
+		})
+	if err != nil {
+		metrics.Wall = time.Since(start)
+		return nil, metrics, err
 	}
-	wg.Wait()
+	metrics.ReduceTaskTimes = redTooks
 	var out []KV
-	for _, ro := range redOuts {
-		if ro.err != nil {
-			return nil, metrics, ro.err
-		}
-		metrics.ReduceTaskTimes = append(metrics.ReduceTaskTimes, ro.took)
-		out = append(out, ro.out...)
+	for _, payload := range redPayloads {
+		out = append(out, payload.([]KV)...)
 	}
 	sortKVs(out)
 	metrics.OutputRecords = int64(len(out))
 	metrics.Wall = time.Since(start)
 	return out, metrics, nil
+}
+
+// emittedBytes totals a map attempt's partitioned output volume.
+func emittedBytes(parts [][]KV) int64 {
+	var b int64
+	for _, kvs := range parts {
+		for _, kv := range kvs {
+			b += kvBytes(kv)
+		}
+	}
+	return b
 }
 
 // combine groups one map task's output for one partition by key and runs

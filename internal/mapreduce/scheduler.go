@@ -1,0 +1,309 @@
+package mapreduce
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the failure-aware task scheduler. Each phase (map, reduce)
+// hands the scheduler a set of tasks whose work functions are pure over
+// their inputs — re-executing one produces identical output — so the
+// scheduler is free to retry failed attempts and to race duplicate
+// (speculative) attempts against stragglers, exactly as Hadoop's JobTracker
+// does. Only the winning attempt's output reaches the shuffle or the job
+// output; everything emitted by failed or losing attempts is discarded and
+// accounted as wasted work.
+
+// attemptResult is one attempt's outcome, reported to its task loop.
+type attemptResult struct {
+	attempt     int
+	speculative bool
+	payload     any
+	bytes       int64 // emitted bytes, charged to WastedBytes if discarded
+	took        time.Duration
+	err         error
+	superseded  bool // cancelled before doing work (winner already decided)
+}
+
+// taskState is the per-task bookkeeping shared between the task loop, the
+// attempt goroutines, and the speculation monitor.
+type taskState struct {
+	mu         sync.Mutex
+	next       int       // next attempt index to hand out
+	running    int       // attempts currently live
+	backup     bool      // a speculative attempt was launched
+	done       bool      // a winner was decided
+	startedRun time.Time // when the sole live attempt began executing
+
+	results chan attemptResult
+	cancel  chan struct{} // closed once a winner is decided
+}
+
+// scheduler runs one phase's tasks under the failure model.
+type scheduler struct {
+	kind  TaskKind
+	cfg   *Config
+	sem   chan struct{} // node slots, shared across phases of the job
+	run   func(task int) (payload any, bytes int64, err error)
+	retry RetryPolicy
+	spec  Speculation
+
+	tasks []*taskState
+
+	mu        sync.Mutex
+	completed []time.Duration // winning-attempt durations, for the median
+
+	// failure-model counters, merged into Metrics by runPhase
+	attempts     int64
+	retriedTasks int64
+	specLaunched int64
+	specWon      int64
+	wasted       int64
+}
+
+// runPhase executes n tasks and returns their payloads and winning-attempt
+// durations in task order. On failure it returns the error of the
+// lowest-indexed failed task, for determinism. The failure-model counters
+// are merged into m even when the phase fails.
+func runPhase(kind TaskKind, cfg *Config, sem chan struct{}, n int, m *Metrics,
+	run func(task int) (any, int64, error)) ([]any, []time.Duration, error) {
+
+	s := &scheduler{
+		kind:  kind,
+		cfg:   cfg,
+		sem:   sem,
+		run:   run,
+		retry: cfg.Retry.withDefaults(),
+		spec:  cfg.Speculation.withDefaults(),
+		tasks: make([]*taskState, n),
+	}
+	for t := range s.tasks {
+		s.tasks[t] = &taskState{
+			results: make(chan attemptResult, s.retry.MaxAttempts+2),
+			cancel:  make(chan struct{}),
+		}
+	}
+
+	stopMonitor := make(chan struct{})
+	var monitorWG sync.WaitGroup
+	if cfg.Speculation.Enabled {
+		monitorWG.Add(1)
+		go func() {
+			defer monitorWG.Done()
+			s.monitor(stopMonitor)
+		}()
+	}
+
+	payloads := make([]any, n)
+	tooks := make([]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for t := 0; t < n; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			payloads[t], tooks[t], errs[t] = s.runTask(t)
+		}(t)
+	}
+	wg.Wait()
+	close(stopMonitor)
+	monitorWG.Wait()
+
+	m.Attempts += s.attempts
+	m.RetriedTasks += s.retriedTasks
+	m.SpeculativeLaunched += s.specLaunched
+	m.SpeculativeWon += s.specWon
+	m.WastedBytes += s.wasted
+
+	for t := 0; t < n; t++ {
+		if errs[t] != nil {
+			return nil, nil, errs[t]
+		}
+	}
+	return payloads, tooks, nil
+}
+
+// launch starts one attempt of task t. Speculative launches are refused once
+// the task is done or already has a backup.
+func (s *scheduler) launch(t int, speculative bool) {
+	st := s.tasks[t]
+	st.mu.Lock()
+	if speculative && (st.done || st.backup || st.running != 1) {
+		st.mu.Unlock()
+		return
+	}
+	attempt := st.next
+	st.next++
+	st.running++
+	if speculative {
+		st.backup = true
+	}
+	st.mu.Unlock()
+
+	s.mu.Lock()
+	s.attempts++
+	if speculative {
+		s.specLaunched++
+	}
+	s.mu.Unlock()
+
+	go s.exec(t, attempt, speculative)
+}
+
+// exec runs one attempt: wait for a node slot, serve the injected delay
+// (cancellable — a loser stuck in a simulated stall is "killed" the moment
+// the winner commits), run the task work, then fire the injected failure.
+func (s *scheduler) exec(t, attempt int, speculative bool) {
+	st := s.tasks[t]
+	select {
+	case <-st.cancel:
+		st.results <- attemptResult{attempt: attempt, speculative: speculative, superseded: true}
+		return
+	case s.sem <- struct{}{}:
+	}
+	defer func() { <-s.sem }()
+
+	t0 := time.Now()
+	st.mu.Lock()
+	if st.running == 1 {
+		st.startedRun = t0
+	}
+	st.mu.Unlock()
+
+	f := s.cfg.Faults.fault(s.kind, t, attempt)
+	if f.Delay > 0 {
+		select {
+		case <-time.After(f.Delay):
+		case <-st.cancel:
+			st.results <- attemptResult{attempt: attempt, speculative: speculative, superseded: true, took: time.Since(t0)}
+			return
+		}
+	}
+	payload, bytes, err := s.run(t)
+	if err == nil && f.Fail {
+		err = injectedFailure(s.cfg.Name, s.kind, t, attempt)
+	}
+	st.results <- attemptResult{
+		attempt:     attempt,
+		speculative: speculative,
+		payload:     payload,
+		bytes:       bytes,
+		took:        time.Since(t0),
+		err:         err,
+	}
+}
+
+// runTask drives one task to completion: launch the first attempt, retry
+// failures with exponential backoff up to the attempt budget, absorb
+// speculative results, and drain every live attempt before returning so no
+// goroutine outlives the phase.
+func (s *scheduler) runTask(t int) (any, time.Duration, error) {
+	st := s.tasks[t]
+	s.launch(t, false)
+
+	var winner *attemptResult
+	var lastErr error
+	failures := 0
+	for {
+		res := <-st.results
+		st.mu.Lock()
+		st.running--
+		live := st.running
+		st.mu.Unlock()
+
+		switch {
+		case winner != nil || res.superseded:
+			// Work done after the winner committed is wasted.
+			s.addWasted(res.bytes)
+		case res.err == nil:
+			res := res
+			winner = &res
+			st.mu.Lock()
+			st.done = true
+			st.mu.Unlock()
+			close(st.cancel)
+			s.mu.Lock()
+			if res.speculative {
+				s.specWon++
+			}
+			if failures > 0 {
+				s.retriedTasks++
+			}
+			s.completed = append(s.completed, res.took)
+			s.mu.Unlock()
+		default:
+			failures++
+			lastErr = res.err
+			s.addWasted(res.bytes)
+			if live == 0 {
+				if failures >= s.retry.MaxAttempts {
+					return nil, 0, lastErr
+				}
+				time.Sleep(s.retry.Backoff << uint(failures-1))
+				s.launch(t, false)
+			}
+			// A concurrent (speculative) attempt is still live: it may
+			// yet win, so neither retry nor fail until it reports.
+		}
+		if winner != nil && live == 0 {
+			return winner.payload, winner.took, nil
+		}
+		if winner == nil && live == 0 && failures >= s.retry.MaxAttempts {
+			return nil, 0, lastErr
+		}
+	}
+}
+
+func (s *scheduler) addWasted(b int64) {
+	s.mu.Lock()
+	s.wasted += b
+	s.mu.Unlock()
+}
+
+// monitor is the speculation loop: once enough tasks have completed to
+// trust the median, any task whose sole running attempt has exceeded the
+// straggler threshold gets one backup attempt.
+func (s *scheduler) monitor(stop <-chan struct{}) {
+	tick := time.NewTicker(500 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		med, n := s.medianCompleted()
+		if n < s.spec.MinCompleted {
+			continue
+		}
+		threshold := time.Duration(s.spec.Factor * float64(med))
+		if threshold < s.spec.MinRuntime {
+			threshold = s.spec.MinRuntime
+		}
+		now := time.Now()
+		for t, st := range s.tasks {
+			st.mu.Lock()
+			straggling := !st.done && !st.backup && st.running == 1 &&
+				!st.startedRun.IsZero() && now.Sub(st.startedRun) > threshold
+			st.mu.Unlock()
+			if straggling {
+				s.launch(t, true)
+			}
+		}
+	}
+}
+
+// medianCompleted returns the median winning-attempt duration and how many
+// tasks have completed.
+func (s *scheduler) medianCompleted() (time.Duration, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.completed)
+	if n == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), s.completed...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[n/2], n
+}

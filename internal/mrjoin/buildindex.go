@@ -67,7 +67,7 @@ func BuildGlobalIndex(r []vector.Vec, pre *Preprocessed, opt Options) (*GlobalIn
 		return nil, err
 	}
 	var mu sync.Mutex
-	var locals []*core.DynamicIndex
+	locals := make([]*core.DynamicIndex, opt.Partitions)
 	var dfsPrefix string
 	var wBefore, rBefore int64
 	if opt.FS != nil {
@@ -107,8 +107,10 @@ func BuildGlobalIndex(r []vector.Vec, pre *Preprocessed, opt Options) (*GlobalIn
 			local := buildLocal(cs, opt)
 			if opt.FS != nil {
 				// Persist the serialized local index to the DFS, as the
-				// paper's reducers do; the merge phase reads it back.
-				w := opt.FS.Create(fmt.Sprintf("%spart-%05d", dfsPrefix, decodeID(key)))
+				// paper's reducers do; the merge phase reads it back. The
+				// write is idempotent so a re-executed or speculative
+				// attempt can rewrite the same part file.
+				w := opt.FS.CreateIdempotent(fmt.Sprintf("%spart-%05d", dfsPrefix, decodeID(key)))
 				if err := local.Encode(w, true); err != nil {
 					return fmt.Errorf("encoding local index: %w", err)
 				}
@@ -117,12 +119,15 @@ func BuildGlobalIndex(r []vector.Vec, pre *Preprocessed, opt Options) (*GlobalIn
 				}
 				return nil
 			}
+			// Keyed by partition so a re-executed or speculative attempt
+			// overwrites (with identical content) instead of duplicating.
 			mu.Lock()
-			locals = append(locals, local)
+			locals[decodeID(key)] = local
 			mu.Unlock()
 			return nil
 		},
 	}
+	opt.applyRuntime(&cfg)
 	_, metrics, err := mapreduce.Run(cfg, VecInput(r))
 	if err != nil {
 		return nil, fmt.Errorf("mrjoin: build-index job: %w", err)
@@ -140,11 +145,17 @@ func BuildGlobalIndex(r []vector.Vec, pre *Preprocessed, opt Options) (*GlobalIn
 			locals = append(locals, local)
 		}
 	}
-	if len(locals) == 0 {
+	parts := make([]*core.DynamicIndex, 0, len(locals))
+	for _, l := range locals {
+		if l != nil {
+			parts = append(parts, l)
+		}
+	}
+	if len(parts) == 0 {
 		return nil, fmt.Errorf("mrjoin: no local indexes built (empty R?)")
 	}
 	t0 := time.Now()
-	global := core.Merge(locals...)
+	global := core.Merge(parts...)
 	out := &GlobalIndex{Index: global, Metrics: metrics, Merge: time.Since(t0)}
 	if opt.FS != nil {
 		out.DFSWritten = opt.FS.BytesWritten() - wBefore

@@ -68,6 +68,7 @@ func HammingJoinA(s []vector.Vec, g *GlobalIndex, pre *Preprocessed, opt Options
 			return nil
 		},
 	}
+	opt.applyRuntime(&cfg)
 	out, metrics, err := mapreduce.Run(cfg, VecInput(s))
 	if err != nil {
 		return nil, fmt.Errorf("mrjoin: join job (option A): %w", err)
@@ -116,6 +117,7 @@ func HammingJoinB(s []vector.Vec, g *GlobalIndex, pre *Preprocessed, opt Options
 			return nil
 		},
 	}
+	opt.applyRuntime(&cfg)
 	out, metrics, err := mapreduce.Run(cfg, VecInput(s))
 	if err != nil {
 		return nil, fmt.Errorf("mrjoin: join job (option B): %w", err)
@@ -201,6 +203,7 @@ func PMHJoin(r, s []vector.Vec, pre *Preprocessed, tables int, opt Options) (*Jo
 			return nil
 		},
 	}
+	opt.applyRuntime(&cfg)
 	out, metrics, err := mapreduce.Run(cfg, VecInput(s))
 	if err != nil {
 		return nil, fmt.Errorf("mrjoin: PMH join job: %w", err)

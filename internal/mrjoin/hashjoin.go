@@ -54,6 +54,7 @@ func HammingJoinBLarge(r, s []vector.Vec, g *GlobalIndex, pre *Preprocessed, opt
 			return nil
 		},
 	}
+	opt.applyRuntime(&cfg)
 	stage1, metrics, err := mapreduce.Run(cfg, VecInput(s))
 	if err != nil {
 		return nil, fmt.Errorf("mrjoin: join job (option B large): %w", err)
@@ -109,6 +110,7 @@ func HammingJoinBLarge(r, s []vector.Vec, g *GlobalIndex, pre *Preprocessed, opt
 			return nil
 		},
 	}
+	opt.applyRuntime(&joinCfg)
 	out, m2, err := mapreduce.Run(joinCfg, input)
 	if err != nil {
 		return nil, fmt.Errorf("mrjoin: option B hash-join job: %w", err)

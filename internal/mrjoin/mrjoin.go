@@ -45,6 +45,22 @@ type Options struct {
 	// merge phase reads the parts back. When nil the indexes are handed
 	// over in memory.
 	FS *dfs.FS
+
+	// Faults, Retry, and Speculation configure the runtime failure model
+	// for every MapReduce job a pipeline runs; see the mapreduce package.
+	// The jobs' map and reduce functions are pure (and their DFS writes
+	// idempotent), so injected failures and speculative re-execution never
+	// change a join's output or its shuffle volume.
+	Faults      *mapreduce.FaultPlan
+	Retry       mapreduce.RetryPolicy
+	Speculation mapreduce.Speculation
+}
+
+// applyRuntime threads the failure-model knobs into one job config.
+func (o Options) applyRuntime(cfg *mapreduce.Config) {
+	cfg.Faults = o.Faults
+	cfg.Retry = o.Retry
+	cfg.Speculation = o.Speculation
 }
 
 func (o Options) withDefaults() Options {

@@ -86,6 +86,7 @@ func PGBJ(r, s []vector.Vec, k int, opt Options) (*PGBJResult, error) {
 			return nil
 		},
 	}
+	opt.applyRuntime(&cfgA)
 	if _, m, err := mapreduce.Run(cfgA, VecInput(r)); err != nil {
 		return nil, fmt.Errorf("mrjoin: PGBJ stats job: %w", err)
 	} else {
@@ -191,6 +192,7 @@ func PGBJ(r, s []vector.Vec, k int, opt Options) (*PGBJResult, error) {
 			return nil
 		},
 	}
+	opt.applyRuntime(&cfgB)
 	out, m, err := mapreduce.Run(cfgB, input)
 	if err != nil {
 		return nil, fmt.Errorf("mrjoin: PGBJ join job: %w", err)
