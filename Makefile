@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race test-race bench vet fuzz experiments examples clean
+.PHONY: all check build test race test-race bench bench-query vet fuzz experiments examples clean
 
 all: build vet test
 
@@ -23,8 +23,15 @@ race:
 test-race:
 	$(GO) test -race ./internal/mapreduce ./internal/core ./internal/mrjoin ./internal/dfs
 
-bench:
+# Query-engine microbenchmarks (alloc counts must report 0 allocs/op for
+# steady-state Searcher use) plus the SearchBatch throughput experiment,
+# which writes BENCH_query.json.
+bench: bench-query
 	$(GO) test -bench=. -benchmem ./...
+
+bench-query:
+	$(GO) test -run=NONE -bench='Searcher|SearchBatch' -benchmem ./internal/core/
+	$(GO) run ./cmd/habench -exp query
 
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeDynamic -fuzztime=30s ./internal/core/

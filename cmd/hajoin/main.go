@@ -33,6 +33,7 @@ func main() {
 		sample = flag.Float64("sample", 0.1, "preprocessing sample rate")
 		k      = flag.Int("k", 50, "k for the PGBJ kNN-join")
 		seed   = flag.Int64("seed", 1, "RNG seed")
+		sworkers = flag.Int("search-workers", 0, "per-reducer query-batch workers (0 = GOMAXPROCS, 1 = serial)")
 
 		failEvery = flag.Int("fail-every", 0, "inject a failure into the first attempt of every Nth map and reduce task (0 = none)")
 		straggle  = flag.Duration("straggle", 0, "stall map task 0 of every job by this duration (straggler injection)")
@@ -61,6 +62,8 @@ func main() {
 		Threshold:  *h,
 		Seed:       *seed,
 		Retry:      mapreduce.RetryPolicy{MaxAttempts: *retries},
+
+		SearchWorkers: *sworkers,
 	}
 	if *failEvery > 0 || *straggle > 0 {
 		plan := mapreduce.NewFaultPlan()

@@ -36,6 +36,7 @@ func main() {
 		rows    = flag.String("query-rows", "0", "comma-separated dataset row ids used as queries")
 		seed    = flag.Int64("seed", 1, "RNG seed for hash learning sample")
 		verbose = flag.Bool("v", false, "print matched ids (not just counts)")
+		workers = flag.Int("workers", 1, "batch the query rows through a SearchBatch worker pool (0 = GOMAXPROCS, 1 = serial per-query loop); dha/sha only")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -53,15 +54,47 @@ func main() {
 	codes := hash.HashAll(hf, vecs)
 
 	t0 := time.Now()
-	search, stats, size := buildIndex(*method, codes, *h)
+	search, stats, size, batchIdx := buildIndex(*method, codes, *h)
 	fmt.Printf("built %s over %d tuples in %v (%.1f MB)\n",
 		*method, len(codes), time.Since(t0).Round(time.Millisecond), float64(size())/1e6)
 
+	var rowIDs []int
 	for _, part := range strings.Split(*rows, ",") {
 		row, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || row < 0 || row >= len(codes) {
 			fatalf("invalid query row %q (dataset has %d rows)", part, len(codes))
 		}
+		rowIDs = append(rowIDs, row)
+	}
+
+	if *workers != 1 {
+		// Batch path: drain every query row through a worker pool of
+		// Searchers over the shared index.
+		if batchIdx == nil {
+			fatalf("-workers requires -method dha or sha")
+		}
+		queries := make([]bitvec.Code, len(rowIDs))
+		for i, row := range rowIDs {
+			queries[i] = codes[row]
+		}
+		t0 := time.Now()
+		results, st := core.SearchBatch(batchIdx, queries, *h, *workers)
+		took := time.Since(t0)
+		for i, row := range rowIDs {
+			ids := append([]int(nil), results[i]...)
+			sort.Ints(ids)
+			fmt.Printf("query row %d (code %s): %d matches\n", row, queries[i].String(), len(ids))
+			if *verbose {
+				fmt.Printf("  ids: %v\n", ids)
+			}
+		}
+		qps := float64(len(queries)) / took.Seconds()
+		fmt.Printf("batch: %d queries in %v (%.0f q/s, workers=%d) [%d distance computations, %d nodes visited]\n",
+			len(queries), took.Round(time.Microsecond), qps, *workers, st.DistanceComputations, st.NodesVisited)
+		return
+	}
+
+	for _, row := range rowIDs {
 		q := codes[row]
 		t0 := time.Now()
 		ids := search(q, *h)
@@ -76,28 +109,32 @@ func main() {
 }
 
 // buildIndex wires up the requested method behind a common search closure.
-func buildIndex(method string, codes []bitvec.Code, h int) (search func(bitvec.Code, int) []int, stats func() string, size func() int) {
+// batchIdx is non-nil for the HA-Index methods, which support the batched
+// Searcher engine.
+func buildIndex(method string, codes []bitvec.Code, h int) (search func(bitvec.Code, int) []int, stats func() string, size func() int, batchIdx core.Index) {
 	noStats := func() string { return "" }
 	switch method {
 	case "dha":
 		idx := core.BuildDynamic(codes, nil, core.Options{})
-		return idx.Search, func() string {
+		sr := core.NewSearcher(idx)
+		return func(q bitvec.Code, h int) []int { return sr.SearchAppend(nil, q, h) }, func() string {
 			return fmt.Sprintf(" [%d distance computations, %d nodes visited]",
-				idx.Stats.DistanceComputations, idx.Stats.NodesVisited)
-		}, idx.SizeBytes
+				sr.Stats.DistanceComputations, sr.Stats.NodesVisited)
+		}, idx.SizeBytes, idx
 	case "sha":
 		idx := core.BuildStatic(codes, nil, 8)
-		return idx.Search, func() string {
-			return fmt.Sprintf(" [%d distance computations]", idx.Stats.DistanceComputations)
-		}, idx.SizeBytes
+		sr := core.NewSearcher(idx)
+		return func(q bitvec.Code, h int) []int { return sr.SearchAppend(nil, q, h) }, func() string {
+			return fmt.Sprintf(" [%d distance computations]", sr.Stats.DistanceComputations)
+		}, idx.SizeBytes, idx
 	case "radix":
 		idx := radix.Build(codes, nil)
 		return idx.Search, func() string {
 			return fmt.Sprintf(" [%d nodes visited]", idx.Stats.NodesVisited)
-		}, idx.SizeBytes
+		}, idx.SizeBytes, nil
 	case "nl":
 		idx := baseline.NewNestedLoop(codes, nil)
-		return idx.Search, noStats, idx.SizeBytes
+		return idx.Search, noStats, idx.SizeBytes, nil
 	case "mh4", "mh10":
 		build := baseline.NewMH4
 		if method == "mh10" {
@@ -107,19 +144,19 @@ func buildIndex(method string, codes []bitvec.Code, h int) (search func(bitvec.C
 		if err != nil {
 			fatalf("%v", err)
 		}
-		return idx.Search, noStats, idx.SizeBytes
+		return idx.Search, noStats, idx.SizeBytes, nil
 	case "hengine":
 		idx, err := baseline.NewHEngine(codes, nil, h)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		return idx.Search, noStats, idx.SizeBytes
+		return idx.Search, noStats, idx.SizeBytes, nil
 	case "hmsearch":
 		idx, err := baseline.NewHmSearch(codes, nil, h)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		return idx.Search, noStats, idx.SizeBytes
+		return idx.Search, noStats, idx.SizeBytes, nil
 	case "planner":
 		pl := planner.New(codes, nil, core.Options{}, 1)
 		var last planner.Plan
@@ -130,10 +167,10 @@ func buildIndex(method string, codes []bitvec.Code, h int) (search func(bitvec.C
 		}
 		return search, func() string {
 			return fmt.Sprintf(" [path=%s: %s]", last.Strategy, last.Reason)
-		}, pl.Index().SizeBytes
+		}, pl.Index().SizeBytes, nil
 	}
 	fatalf("unknown method %q", method)
-	return nil, nil, nil
+	return nil, nil, nil, nil
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -75,6 +75,12 @@ type (
 	// SearchStats reports per-query work (distance computations, nodes
 	// visited).
 	SearchStats = core.SearchStats
+	// SearchIndex is any HA-Index the reusable Searcher engine can drive
+	// (DynamicIndex or StaticIndex).
+	SearchIndex = core.Index
+	// Searcher is a reusable, allocation-free query engine over one
+	// HA-Index. One Searcher per goroutine; the index may be shared.
+	Searcher = core.Searcher
 	// RadixTree is the PATRICIA-trie approach of Section 4.2.
 	RadixTree = radix.Tree
 )
@@ -143,6 +149,8 @@ type (
 	JoinResult = mrjoin.JoinResult
 	// Pair is one Hamming-join result pair.
 	Pair = mrjoin.Pair
+	// SelectResult is the output of one distributed Hamming-select batch.
+	SelectResult = mrjoin.SelectResult
 )
 
 // ---- Codes ----
@@ -172,6 +180,28 @@ func BuildDynamicIndex(codes []Code, ids []int, opts IndexOptions) *DynamicIndex
 // bits (0 selects 8).
 func BuildStaticIndex(codes []Code, ids []int, segWidth int) *StaticIndex {
 	return core.BuildStatic(codes, ids, segWidth)
+}
+
+// ---- Query engine ----
+
+// NewSearcher returns a reusable query engine over idx. Steady-state
+// searches are allocation-free; results alias scratch valid until the next
+// call. Each goroutine needs its own Searcher, but they may all share one
+// read-only index.
+func NewSearcher(idx SearchIndex) *Searcher { return core.NewSearcher(idx) }
+
+// SearchBatch answers a batch of Hamming-select queries with a pool of
+// `workers` Searchers over the shared index (workers <= 0 selects
+// GOMAXPROCS). Results are positionally aligned with queries; the returned
+// stats aggregate work across all workers.
+func SearchBatch(idx SearchIndex, queries []Code, h, workers int) ([][]int, SearchStats) {
+	return core.SearchBatch(idx, queries, h, workers)
+}
+
+// SearchCodesBatch is SearchBatch returning the matching codes themselves
+// instead of tuple ids.
+func SearchCodesBatch(idx SearchIndex, queries []Code, h, workers int) ([][]Code, SearchStats) {
+	return core.SearchCodesBatch(idx, queries, h, workers)
 }
 
 // BuildRadixTree builds the Radix-Tree (PATRICIA) index of Section 4.2.
@@ -291,6 +321,14 @@ func HammingJoin(s []Vec, g *GlobalIndex, pre *Preprocessed, optionB bool, opt J
 		return mrjoin.HammingJoinB(s, g, pre, opt)
 	}
 	return mrjoin.HammingJoinA(s, g, pre, opt)
+}
+
+// HammingSelect answers a batch of Hamming-select queries as one MapReduce
+// job over the broadcast global index: queries are partitioned round-robin
+// across reducers, and each reducer drains its share through the batched
+// Searcher engine.
+func HammingSelect(queries []Vec, g *GlobalIndex, pre *Preprocessed, opt JoinOptions) (*SelectResult, error) {
+	return mrjoin.HammingSelect(queries, g, pre, opt)
 }
 
 // HammingJoinLargeR is Option B's large-R variant: the id-recovery join runs

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/core"
+	"haindex/internal/dataset"
+)
+
+// QueryBenchFile is where QueryBench writes its machine-readable results.
+const QueryBenchFile = "BENCH_query.json"
+
+// queryBenchJSON is the machine-readable record of one QueryBench run.
+type queryBenchJSON struct {
+	N           int     `json:"n"`
+	Bits        int     `json:"bits"`
+	Threshold   int     `json:"threshold"`
+	Queries     int     `json:"queries"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	SerialNsOp  int64   `json:"serial_ns_per_query"`
+	SerialQPS   float64 `json:"serial_qps"`
+	Runs        []queryBenchRun `json:"runs"`
+	BestSpeedup float64 `json:"best_speedup"`
+}
+
+type queryBenchRun struct {
+	Workers   int     `json:"workers"`
+	BatchSize int     `json:"batch_size"`
+	NsPerOp   int64   `json:"ns_per_query"`
+	QPS       float64 `json:"qps"`
+	Speedup   float64 `json:"speedup_vs_serial"`
+}
+
+// QueryBench measures the batched query engine (beyond the paper): steady-
+// state SearchBatch throughput over one shared Dynamic HA-Index as a
+// function of worker count and batch size, against the serial one-Searcher
+// baseline. Results are printed as a table and written to BENCH_query.json.
+func QueryBench(sc Scale) ([]Table, error) {
+	env, err := NewEnv(dataset.NUSWide, sc.SelectN, sc.Bits, sc.Queries, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	idx := core.BuildDynamic(env.Codes, nil, core.Options{})
+
+	// Query workload: dataset members perturbed by a couple of bit flips —
+	// selective queries with non-empty results, like the paper's.
+	rng := rand.New(rand.NewSource(sc.Seed + 7))
+	nq := 4096
+	if nq > 2*len(env.Codes) {
+		nq = 2 * len(env.Codes)
+	}
+	queries := make([]bitvec.Code, nq)
+	for i := range queries {
+		c := env.Codes[rng.Intn(len(env.Codes))].Clone()
+		for f := 0; f < 2; f++ {
+			c.FlipBit(rng.Intn(sc.Bits))
+		}
+		queries[i] = c
+	}
+
+	// Serial baseline: one reused Searcher, one query at a time. A warmup
+	// pass sizes the scratch so the measurement sees the steady state.
+	sr := core.NewSearcher(idx)
+	for _, q := range queries[:nq/4] {
+		sr.Search(q, sc.Threshold)
+	}
+	t0 := time.Now()
+	for _, q := range queries {
+		sr.Search(q, sc.Threshold)
+	}
+	serial := time.Since(t0)
+
+	rec := queryBenchJSON{
+		N:          len(env.Codes),
+		Bits:       sc.Bits,
+		Threshold:  sc.Threshold,
+		Queries:    nq,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SerialNsOp: serial.Nanoseconds() / int64(nq),
+		SerialQPS:  float64(nq) / serial.Seconds(),
+	}
+
+	workerCounts := []int{1, 2, 4, 8}
+	batchSizes := []int{64, 256, 1024}
+	t := Table{
+		Title: "Query engine: SearchBatch throughput vs workers and batch size",
+		Note: fmt.Sprintf("%s, n=%d, L=%d bits, h=%d, %d queries; cells are q/s (speedup vs %.0f q/s serial baseline); GOMAXPROCS=%d",
+			env.Profile.Name, len(env.Codes), sc.Bits, sc.Threshold, nq, rec.SerialQPS, rec.GOMAXPROCS),
+		Header: []string{"batch size"},
+	}
+	for _, w := range workerCounts {
+		t.Header = append(t.Header, fmt.Sprintf("workers=%d", w))
+	}
+	for _, b := range batchSizes {
+		row := []string{fmt.Sprintf("%d", b)}
+		for _, w := range workerCounts {
+			t0 := time.Now()
+			for off := 0; off < nq; off += b {
+				end := off + b
+				if end > nq {
+					end = nq
+				}
+				core.SearchBatch(idx, queries[off:end], sc.Threshold, w)
+			}
+			dur := time.Since(t0)
+			qps := float64(nq) / dur.Seconds()
+			speedup := serial.Seconds() / dur.Seconds()
+			rec.Runs = append(rec.Runs, queryBenchRun{
+				Workers:   w,
+				BatchSize: b,
+				NsPerOp:   dur.Nanoseconds() / int64(nq),
+				QPS:       qps,
+				Speedup:   speedup,
+			})
+			if speedup > rec.BestSpeedup {
+				rec.BestSpeedup = speedup
+			}
+			row = append(row, fmt.Sprintf("%.0f (%.2fx)", qps, speedup))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: encoding %s: %w", QueryBenchFile, err)
+	}
+	if err := os.WriteFile(QueryBenchFile, append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("bench: writing %s: %w", QueryBenchFile, err)
+	}
+	return []Table{t}, nil
+}

@@ -46,6 +46,84 @@ func TestConcurrentSearchInto(t *testing.T) {
 	}
 }
 
+// TestConcurrentSearchers exercises the broadcast-index contract for both
+// variants: one shared read-only index, one Searcher per goroutine, exact
+// results under -race.
+func TestConcurrentSearchers(t *testing.T) {
+	rng := rand.New(rand.NewSource(146))
+	codes := clusteredCodes(rng, 2000, 32, 10, 3)
+	queries := make([]bitvec.Code, 64)
+	for i := range queries {
+		queries[i] = codes[rng.Intn(len(codes))]
+	}
+	expected := make([][]int, len(queries))
+	for i, q := range queries {
+		expected[i] = oracle(codes, q, 3)
+	}
+	for _, idx := range []Index{
+		BuildDynamic(codes, nil, Options{}),
+		BuildStatic(codes, nil, 8),
+	} {
+		var wg sync.WaitGroup
+		errs := make(chan string, 8)
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				sr := NewSearcher(idx)
+				for r := 0; r < 50; r++ {
+					i := (w*50 + r) % len(queries)
+					if got := sr.Search(queries[i], 3); !equalIDs(got, expected[i]) {
+						errs <- "concurrent searcher mismatch"
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatalf("%T: %s", idx, e)
+		}
+	}
+}
+
+// TestConcurrentSearchBatches runs several SearchBatch calls concurrently on
+// one shared index — the reducer fan-out of the MapReduce join — under -race.
+func TestConcurrentSearchBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(147))
+	codes := clusteredCodes(rng, 1500, 32, 8, 3)
+	idx := BuildDynamic(codes, nil, Options{})
+	queries := make([]bitvec.Code, 40)
+	for i := range queries {
+		queries[i] = codes[rng.Intn(len(codes))]
+	}
+	expected := make([][]int, len(queries))
+	for i, q := range queries {
+		expected[i] = oracle(codes, q, 3)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 4)
+	for b := 0; b < 4; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results, _ := SearchBatch(idx, queries, 3, 4)
+			for i := range queries {
+				if !equalIDs(results[i], expected[i]) {
+					errs <- "concurrent batch mismatch"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
 // TestStaticBudgetFallback drives the static index into its loose-threshold
 // fallback and verifies exactness there.
 func TestStaticBudgetFallback(t *testing.T) {

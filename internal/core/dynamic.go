@@ -120,6 +120,10 @@ type DynamicIndex struct {
 	buffer []pendingInsert
 
 	// Stats describes the most recent Search/SearchCodes call.
+	//
+	// Deprecated: the field is a single-threaded convenience — Search copies
+	// the statistics back here, so concurrent callers sharing one index must
+	// use a Searcher (or SearchInto) and read per-searcher stats instead.
 	Stats SearchStats
 }
 
@@ -409,14 +413,34 @@ func (x *DynamicIndex) SearchCodesInto(q bitvec.Code, h int, stats *SearchStats)
 // the parent are charged, so along any root-to-leaf path each bit position
 // is XORed exactly once.
 func (x *DynamicIndex) search(q bitvec.Code, h int, stats *SearchStats, emit func(*leafGroup)) {
-	if q.Len() != x.length {
-		panic(fmt.Sprintf("core: %d-bit query against %d-bit index", q.Len(), x.length))
-	}
 	queue := queuePool.Get().(*[]qitem)
 	defer func() {
 		*queue = (*queue)[:0]
 		queuePool.Put(queue)
 	}()
+	x.searchHier(queue, q, h, stats, emit)
+}
+
+// searchWith implements Index: the same H-Search on the searcher's own work
+// queue (reused across queries), followed by a linear pass over the
+// unflushed insert buffer through emitOne.
+func (x *DynamicIndex) searchWith(sr *Searcher, q bitvec.Code, h int, emitGroup func(*leafGroup), emitOne func(int, bitvec.Code)) {
+	x.searchHier(&sr.queue, q, h, &sr.Stats, emitGroup)
+	for i := range x.buffer {
+		sr.Stats.DistanceComputations++
+		if _, ok := q.DistanceWithin(x.buffer[i].code, h); ok {
+			emitOne(x.buffer[i].id, x.buffer[i].code)
+		}
+	}
+}
+
+// searchHier is the H-Search core over a caller-supplied queue; *queue is
+// left grown so pooling callers keep the high-water capacity.
+func (x *DynamicIndex) searchHier(queue *[]qitem, q bitvec.Code, h int, stats *SearchStats, emit func(*leafGroup)) {
+	if q.Len() != x.length {
+		panic(fmt.Sprintf("core: %d-bit query against %d-bit index", q.Len(), x.length))
+	}
+	*queue = (*queue)[:0]
 	qw := q.Words()
 	nw := len(qw)
 	for _, r := range x.roots {

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"haindex/internal/bitvec"
+)
+
+// Index is the read-only query interface shared by the Static and Dynamic
+// HA-Index. A Searcher binds to one Index; many Searchers may query the same
+// Index concurrently as long as no goroutine mutates it (Insert, Delete,
+// Flush) — the contract under which a broadcast index is shared by every
+// reducer of a MapReduce join (Section 5).
+type Index interface {
+	// Length returns the code length L in bits.
+	Length() int
+	// Len returns the number of indexed tuples.
+	Len() int
+	// searchWith runs one Hamming-select against the index using the
+	// searcher's scratch state: emitGroup receives each qualifying distinct
+	// code with its tuple ids, emitOne receives qualifying tuples that live
+	// outside the hierarchy (the Dynamic index's unflushed insert buffer).
+	searchWith(sr *Searcher, q bitvec.Code, h int, emitGroup func(*leafGroup), emitOne func(id int, c bitvec.Code))
+}
+
+// Searcher owns the per-worker scratch state of the query engine: memoized
+// per-level distance tables (Static), the traversal stack/queue, path and
+// emission buffers, and per-search statistics. Steady-state Search and
+// SearchCodes perform no heap allocations; the scratch grows to the
+// high-water mark of the queries seen and is reused afterwards.
+//
+// A Searcher is NOT safe for concurrent use — it is the unit of concurrency:
+// give each goroutine its own Searcher over the shared index (or use
+// SearchBatch, which does exactly that).
+type Searcher struct {
+	idx Index
+
+	// Stats describes the most recent Search/SearchCodes call.
+	Stats SearchStats
+
+	// Dynamic H-Search scratch: the BFS work queue.
+	queue []qitem
+
+	// Static walk scratch. memo[l][nid] packs (epoch<<7 | dist+1) so the
+	// per-level distance tables reset between queries by bumping epoch
+	// instead of clearing O(nodes) entries.
+	memo  [][]uint32
+	epoch uint32
+	qsegs []uint64
+	stack []sframe
+	path  []uint64
+	found []*leafGroup
+	// asmWords and keyBuf assemble and key a candidate multi-word code
+	// without constructing a bitvec.Code.
+	asmWords []uint64
+	keyBuf   []byte
+
+	// Emission buffers reused across searches. The closures are created once
+	// here so a Search call does not allocate them.
+	ids        []int
+	codes      []bitvec.Code
+	emitGIDs   func(*leafGroup)
+	emitOneID  func(int, bitvec.Code)
+	emitGCode  func(*leafGroup)
+	emitOneCod func(int, bitvec.Code)
+}
+
+// sframe is one frame of the Static index's iterative depth-first walk: the
+// node to expand and the Hamming distance accumulated over its ancestors.
+type sframe struct {
+	level int32
+	nid   int32
+	dist  int32
+}
+
+// NewSearcher returns a Searcher bound to idx. The first few searches size
+// the scratch; afterwards searches are allocation-free.
+func NewSearcher(idx Index) *Searcher {
+	sr := &Searcher{idx: idx}
+	sr.emitGIDs = func(g *leafGroup) { sr.ids = append(sr.ids, g.ids...) }
+	sr.emitOneID = func(id int, c bitvec.Code) { sr.ids = append(sr.ids, id) }
+	sr.emitGCode = func(g *leafGroup) { sr.codes = append(sr.codes, g.code) }
+	sr.emitOneCod = func(id int, c bitvec.Code) { sr.codes = append(sr.codes, c) }
+	return sr
+}
+
+// Index returns the index this searcher is bound to.
+func (sr *Searcher) Index() Index { return sr.idx }
+
+// Search returns the ids of all tuples within Hamming distance h of q. The
+// returned slice aliases the searcher's scratch and is valid only until the
+// next call on this searcher; copy it if it must outlive that.
+func (sr *Searcher) Search(q bitvec.Code, h int) []int {
+	sr.Stats = SearchStats{}
+	sr.ids = sr.ids[:0]
+	sr.idx.searchWith(sr, q, h, sr.emitGIDs, sr.emitOneID)
+	return sr.ids
+}
+
+// SearchCodes returns the distinct qualifying codes instead of ids, under
+// the same scratch-aliasing contract as Search.
+func (sr *Searcher) SearchCodes(q bitvec.Code, h int) []bitvec.Code {
+	sr.Stats = SearchStats{}
+	sr.codes = sr.codes[:0]
+	sr.idx.searchWith(sr, q, h, sr.emitGCode, sr.emitOneCod)
+	return sr.codes
+}
+
+// SearchAppend appends the qualifying ids to dst and returns it; unlike
+// Search the result does not alias the searcher's scratch.
+func (sr *Searcher) SearchAppend(dst []int, q bitvec.Code, h int) []int {
+	return append(dst, sr.Search(q, h)...)
+}
+
+// Add accumulates o into s; SearchBatch uses it to aggregate per-worker
+// statistics.
+func (s *SearchStats) Add(o SearchStats) {
+	s.DistanceComputations += o.DistanceComputations
+	s.NodesVisited += o.NodesVisited
+	s.LeavesChecked += o.LeavesChecked
+}
+
+// SearchBatch answers a batch of Hamming-select queries against one shared
+// read-only index with a pool of workers, each draining queries through its
+// own Searcher. results[i] holds the ids matching queries[i] (nil when none).
+// workers <= 0 selects GOMAXPROCS; workers == 1 runs serially on the calling
+// goroutine. The returned stats aggregate the work of the whole batch.
+func SearchBatch(idx Index, queries []bitvec.Code, h, workers int) ([][]int, SearchStats) {
+	results := make([][]int, len(queries))
+	stats := runBatch(idx, queries, h, workers, func(sr *Searcher, i int, q bitvec.Code) {
+		if out := sr.Search(q, h); len(out) > 0 {
+			results[i] = append([]int(nil), out...)
+		}
+	})
+	return results, stats
+}
+
+// SearchCodesBatch is SearchBatch returning the distinct qualifying codes
+// per query — the leafless mode of MapReduce Hamming-join Option B.
+func SearchCodesBatch(idx Index, queries []bitvec.Code, h, workers int) ([][]bitvec.Code, SearchStats) {
+	results := make([][]bitvec.Code, len(queries))
+	stats := runBatch(idx, queries, h, workers, func(sr *Searcher, i int, q bitvec.Code) {
+		if out := sr.SearchCodes(q, h); len(out) > 0 {
+			results[i] = append([]bitvec.Code(nil), out...)
+		}
+	})
+	return results, stats
+}
+
+// runBatch partitions the query batch across workers; each worker owns one
+// Searcher and claims queries off a shared atomic cursor, so skewed queries
+// do not unbalance fixed chunks.
+func runBatch(idx Index, queries []bitvec.Code, h, workers int, run func(sr *Searcher, i int, q bitvec.Code)) SearchStats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		sr := NewSearcher(idx)
+		var agg SearchStats
+		for i, q := range queries {
+			run(sr, i, q)
+			agg.Add(sr.Stats)
+		}
+		return agg
+	}
+	var cursor atomic.Int64
+	perWorker := make([]SearchStats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sr := NewSearcher(idx)
+			var agg SearchStats
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(queries) {
+					break
+				}
+				run(sr, i, queries[i])
+				agg.Add(sr.Stats)
+			}
+			perWorker[w] = agg
+		}(w)
+	}
+	wg.Wait()
+	var agg SearchStats
+	for _, st := range perWorker {
+		agg.Add(st)
+	}
+	return agg
+}
+
+// ---- Static HA-Index walk on searcher scratch ----
+
+// searchWith implements Index for the Static HA-Index: the budgeted layered-
+// graph walk of Search, driven by an explicit stack and epoch-reset memo
+// tables instead of a per-query recursive closure.
+func (s *StaticIndex) searchWith(sr *Searcher, q bitvec.Code, h int, emitGroup func(*leafGroup), emitOne func(int, bitvec.Code)) {
+	if q.Len() != s.length {
+		panic(fmt.Sprintf("core: %d-bit query against %d-bit static index", q.Len(), s.length))
+	}
+	// The merged-layer graph can contain far more qualifying paths than real
+	// codes once h stops pruning (spurious paths are only filtered at
+	// assembly). Bound the walk by a budget proportional to the data; when
+	// the threshold is too loose for pruning to pay, fall back to an exact
+	// scan over the distinct codes.
+	budget := 2 * (len(s.groups) + s.NodeCount() + 16)
+	if !s.walkIterative(sr, q, h, budget) {
+		sr.Stats.NodesVisited = 0
+		for _, g := range s.groups {
+			if len(g.ids) == 0 {
+				continue // deleted code
+			}
+			sr.Stats.DistanceComputations++
+			sr.Stats.LeavesChecked++
+			if _, ok := q.DistanceWithin(g.code, h); ok {
+				emitGroup(g)
+			}
+		}
+		return
+	}
+	for _, g := range sr.found {
+		emitGroup(g)
+	}
+}
+
+// prepareStatic (re)sizes the searcher's static scratch for the index's
+// current node counts and advances the memo epoch.
+func (sr *Searcher) prepareStatic(s *StaticIndex) {
+	if len(sr.memo) < s.levels {
+		sr.memo = append(sr.memo, make([][]uint32, s.levels-len(sr.memo))...)
+	}
+	for l := 0; l < s.levels; l++ {
+		if len(sr.memo[l]) < len(s.segs[l]) {
+			sr.memo[l] = append(sr.memo[l], make([]uint32, len(s.segs[l])-len(sr.memo[l]))...)
+		}
+	}
+	if len(sr.qsegs) < s.levels {
+		sr.qsegs = make([]uint64, s.levels)
+	}
+	if len(sr.path) < s.levels {
+		sr.path = make([]uint64, s.levels)
+	}
+	sr.epoch++
+	if sr.epoch >= 1<<25 {
+		// The packed memo entries hold epoch<<7|dist in 32 bits; on epoch
+		// wrap, clear the tables once and restart.
+		for l := range sr.memo {
+			for i := range sr.memo[l] {
+				sr.memo[l][i] = 0
+			}
+		}
+		sr.epoch = 1
+	}
+}
+
+// walkIterative runs the pruned layered-graph DFS on the searcher's scratch.
+// It reports false when the work budget is exhausted, leaving sr.found
+// untouched for the caller's fallback; on success sr.found holds the
+// verified leaf groups.
+func (s *StaticIndex) walkIterative(sr *Searcher, q bitvec.Code, h int, budget int) bool {
+	sr.prepareStatic(s)
+	for l := 0; l < s.levels; l++ {
+		sr.qsegs[l] = staticSegKey(q, s.bounds[l][0], s.bounds[l][1])
+	}
+	sr.found = sr.found[:0]
+	stack := sr.stack[:0]
+	for nid := len(s.segs[0]) - 1; nid >= 0; nid-- {
+		stack = append(stack, sframe{level: 0, nid: int32(nid)})
+	}
+	lastLevel := int32(s.levels - 1)
+	markBase := sr.epoch << 7
+	visited := 0
+	ok := true
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visited++
+		if visited > budget {
+			ok = false
+			break
+		}
+		l, nid := fr.level, fr.nid
+		// Memoized node distance: one XOR+popcount per distinct segment
+		// value per query, shared by every code traversing the node.
+		var nd int32
+		if m := sr.memo[l][nid]; m>>7 == sr.epoch {
+			nd = int32(m&127) - 1
+		} else {
+			sr.Stats.DistanceComputations++
+			nd = int32(bits.OnesCount64(s.segs[l][nid] ^ sr.qsegs[l]))
+			sr.memo[l][nid] = markBase | uint32(nd+1)
+		}
+		d := fr.dist + nd
+		if d > int32(h) {
+			continue
+		}
+		sr.path[l] = s.segs[l][nid]
+		if l == lastLevel {
+			// Assemble the candidate code and verify it exists, which
+			// filters the spurious paths a merged-layer graph can contain.
+			sr.Stats.LeavesChecked++
+			if s.byCode64 != nil {
+				if g, okk := s.byCode64[s.assemble64(sr.path)]; okk {
+					sr.found = append(sr.found, g)
+				}
+			} else if g := s.lookupAssembled(sr); g != nil {
+				sr.found = append(sr.found, g)
+			}
+			continue
+		}
+		for _, next := range s.adj[l][nid] {
+			stack = append(stack, sframe{level: l + 1, nid: next, dist: d})
+		}
+	}
+	sr.stack = stack[:0]
+	sr.Stats.NodesVisited += visited
+	return ok
+}
+
+// lookupAssembled assembles the multi-word code on sr.path into scratch
+// words, builds its map key in a reused byte buffer, and resolves the leaf
+// group — the allocation-free equivalent of byCode[assemble(path).Key()].
+func (s *StaticIndex) lookupAssembled(sr *Searcher) *leafGroup {
+	nw := (s.length + 63) / 64
+	if len(sr.asmWords) < nw {
+		sr.asmWords = make([]uint64, nw)
+	}
+	words := sr.asmWords[:nw]
+	for i := range words {
+		words[i] = 0
+	}
+	used := 0
+	for l := 0; l < s.levels; l++ {
+		w := s.bounds[l][1]
+		lv := sr.path[l] << uint(64-w)
+		hi, off := used/64, uint(used%64)
+		words[hi] |= lv >> off
+		if int(off)+w > 64 {
+			words[hi+1] |= lv << (64 - off)
+		}
+		used += w
+	}
+	// Key layout must match bitvec.Code.Key: big-endian words then length.
+	if cap(sr.keyBuf) < nw*8+1 {
+		sr.keyBuf = make([]byte, 0, nw*8+1)
+	}
+	buf := sr.keyBuf[:0]
+	for _, w := range words {
+		for sh := 56; sh >= 0; sh -= 8 {
+			buf = append(buf, byte(w>>uint(sh)))
+		}
+	}
+	buf = append(buf, byte(s.length))
+	sr.keyBuf = buf
+	return s.byCode[string(buf)]
+}

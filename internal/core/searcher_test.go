@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"haindex/internal/bitvec"
+)
+
+// searcherEnv builds both index variants over one clustered dataset plus a
+// mixed query set (dataset members and random outsiders).
+func searcherEnv(t testing.TB, seed int64, n, bitsLen, h int) ([]bitvec.Code, []bitvec.Code, []Index) {
+	rng := rand.New(rand.NewSource(seed))
+	codes := clusteredCodes(rng, n, bitsLen, 12, 3)
+	queries := make([]bitvec.Code, 48)
+	for i := range queries {
+		if i%3 == 0 {
+			queries[i] = bitvec.Rand(rng, bitsLen)
+		} else {
+			queries[i] = codes[rng.Intn(len(codes))]
+		}
+	}
+	return codes, queries, []Index{
+		BuildDynamic(codes, nil, Options{}),
+		BuildStatic(codes, nil, 8),
+	}
+}
+
+// TestSearcherMatchesOracle: a reused Searcher answers every query exactly,
+// on both index variants, across code widths spanning one word and several.
+func TestSearcherMatchesOracle(t *testing.T) {
+	for _, bitsLen := range []int{32, 64, 100, 150} {
+		codes, queries, indexes := searcherEnv(t, int64(200+bitsLen), 1200, bitsLen, 0)
+		for _, idx := range indexes {
+			sr := NewSearcher(idx)
+			for h := 0; h <= 5; h++ {
+				for qi, q := range queries {
+					want := oracle(codes, q, h)
+					if got := sr.Search(q, h); !equalIDs(got, want) {
+						t.Fatalf("L=%d %T h=%d q#%d: got %d ids, want %d", bitsLen, idx, h, qi, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearcherCodes: SearchCodes returns the distinct qualifying codes.
+func TestSearcherCodes(t *testing.T) {
+	codes, queries, indexes := searcherEnv(t, 77, 800, 48, 0)
+	for _, idx := range indexes {
+		sr := NewSearcher(idx)
+		for _, q := range queries {
+			distinct := map[string]bool{}
+			for _, i := range oracle(codes, q, 3) {
+				distinct[codes[i].Key()] = true
+			}
+			got := sr.SearchCodes(q, 3)
+			if len(got) != len(distinct) {
+				t.Fatalf("%T: %d distinct codes, want %d", idx, len(got), len(distinct))
+			}
+			for _, c := range got {
+				if !distinct[c.Key()] {
+					t.Fatalf("%T: code %s not a qualifying code", idx, c)
+				}
+			}
+		}
+	}
+}
+
+// TestSearcherZeroAlloc: steady-state Searcher.Search performs zero heap
+// allocations, for single-word and multi-word codes on both index variants.
+func TestSearcherZeroAlloc(t *testing.T) {
+	for _, bitsLen := range []int{32, 128} {
+		_, queries, indexes := searcherEnv(t, int64(300+bitsLen), 1500, bitsLen, 0)
+		for _, idx := range indexes {
+			sr := NewSearcher(idx)
+			// Warm the scratch to its high-water mark.
+			for r := 0; r < 3; r++ {
+				for _, q := range queries {
+					sr.Search(q, 3)
+				}
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(200, func() {
+				sr.Search(queries[i%len(queries)], 3)
+				i++
+			})
+			if allocs != 0 {
+				t.Errorf("L=%d %T: %.1f allocs/op in steady state, want 0", bitsLen, idx, allocs)
+			}
+		}
+	}
+}
+
+// TestSearcherZeroAllocLooseThreshold drives the static walk into its budget
+// fallback (exact scan) and checks that path is allocation-free too.
+func TestSearcherZeroAllocLooseThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	codes := make([]bitvec.Code, 500)
+	for i := range codes {
+		codes[i] = bitvec.Rand(rng, 64)
+	}
+	idx := BuildStatic(codes, nil, 8)
+	q := bitvec.Rand(rng, 64)
+	sr := NewSearcher(idx)
+	for r := 0; r < 3; r++ {
+		sr.Search(q, 40)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { sr.Search(q, 40) }); allocs != 0 {
+		t.Errorf("fallback scan: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSearchBatchMatchesSerial: SearchBatch returns per-query results
+// identical to serial searches, for several worker counts, and aggregates
+// the same total work.
+func TestSearchBatchMatchesSerial(t *testing.T) {
+	codes, queries, indexes := searcherEnv(t, 41, 2000, 32, 0)
+	for _, idx := range indexes {
+		for _, workers := range []int{0, 1, 2, 4, 7} {
+			results, stats := SearchBatch(idx, queries, 3, workers)
+			if len(results) != len(queries) {
+				t.Fatalf("%T workers=%d: %d results for %d queries", idx, workers, len(results), len(queries))
+			}
+			if stats.DistanceComputations == 0 {
+				t.Fatalf("%T workers=%d: batch stats empty", idx, workers)
+			}
+			for i, q := range queries {
+				if want := oracle(codes, q, 3); !equalIDs(results[i], want) {
+					t.Fatalf("%T workers=%d q#%d: got %v want %v", idx, workers, i, results[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchCodesBatch: the leafless batch variant agrees with per-query
+// SearchCodes.
+func TestSearchCodesBatch(t *testing.T) {
+	codes, queries, indexes := searcherEnv(t, 43, 1000, 32, 0)
+	_ = codes
+	for _, idx := range indexes {
+		serial := NewSearcher(idx)
+		results, _ := SearchCodesBatch(idx, queries, 3, 4)
+		for i, q := range queries {
+			want := serial.SearchCodes(q, 3)
+			if len(results[i]) != len(want) {
+				t.Fatalf("%T q#%d: %d codes, want %d", idx, i, len(results[i]), len(want))
+			}
+			seen := map[string]bool{}
+			for _, c := range want {
+				seen[c.Key()] = true
+			}
+			for _, c := range results[i] {
+				if !seen[c.Key()] {
+					t.Fatalf("%T q#%d: unexpected code %s", idx, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestSearcherOnBufferedDynamic: Searcher results include unflushed inserts.
+func TestSearcherOnBufferedDynamic(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	codes := clusteredCodes(rng, 400, 32, 8, 3)
+	idx := BuildDynamic(codes[:300], nil, Options{BufferMax: 1 << 30})
+	for i := 300; i < len(codes); i++ {
+		idx.Insert(i, codes[i])
+	}
+	sr := NewSearcher(idx)
+	for _, q := range codes[:20] {
+		if got, want := sr.Search(q, 3), oracle(codes, q, 3); !equalIDs(got, want) {
+			t.Fatalf("buffered dynamic: got %d ids, want %d", len(got), len(want))
+		}
+	}
+}
+
+// TestSearcherAfterStaticInsert: scratch sized at construction must grow
+// when the index gains nodes afterwards.
+func TestSearcherAfterStaticInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	codes := clusteredCodes(rng, 300, 32, 6, 3)
+	idx := BuildStatic(codes[:100], nil, 8)
+	sr := NewSearcher(idx)
+	sr.Search(codes[0], 3) // size scratch to the small index
+	for i := 100; i < len(codes); i++ {
+		idx.Insert(i, codes[i])
+	}
+	for _, q := range codes[:20] {
+		if got, want := sr.Search(q, 3), oracle(codes, q, 3); !equalIDs(got, want) {
+			t.Fatalf("post-insert static search: got %d ids, want %d", len(got), len(want))
+		}
+	}
+}
+
+// TestSearchAppend: results copied out of scratch survive subsequent calls.
+func TestSearchAppend(t *testing.T) {
+	codes, queries, indexes := searcherEnv(t, 57, 600, 32, 0)
+	sr := NewSearcher(indexes[0])
+	var acc []int
+	var want []int
+	for _, q := range queries[:10] {
+		acc = sr.SearchAppend(acc, q, 3)
+		want = append(want, oracle(codes, q, 3)...)
+	}
+	if !equalIDs(acc, want) {
+		t.Fatalf("SearchAppend accumulated %d ids, want %d", len(acc), len(want))
+	}
+}
+
+func BenchmarkSearcherSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	codes := clusteredCodes(rng, 20000, 32, 16, 3)
+	idx := BuildDynamic(codes, nil, Options{})
+	sr := NewSearcher(idx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr.Search(codes[i%len(codes)], 3)
+	}
+}
+
+func BenchmarkSearcherSearchStatic(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	codes := clusteredCodes(rng, 20000, 32, 16, 3)
+	idx := BuildStatic(codes, nil, 8)
+	sr := NewSearcher(idx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr.Search(codes[i%len(codes)], 3)
+	}
+}
+
+func BenchmarkSearchBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	codes := clusteredCodes(rng, 20000, 32, 16, 3)
+	idx := BuildDynamic(codes, nil, Options{})
+	queries := codes[:1024]
+	for _, workers := range []int{1, 2, 4, 8} {
+		if workers > runtime.GOMAXPROCS(0) {
+			continue
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				SearchBatch(idx, queries, 3, workers)
+			}
+		})
+	}
+}

@@ -36,7 +36,11 @@ type StaticIndex struct {
 	groups   []*leafGroup
 	n        int
 
-	// Stats describes the most recent Search call.
+	// Stats describes the most recent Search/SearchCodes call.
+	//
+	// Deprecated: the field is a single-threaded convenience — Search copies
+	// the statistics back here, so concurrent callers sharing one index must
+	// use a Searcher (or SearchInto) and read per-searcher stats instead.
 	Stats SearchStats
 }
 
@@ -162,17 +166,18 @@ func (s *StaticIndex) Delete(id int, c bitvec.Code) bool {
 	return false
 }
 
-// staticSegKey extracts the segment as a uint64 (width <= 64 guaranteed by
-// construction).
+// staticSegKey extracts the segment [from, from+width) as a uint64 (width
+// <= 64 guaranteed by construction) with word-aligned shift/mask extraction:
+// at most two word reads instead of one shift-or per bit.
 func staticSegKey(c bitvec.Code, from, width int) uint64 {
 	words := c.Words()
-	var v uint64
-	for i := 0; i < width; i++ {
-		bit := from + i
-		v <<= 1
-		v |= words[bit/64] >> uint(63-bit%64) & 1
+	wi := from / 64
+	off := uint(from % 64)
+	v := words[wi] << off
+	if off != 0 && wi+1 < len(words) {
+		v |= words[wi+1] >> (64 - off)
 	}
-	return v
+	return v >> uint(64-width)
 }
 
 // Search returns the ids of all tuples within Hamming distance h of q. Per
@@ -181,127 +186,32 @@ func staticSegKey(c bitvec.Code, from, width int) uint64 {
 // layered graph prunes any path whose partial distance exceeds h, and the
 // assembled full code of a surviving path is verified against the code map,
 // which filters the spurious paths a merged-layer graph can contain.
+//
+// Search copies the per-query statistics into s.Stats for single-threaded
+// callers; hot paths and concurrent callers should reuse a Searcher.
 func (s *StaticIndex) Search(q bitvec.Code, h int) []int {
-	var out []int
-	s.searchPaths(q, h, func(g *leafGroup) { out = append(out, g.ids...) })
+	sr := NewSearcher(s)
+	out := sr.Search(q, h)
+	s.Stats = sr.Stats
 	return out
 }
 
 // SearchCodes returns the distinct qualifying codes instead of ids.
 func (s *StaticIndex) SearchCodes(q bitvec.Code, h int) []bitvec.Code {
-	var out []bitvec.Code
-	s.searchPaths(q, h, func(g *leafGroup) { out = append(out, g.code) })
+	sr := NewSearcher(s)
+	out := sr.SearchCodes(q, h)
+	s.Stats = sr.Stats
 	return out
 }
 
-func (s *StaticIndex) searchPaths(q bitvec.Code, h int, emit func(*leafGroup)) {
-	if q.Len() != s.length {
-		panic(fmt.Sprintf("core: %d-bit query against %d-bit static index", q.Len(), s.length))
-	}
-	s.Stats = SearchStats{}
-	// The merged-layer graph can contain far more qualifying paths than
-	// real codes once h stops pruning (spurious paths are only filtered at
-	// assembly). Bound the walk by a budget proportional to the data; when
-	// the threshold is too loose for pruning to pay, fall back to an exact
-	// scan over the distinct codes.
-	budget := 2 * (len(s.groups) + s.NodeCount() + 16)
-	if !s.walkBudgeted(q, h, emit, budget) {
-		s.Stats.NodesVisited = 0
-		for _, g := range s.groups {
-			if len(g.ids) == 0 {
-				continue // deleted code
-			}
-			s.Stats.DistanceComputations++
-			s.Stats.LeavesChecked++
-			if _, ok := q.DistanceWithin(g.code, h); ok {
-				emit(g)
-			}
-		}
-	}
-}
-
-// walkBudgeted runs the pruned layered-graph DFS; it reports false (leaving
-// possibly partial emissions aside — the caller must not have emitted yet)
-// when the work budget is exhausted.
-func (s *StaticIndex) walkBudgeted(q bitvec.Code, h int, emit func(*leafGroup), budget int) bool {
-	// Lazily memoized per-level node distances: -1 = not yet computed.
-	dists := make([][]int16, s.levels)
-	qsegs := make([]uint64, s.levels)
-	for l := 0; l < s.levels; l++ {
-		dists[l] = make([]int16, len(s.segs[l]))
-		for i := range dists[l] {
-			dists[l][i] = -1
-		}
-		qsegs[l] = staticSegKey(q, s.bounds[l][0], s.bounds[l][1])
-	}
-	nodeDist := func(l int, nid int32) int {
-		if d := dists[l][nid]; d >= 0 {
-			return int(d)
-		}
-		s.Stats.DistanceComputations++
-		d := popcount64(s.segs[l][nid] ^ qsegs[l])
-		dists[l][nid] = int16(d)
-		return d
-	}
-	// Buffer emissions so a budget abort leaves no partial output.
-	var found []*leafGroup
-	path := make([]uint64, s.levels)
-	overrun := false
-	var walk func(l int, nid int32, dist int)
-	walk = func(l int, nid int32, dist int) {
-		if overrun {
-			return
-		}
-		s.Stats.NodesVisited++
-		if s.Stats.NodesVisited > budget {
-			overrun = true
-			return
-		}
-		d := dist + nodeDist(l, nid)
-		if d > h {
-			return
-		}
-		path[l] = s.segs[l][nid]
-		if l == s.levels-1 {
-			// Assemble the candidate code and verify it exists.
-			s.Stats.LeavesChecked++
-			if s.byCode64 != nil {
-				if g, ok := s.byCode64[s.assemble64(path)]; ok {
-					found = append(found, g)
-				}
-			} else if g, ok := s.byCode[s.assemble(path).Key()]; ok {
-				found = append(found, g)
-			}
-			return
-		}
-		for _, next := range s.adj[l][nid] {
-			walk(l+1, next, d)
-		}
-	}
-	for _, nid := range s.nodes[0] {
-		walk(0, nid, 0)
-	}
-	if overrun {
-		return false
-	}
-	for _, g := range found {
-		emit(g)
-	}
-	return true
-}
-
-// assemble reconstructs a full code from per-level segment values.
-func (s *StaticIndex) assemble(path []uint64) bitvec.Code {
-	c := bitvec.New(s.length)
-	for l, v := range path {
-		from, w := s.bounds[l][0], s.bounds[l][1]
-		for i := 0; i < w; i++ {
-			if v>>uint(w-1-i)&1 == 1 {
-				c.SetBit(from+i, true)
-			}
-		}
-	}
-	return c
+// SearchInto is Search with caller-owned statistics; it does not mutate the
+// index and is safe for concurrent use on a read-only index. Callers issuing
+// many queries should hold a Searcher instead, which reuses its scratch.
+func (s *StaticIndex) SearchInto(q bitvec.Code, h int, stats *SearchStats) []int {
+	sr := NewSearcher(s)
+	out := sr.Search(q, h)
+	*stats = sr.Stats
+	return out
 }
 
 // assemble64 packs per-level segment values into the single word of a
@@ -317,19 +227,11 @@ func (s *StaticIndex) assemble64(path []uint64) uint64 {
 	return w
 }
 
-func popcount64(v uint64) int {
-	// Kernighan would do; use the stdlib intrinsic via math/bits in bitvec —
-	// here a small local to avoid importing for one call.
-	n := 0
-	for v != 0 {
-		v &= v - 1
-		n++
-	}
-	return n
-}
-
 // Len returns the number of indexed tuples.
 func (s *StaticIndex) Len() int { return s.n }
+
+// Length returns the code length L in bits.
+func (s *StaticIndex) Length() int { return s.length }
 
 // NodeCount returns the number of segment nodes across levels.
 func (s *StaticIndex) NodeCount() int {

@@ -55,14 +55,17 @@ func HammingJoinA(s []vector.Vec, g *GlobalIndex, pre *Preprocessed, opt Options
 			return nil
 		},
 		Reduce: func(key []byte, values [][]byte, emit func(mapreduce.KV)) error {
-			var stats core.SearchStats
-			for _, v := range values {
-				sid, code, err := decodeIDCode(v, opt.Bits)
-				if err != nil {
-					return err
-				}
-				for _, rid := range idx.SearchInto(code, opt.Threshold, &stats) {
-					emit(mapreduce.KV{Key: encodeUint32(uint32(rid)), Value: encodeUint32(uint32(sid))})
+			// Batch the partition's queries through the shared read-only
+			// index: one Searcher per worker, emissions in input order so
+			// the output is byte-identical to the serial reducer's.
+			sids, queries, err := decodeIDCodeBatch(values, opt.Bits)
+			if err != nil {
+				return err
+			}
+			results, _ := core.SearchBatch(idx, queries, opt.Threshold, opt.SearchWorkers)
+			for i, rids := range results {
+				for _, rid := range rids {
+					emit(mapreduce.KV{Key: encodeUint32(uint32(rid)), Value: encodeUint32(uint32(sids[i]))})
 				}
 			}
 			return nil
@@ -104,14 +107,14 @@ func HammingJoinB(s []vector.Vec, g *GlobalIndex, pre *Preprocessed, opt Options
 			return nil
 		},
 		Reduce: func(key []byte, values [][]byte, emit func(mapreduce.KV)) error {
-			var stats core.SearchStats
-			for _, v := range values {
-				sid, code, err := decodeIDCode(v, opt.Bits)
-				if err != nil {
-					return err
-				}
-				for _, qc := range idx.SearchCodesInto(code, opt.Threshold, &stats) {
-					emit(mapreduce.KV{Key: qc.AppendBytes(nil), Value: encodeUint32(uint32(sid))})
+			sids, queries, err := decodeIDCodeBatch(values, opt.Bits)
+			if err != nil {
+				return err
+			}
+			results, _ := core.SearchCodesBatch(idx, queries, opt.Threshold, opt.SearchWorkers)
+			for i, qcs := range results {
+				for _, qc := range qcs {
+					emit(mapreduce.KV{Key: qc.AppendBytes(nil), Value: encodeUint32(uint32(sids[i]))})
 				}
 			}
 			return nil

@@ -39,6 +39,12 @@ type Options struct {
 	Seed       int64
 	IndexOpts  core.Options // HA-Index build options
 
+	// SearchWorkers is the per-reducer query-engine parallelism: each join
+	// or select reducer drains its query partition through a
+	// core.SearchBatch worker pool over the shared broadcast index instead
+	// of searching serially. 0 selects GOMAXPROCS; 1 forces serial search.
+	SearchWorkers int
+
 	// FS, when set, routes the per-partition local indexes through the
 	// simulated distributed filesystem: reducers persist their serialized
 	// index (the paper's "produces the local HA-Index as output"), and the
@@ -188,6 +194,21 @@ func decodeIDCode(b []byte, bits int) (int, bitvec.Code, error) {
 	id := int(binary.BigEndian.Uint32(b))
 	c, _, err := bitvec.CodeFromBytes(b[4:], bits)
 	return id, c, err
+}
+
+// decodeIDCodeBatch decodes a reducer's value list into parallel id and code
+// slices — the query batch a reducer hands to core.SearchBatch.
+func decodeIDCodeBatch(values [][]byte, bits int) ([]int, []bitvec.Code, error) {
+	ids := make([]int, len(values))
+	codes := make([]bitvec.Code, len(values))
+	for i, v := range values {
+		id, c, err := decodeIDCode(v, bits)
+		if err != nil {
+			return nil, nil, err
+		}
+		ids[i], codes[i] = id, c
+	}
+	return ids, codes, nil
 }
 
 // checkBits guards against a silent reinterpretation hazard: codes are

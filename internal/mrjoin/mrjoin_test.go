@@ -8,6 +8,7 @@ import (
 	"haindex/internal/bitvec"
 	"haindex/internal/dataset"
 	"haindex/internal/dfs"
+	"haindex/internal/hash"
 	"haindex/internal/knn"
 	"haindex/internal/vector"
 )
@@ -417,5 +418,91 @@ func TestEmptyR(t *testing.T) {
 	}
 	if _, err := BuildGlobalIndex(nil, pre, opt); err == nil {
 		t.Fatal("expected error for empty R")
+	}
+}
+
+// TestJoinSearchWorkersEquivalence: the batched reducers must produce the
+// same pairs at every per-reducer worker count, including the serial one.
+func TestJoinSearchWorkersEquivalence(t *testing.T) {
+	r, s := testData(t, 350, 250)
+	opt := testOptions()
+	pre, err := Preprocess(r, s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGlobalIndex(r, pre, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReferenceJoin(roundTrip(r), roundTrip(s), pre, opt.Threshold)
+	for _, workers := range []int{1, 2, 4, 0} {
+		opt.SearchWorkers = workers
+		a, err := HammingJoinA(s, g, pre, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalPairs(a.Pairs, want) {
+			t.Errorf("option A workers=%d: %d pairs want %d", workers, len(a.Pairs), len(want))
+		}
+		b, err := HammingJoinB(s, g, pre, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalPairs(b.Pairs, want) {
+			t.Errorf("option B workers=%d: %d pairs want %d", workers, len(b.Pairs), len(want))
+		}
+	}
+}
+
+// TestHammingSelect: the distributed select matches per-query reference
+// scans, at several per-reducer worker counts.
+func TestHammingSelect(t *testing.T) {
+	r, q := testData(t, 400, 60)
+	opt := testOptions()
+	pre, err := Preprocess(r, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGlobalIndex(r, pre, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, qq := roundTrip(r), roundTrip(q)
+	rc := hash.HashAll(pre.Hash, rr)
+	qc := hash.HashAll(pre.Hash, qq)
+	want := make([][]int, len(qq))
+	for i, quc := range qc {
+		for j, c := range rc {
+			if _, ok := quc.DistanceWithin(c, opt.Threshold); ok {
+				want[i] = append(want[i], j)
+			}
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		opt.SearchWorkers = workers
+		res, err := HammingSelect(q, g, pre, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.IDs) != len(q) {
+			t.Fatalf("workers=%d: %d result lists for %d queries", workers, len(res.IDs), len(q))
+		}
+		for i := range want {
+			got := append([]int(nil), res.IDs[i]...)
+			exp := append([]int(nil), want[i]...)
+			sort.Ints(got)
+			sort.Ints(exp)
+			if len(got) != len(exp) {
+				t.Fatalf("workers=%d query %d: got %d ids want %d", workers, i, len(got), len(exp))
+			}
+			for k := range got {
+				if got[k] != exp[k] {
+					t.Fatalf("workers=%d query %d: id mismatch at %d", workers, i, k)
+				}
+			}
+		}
+		if res.Metrics.BroadcastBytes == 0 {
+			t.Error("select job charged no broadcast bytes")
+		}
 	}
 }

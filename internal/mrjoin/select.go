@@ -1,0 +1,74 @@
+package mrjoin
+
+import (
+	"fmt"
+
+	"haindex/internal/core"
+	"haindex/internal/mapreduce"
+	"haindex/internal/vector"
+)
+
+// SelectResult is the output of one distributed Hamming-select job.
+type SelectResult struct {
+	// IDs[i] lists the R tuple ids within the Hamming threshold of query i.
+	IDs     [][]int
+	Metrics mapreduce.Metrics
+}
+
+// HammingSelect is the MapReduce Hamming-select of Section 5.2: the global
+// HA-Index of R is broadcast to every node, the query stream is spread
+// round-robin over the reducers (the index is replicated, so any placement
+// is correct — round-robin keeps the load balanced), and each reducer drains
+// its query partition through a core.SearchBatch worker pool instead of
+// searching serially.
+func HammingSelect(queries []vector.Vec, g *GlobalIndex, pre *Preprocessed, opt Options) (*SelectResult, error) {
+	opt = opt.withDefaults()
+	if err := checkBits(pre, opt); err != nil {
+		return nil, err
+	}
+	idx := g.Index
+	cfg := mapreduce.Config{
+		Name:      "mrha-select",
+		Nodes:     opt.Nodes,
+		Reducers:  opt.Partitions,
+		Partition: partitionByKeyUint32,
+		Broadcast: []mapreduce.Broadcast{
+			{Name: "global-ha-index", Size: int64(idx.BroadcastSizeBytes(true))},
+			{Name: "hash", Size: hashFuncSize(pre)},
+		},
+		Map: func(in mapreduce.KV, emit func(mapreduce.KV)) error {
+			qid := decodeID(in.Key)
+			code := pre.Hash.Hash(decodeVecValue(in.Value))
+			pid := qid % opt.Partitions
+			emit(mapreduce.KV{Key: encodeUint32(uint32(pid)), Value: encodeIDCode(qid, code)})
+			return nil
+		},
+		Reduce: func(key []byte, values [][]byte, emit func(mapreduce.KV)) error {
+			qids, qcodes, err := decodeIDCodeBatch(values, opt.Bits)
+			if err != nil {
+				return err
+			}
+			results, _ := core.SearchBatch(idx, qcodes, opt.Threshold, opt.SearchWorkers)
+			for i, rids := range results {
+				for _, rid := range rids {
+					emit(mapreduce.KV{Key: encodeUint32(uint32(qids[i])), Value: encodeUint32(uint32(rid))})
+				}
+			}
+			return nil
+		},
+	}
+	opt.applyRuntime(&cfg)
+	out, metrics, err := mapreduce.Run(cfg, VecInput(queries))
+	if err != nil {
+		return nil, fmt.Errorf("mrjoin: select job: %w", err)
+	}
+	res := &SelectResult{IDs: make([][]int, len(queries)), Metrics: metrics}
+	for _, kv := range out {
+		qid := decodeID(kv.Key)
+		if qid < 0 || qid >= len(queries) {
+			return nil, fmt.Errorf("mrjoin: select emitted query id %d outside [0,%d)", qid, len(queries))
+		}
+		res.IDs[qid] = append(res.IDs[qid], decodeID(kv.Value))
+	}
+	return res, nil
+}
