@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race test-race bench bench-query vet fuzz experiments examples clean
+.PHONY: all check build test race test-race bench bench-query bench-serve vet fuzz smoke experiments examples clean
 
 all: build vet test
 
@@ -18,10 +18,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Race-detector pass over the packages with real concurrency: the MapReduce
-# runtime (retries, speculation), its consumers, and the parallel builders.
+# Race-detector pass over everything; the concurrency-heavy packages (the
+# MapReduce runtime, the serving layer's server/client, the parallel
+# builders) are all covered by running the whole module.
 test-race:
-	$(GO) test -race ./internal/mapreduce ./internal/core ./internal/mrjoin ./internal/dfs
+	$(GO) test -race ./...
 
 # Query-engine microbenchmarks (alloc counts must report 0 allocs/op for
 # steady-state Searcher use) plus the SearchBatch throughput experiment,
@@ -33,9 +34,21 @@ bench-query:
 	$(GO) test -run=NONE -bench='Searcher|SearchBatch' -benchmem ./internal/core/
 	$(GO) run ./cmd/habench -exp query
 
+# Serving-layer throughput experiment: QPS and latency against in-process
+# shard servers across shard counts and batch sizes; writes BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/habench -exp serve
+
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeDynamic -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzDecodeIndex -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzFromString -fuzztime=15s ./internal/bitvec/
+
+# End-to-end smoke of the serving stack: build the CLIs, generate a tiny
+# dataset, shard it, start two haserve processes (one fault-injected), query
+# through haquery, and diff against the in-process oracle.
+smoke:
+	./scripts/smoke.sh
 
 experiments:
 	$(GO) run ./cmd/habench -exp all

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table4|fig6|fig7|fig8|fig9|fig10|table5|ablation|scaling|faults|query|all")
+		exp    = flag.String("exp", "all", "experiment: table4|fig6|fig7|fig8|fig9|fig10|table5|ablation|scaling|faults|query|serve|all")
 		quick  = flag.Bool("quick", false, "use the small smoke-test scale")
 		n      = flag.Int("n", 0, "override Hamming-select dataset size")
 		knnN   = flag.Int("knn-n", 0, "override kNN dataset size (Table 5)")
@@ -81,6 +81,7 @@ func main() {
 		{"scaling", bench.Scaling},
 		{"faults", bench.FaultSweep},
 		{"query", bench.QueryBench},
+		{"serve", bench.ServeBench},
 	}
 	ran := false
 	for _, r := range runners {
@@ -97,7 +98,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fatalf("unknown experiment %q; want table4|fig6|fig7|fig8|fig9|fig10|table5|ablation|scaling|faults|query|all", *exp)
+		fatalf("unknown experiment %q; want table4|fig6|fig7|fig8|fig9|fig10|table5|ablation|scaling|faults|query|serve|all", *exp)
 	}
 }
 

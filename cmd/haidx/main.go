@@ -8,25 +8,36 @@
 //	haidx build -data d.csv -bits 32 -o d.hadx
 //	haidx info -index d.hadx
 //	haidx search -index d.hadx -data d.csv -query-rows 0,42 -h 3
+//	haidx shard -data d.csv -bits 32 -parts 4 -o shards/
+//
+// The shard subcommand splits the dataset into Gray-code partitions and
+// writes one self-describing snapshot per partition (shard-00000.hasn …),
+// ready to be served by haserve and queried through haquery. It also writes
+// codes.txt (one bit-string per row) so queries can be issued by code.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"haindex/internal/bitvec"
 	"haindex/internal/core"
 	"haindex/internal/dataset"
 	"haindex/internal/hash"
+	"haindex/internal/histo"
+	"haindex/internal/wire"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fatalf("usage: haidx <build|info|search> [flags]")
+		fatalf("usage: haidx <build|info|search|shard> [flags]")
 	}
 	switch os.Args[1] {
 	case "build":
@@ -35,8 +46,10 @@ func main() {
 		cmdInfo(os.Args[2:])
 	case "search":
 		cmdSearch(os.Args[2:])
+	case "shard":
+		cmdShard(os.Args[2:])
 	default:
-		fatalf("unknown subcommand %q; want build|info|search", os.Args[1])
+		fatalf("unknown subcommand %q; want build|info|search|shard", os.Args[1])
 	}
 }
 
@@ -140,6 +153,86 @@ func cmdSearch(args []string) {
 		fmt.Printf("row %d: %d matches within h=%d in %v [%d distance computations]\n",
 			row, len(ids), *h, took, idx.Stats.DistanceComputations)
 	}
+}
+
+// cmdShard hashes the dataset, picks Gray-rank pivots from a sample, splits
+// the rows into contiguous Gray partitions, and writes one serving snapshot
+// per partition. Row numbers in the CSV become the global tuple ids, so
+// results from a sharded deployment line up with a single-index build.
+func cmdShard(args []string) {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	data := fs.String("data", "", "CSV dataset (required)")
+	bits := fs.Int("bits", 32, "binary code length")
+	parts := fs.Int("parts", 2, "number of partitions (one snapshot each)")
+	out := fs.String("o", "shards", "output directory")
+	seed := fs.Int64("seed", 1, "hash-learning sample seed")
+	fs.Parse(args)
+	if *data == "" {
+		fatalf("shard: -data is required")
+	}
+	if *parts < 1 {
+		fatalf("shard: -parts must be >= 1")
+	}
+	vecs, err := dataset.ReadCSV(*data)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	hf, err := hash.LearnSpectral(dataset.Reservoir(vecs, len(vecs)/10+100, *seed), *bits)
+	if err != nil {
+		fatalf("learning hash: %v", err)
+	}
+	codes := hash.HashAll(hf, vecs)
+
+	sample := codes
+	if len(sample) > 2000 {
+		sample = codes[:2000]
+	}
+	pivots := histo.Pivots(sample, *parts)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+	byPart := make([][]int, *parts)
+	for i, c := range codes {
+		m := histo.PartitionID(pivots, c)
+		byPart[m] = append(byPart[m], i)
+	}
+	t0 := time.Now()
+	for m := 0; m < *parts; m++ {
+		rows := byPart[m]
+		partCodes := make([]bitvec.Code, len(rows))
+		for j, i := range rows {
+			partCodes[j] = codes[i]
+		}
+		idx := core.BuildDynamic(partCodes, rows, core.Options{})
+		meta := wire.SnapshotMeta{Part: m, Parts: *parts, Length: *bits, Pivots: pivots}
+		path := filepath.Join(*out, fmt.Sprintf("shard-%05d.hasn", m))
+		f, err := os.Create(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := wire.WriteSnapshot(f, meta, idx); err != nil {
+			fatalf("writing %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("haidx: %s: %d tuples\n", path, len(rows))
+	}
+	cf, err := os.Create(filepath.Join(*out, "codes.txt"))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cw := bufio.NewWriter(cf)
+	for _, c := range codes {
+		fmt.Fprintln(cw, c.String())
+	}
+	if err := cw.Flush(); err != nil {
+		fatalf("%v", err)
+	}
+	cf.Close()
+	fmt.Printf("haidx: sharded %d tuples into %d partitions in %v; codes in %s\n",
+		len(codes), *parts, time.Since(t0).Round(time.Millisecond), filepath.Join(*out, "codes.txt"))
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -1,0 +1,91 @@
+// Command haserve hosts one HA-Index shard over the wire protocol. It loads
+// a partition snapshot written by "haidx shard" (or internal/wire directly),
+// binds a TCP listener, and answers batched Hamming-select, top-k, and stats
+// requests until interrupted.
+//
+// Usage:
+//
+//	haserve -snapshot shards/shard-00000.hasn -addr 127.0.0.1:7070
+//	haserve -snapshot shards/shard-00001.hasn -addr 127.0.0.1:0 -port-file s1.addr
+//
+// With -addr ending in :0 the kernel picks a free port; -port-file writes
+// the bound address for scripts to pick up. The -fail-requests and
+// -drop-requests flags inject deterministic faults (by server-wide request
+// number) for smoke tests of client retry and failover.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"haindex/internal/server"
+)
+
+func main() {
+	var (
+		snapshot  = flag.String("snapshot", "", "shard snapshot file (required)")
+		addr      = flag.String("addr", "127.0.0.1:0", "listen address (\":0\" picks a free port)")
+		searchers = flag.Int("searchers", 0, "searcher pool size (0 = GOMAXPROCS)")
+		portFile  = flag.String("port-file", "", "write the bound address to this file")
+		failReqs  = flag.String("fail-requests", "", "comma-separated request numbers answered with an error frame")
+		dropReqs  = flag.String("drop-requests", "", "comma-separated request numbers whose connection is dropped")
+	)
+	flag.Parse()
+	if *snapshot == "" {
+		fatalf("-snapshot is required")
+	}
+
+	var faults *server.FaultPlan
+	addFaults := func(csv string, add func(*server.FaultPlan, int64)) {
+		if csv == "" {
+			return
+		}
+		if faults == nil {
+			faults = server.NewFaultPlan()
+		}
+		for _, part := range strings.Split(csv, ",") {
+			req, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil || req < 0 {
+				fatalf("invalid request number %q", part)
+			}
+			add(faults, req)
+		}
+	}
+	addFaults(*failReqs, func(p *server.FaultPlan, r int64) { p.FailRequest(r) })
+	addFaults(*dropReqs, func(p *server.FaultPlan, r int64) { p.DropRequest(r) })
+
+	s, err := server.LoadSnapshotFile(*snapshot, server.Options{Searchers: *searchers, Faults: faults})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := s.Start(*addr); err != nil {
+		fatalf("%v", err)
+	}
+	bound := s.Addr().String()
+	meta := s.Meta()
+	fmt.Printf("haserve: shard %d/%d (%d-bit codes) on %s from %s\n",
+		meta.Part, meta.Parts, meta.Length, bound, *snapshot)
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(bound+"\n"), 0o644); err != nil {
+			fatalf("writing port file: %v", err)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := s.Stats()
+	s.Close()
+	fmt.Printf("haserve: served %d requests (%d select + %d top-k queries, %d ids, %d errors, %d faults injected)\n",
+		st.Requests, st.Queries, st.TopKQueries, st.IDsReturned, st.Errors, st.FaultsInjected)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "haserve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/client"
+	"haindex/internal/core"
+	"haindex/internal/dataset"
+	"haindex/internal/histo"
+	"haindex/internal/server"
+	"haindex/internal/wire"
+)
+
+// ServeBenchFile is where ServeBench writes its machine-readable results.
+const ServeBenchFile = "BENCH_serve.json"
+
+type serveBenchJSON struct {
+	N          int             `json:"n"`
+	Bits       int             `json:"bits"`
+	Threshold  int             `json:"threshold"`
+	Queries    int             `json:"queries"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Runs       []serveBenchRun `json:"runs"`
+}
+
+type serveBenchRun struct {
+	Shards    int     `json:"shards"`
+	BatchSize int     `json:"batch_size"`
+	NsPerOp   int64   `json:"ns_per_query"`
+	QPS       float64 `json:"qps"`
+	Pruned    int64   `json:"queries_pruned"`
+}
+
+// ServeBench measures the online serving path end to end: real haserve-style
+// shard servers on loopback TCP, a client.Router fanning batched
+// Hamming-select queries across them, as a function of shard count and batch
+// size. Latency here includes framing, syscalls, and the routing merge —
+// the costs the in-process QueryBench cannot see. Results are printed as a
+// table and written to BENCH_serve.json.
+func ServeBench(sc Scale) ([]Table, error) {
+	env, err := NewEnv(dataset.NUSWide, sc.SelectN, sc.Bits, sc.Queries, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(sc.Seed + 11))
+	nq := 2048
+	if nq > 2*len(env.Codes) {
+		nq = 2 * len(env.Codes)
+	}
+	queries := make([]bitvec.Code, nq)
+	for i := range queries {
+		c := env.Codes[rng.Intn(len(env.Codes))].Clone()
+		for f := 0; f < 2; f++ {
+			c.FlipBit(rng.Intn(sc.Bits))
+		}
+		queries[i] = c
+	}
+
+	rec := serveBenchJSON{
+		N:          len(env.Codes),
+		Bits:       sc.Bits,
+		Threshold:  sc.Threshold,
+		Queries:    nq,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	shardCounts := []int{1, 2, 4}
+	batchSizes := []int{1, 16, 128}
+	t := Table{
+		Title: "Serving layer: router throughput vs shard count and batch size",
+		Note: fmt.Sprintf("%s, n=%d, L=%d bits, h=%d, %d queries over loopback TCP; cells are q/s (µs/query); GOMAXPROCS=%d",
+			env.Profile.Name, len(env.Codes), sc.Bits, sc.Threshold, nq, rec.GOMAXPROCS),
+		Header: []string{"batch size"},
+	}
+	for _, parts := range shardCounts {
+		t.Header = append(t.Header, fmt.Sprintf("shards=%d", parts))
+	}
+
+	type cell struct{ qps, us float64 }
+	cells := make(map[[2]int]cell)
+	for _, parts := range shardCounts {
+		r, servers, err := startDeployment(env.Codes, sc.Bits, parts)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range batchSizes {
+			// Warmup sizes searcher scratch and fills connection buffers.
+			if _, err := r.SearchBatch(queries[:min(b, nq)], sc.Threshold); err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			for off := 0; off < nq; off += b {
+				end := off + b
+				if end > nq {
+					end = nq
+				}
+				if _, err := r.SearchBatch(queries[off:end], sc.Threshold); err != nil {
+					return nil, err
+				}
+			}
+			dur := time.Since(t0)
+			qps := float64(nq) / dur.Seconds()
+			cells[[2]int{b, parts}] = cell{qps: qps, us: float64(dur.Microseconds()) / float64(nq)}
+			rec.Runs = append(rec.Runs, serveBenchRun{
+				Shards:    parts,
+				BatchSize: b,
+				NsPerOp:   dur.Nanoseconds() / int64(nq),
+				QPS:       qps,
+				Pruned:    r.Stats().QueriesPruned,
+			})
+		}
+		r.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for _, b := range batchSizes {
+		row := []string{fmt.Sprintf("%d", b)}
+		for _, parts := range shardCounts {
+			c := cells[[2]int{b, parts}]
+			row = append(row, fmt.Sprintf("%.0f (%.0f µs)", c.qps, c.us))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: encoding %s: %w", ServeBenchFile, err)
+	}
+	if err := os.WriteFile(ServeBenchFile, append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("bench: writing %s: %w", ServeBenchFile, err)
+	}
+	return []Table{t}, nil
+}
+
+// startDeployment partitions codes into parts Gray ranges, starts one shard
+// server per partition on loopback, and dials a router over them.
+func startDeployment(codes []bitvec.Code, bits, parts int) (*client.Router, []*server.Server, error) {
+	sample := codes
+	if len(sample) > 2000 {
+		sample = codes[:2000]
+	}
+	pivots := histo.Pivots(sample, parts)
+	byPart := make([][]bitvec.Code, parts)
+	idsByPart := make([][]int, parts)
+	for i, c := range codes {
+		m := histo.PartitionID(pivots, c)
+		byPart[m] = append(byPart[m], c)
+		idsByPart[m] = append(idsByPart[m], i)
+	}
+	var servers []*server.Server
+	var addrs [][]string
+	for m := 0; m < parts; m++ {
+		meta := wire.SnapshotMeta{Part: m, Parts: parts, Length: bits, Pivots: pivots}
+		idx := core.BuildDynamic(byPart[m], idsByPart[m], core.Options{})
+		s, err := server.New(meta, idx, server.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			return nil, nil, err
+		}
+		servers = append(servers, s)
+		addrs = append(addrs, []string{s.Addr().String()})
+	}
+	r, err := client.Dial(addrs, client.Options{})
+	if err != nil {
+		for _, s := range servers {
+			s.Close()
+		}
+		return nil, nil, err
+	}
+	return r, servers, nil
+}

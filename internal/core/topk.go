@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sort"
+
+	"haindex/internal/bitvec"
+)
+
+// TopK returns the ids of the k tuples nearest to q in Hamming distance,
+// with their distances, ordered by (distance, id); ties at the kth place are
+// broken toward smaller ids, so the result is deterministic. Fewer than k
+// pairs come back when the index holds fewer tuples.
+//
+// The search expands the radius one step at a time — a tuple's distance is
+// the first radius at which it appears — and stops at the first radius whose
+// cumulative result reaches k, so selective queries never pay for a full
+// scan. Unlike Search, the returned slices are freshly allocated and do not
+// alias the searcher's scratch; Stats aggregates the whole expansion.
+func (sr *Searcher) TopK(q bitvec.Code, k int) ([]int, []int) {
+	if k <= 0 || sr.idx.Len() == 0 {
+		sr.Stats = SearchStats{}
+		return nil, nil
+	}
+	var agg SearchStats
+	dist := make(map[int]int)
+	maxH := sr.idx.Length()
+	for h := 0; h <= maxH; h++ {
+		for _, id := range sr.Search(q, h) {
+			if _, seen := dist[id]; !seen {
+				dist[id] = h
+			}
+		}
+		agg.Add(sr.Stats)
+		if len(dist) >= k {
+			break
+		}
+	}
+	sr.Stats = agg
+	ids := make([]int, 0, len(dist))
+	for id := range dist {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := dist[ids[i]], dist[ids[j]]
+		if di != dj {
+			return di < dj
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	dists := make([]int, len(ids))
+	for i, id := range ids {
+		dists[i] = dist[id]
+	}
+	return ids, dists
+}

@@ -1,0 +1,374 @@
+// Package server hosts one shard of an HA-Index behind the wire protocol:
+// it loads a partition snapshot (internal/wire), answers batched
+// Hamming-select and top-k requests through a pool of core.Searchers with
+// batched admission, and keeps per-shard statistics. One process serves one
+// Gray partition; a deployment runs one or more replicas of each partition
+// and a client router (internal/client) fans queries across them.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"haindex/internal/core"
+	"haindex/internal/wire"
+)
+
+// Options configures a shard server.
+type Options struct {
+	// Searchers is the size of the searcher pool — the maximum number of
+	// concurrently executing queries across all connections. 0 selects
+	// GOMAXPROCS.
+	Searchers int
+	// Faults optionally injects deterministic request-level faults (tests,
+	// smoke runs). Nil injects nothing.
+	Faults *FaultPlan
+}
+
+// Stats is a snapshot of the per-shard serving counters.
+type Stats = wire.StatsResp
+
+// Server serves one shard. Create with New, start with Start (or Serve on
+// an existing listener), stop with Close.
+type Server struct {
+	meta wire.SnapshotMeta
+	idx  *core.DynamicIndex
+	opts Options
+
+	// pool holds the idle Searchers; its capacity is the admission limit.
+	pool chan *core.Searcher
+
+	// reqSeq numbers search/top-k requests across all connections — the
+	// coordinate system of the fault plan.
+	reqSeq atomic.Int64
+
+	requests       atomic.Int64
+	queries        atomic.Int64
+	topkQueries    atomic.Int64
+	idsReturned    atomic.Int64
+	errors         atomic.Int64
+	faultsInjected atomic.Int64
+	distComps      atomic.Int64
+	nodesVisited   atomic.Int64
+	leavesChecked  atomic.Int64
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds a server over a decoded snapshot. The index must not be
+// mutated once serving starts — the searcher pool shares it read-only.
+func New(meta wire.SnapshotMeta, idx *core.DynamicIndex, opts Options) (*Server, error) {
+	if idx.Length() != meta.Length {
+		return nil, fmt.Errorf("server: index is %d-bit, snapshot header says %d", idx.Length(), meta.Length)
+	}
+	if opts.Searchers <= 0 {
+		opts.Searchers = runtime.GOMAXPROCS(0)
+	}
+	idx.Flush() // settle any unflushed inserts before the read-only phase
+	s := &Server{
+		meta:  meta,
+		idx:   idx,
+		opts:  opts,
+		pool:  make(chan *core.Searcher, opts.Searchers),
+		conns: make(map[net.Conn]struct{}),
+	}
+	for i := 0; i < opts.Searchers; i++ {
+		s.pool <- core.NewSearcher(idx)
+	}
+	return s, nil
+}
+
+// LoadSnapshotFile is New over a snapshot file on disk.
+func LoadSnapshotFile(path string, opts Options) (*Server, error) {
+	meta, idx, err := wire.ReadSnapshotFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: loading snapshot %s: %w", path, err)
+	}
+	return New(meta, idx, opts)
+}
+
+// Meta returns the shard's snapshot header.
+func (s *Server) Meta() wire.SnapshotMeta { return s.meta }
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in the background.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ln)
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (after Start).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:             s.requests.Load(),
+		Queries:              s.queries.Load(),
+		TopKQueries:          s.topkQueries.Load(),
+		IDsReturned:          s.idsReturned.Load(),
+		Errors:               s.errors.Load(),
+		FaultsInjected:       s.faultsInjected.Load(),
+		DistanceComputations: s.distComps.Load(),
+		NodesVisited:         s.nodesVisited.Load(),
+		LeavesChecked:        s.leavesChecked.Load(),
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	writeMsg := func(t wire.MsgType, payload []byte) bool {
+		if err := wire.WriteFrame(bw, t, payload); err != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
+	writeErr := func(format string, args ...interface{}) bool {
+		s.errors.Add(1)
+		return writeMsg(wire.MsgError, wire.ErrorMsg{Msg: fmt.Sprintf(format, args...)}.Append(nil))
+	}
+
+	// The session must open with a version handshake.
+	t, payload, err := wire.ReadFrame(br)
+	if err != nil {
+		return
+	}
+	if t != wire.MsgHello {
+		writeErr("expected hello, got %s", t)
+		return
+	}
+	hello, err := wire.ParseHello(payload)
+	if err != nil {
+		writeErr("bad hello: %v", err)
+		return
+	}
+	if hello.Version != wire.Version {
+		writeErr("protocol version %d not supported (server speaks %d)", hello.Version, wire.Version)
+		return
+	}
+	ok := wire.HelloOK{
+		Version: wire.Version,
+		Length:  s.meta.Length,
+		Part:    s.meta.Part,
+		Parts:   s.meta.Parts,
+		Tuples:  s.idx.Len(),
+		Pivots:  s.meta.Pivots,
+	}
+	if !writeMsg(wire.MsgHelloOK, ok.Append(nil)) {
+		return
+	}
+
+	for {
+		t, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return // client went away (or sent garbage framing)
+		}
+		switch t {
+		case wire.MsgSearch, wire.MsgTopK:
+			s.requests.Add(1)
+			seq := s.reqSeq.Add(1) - 1
+			f := s.opts.Faults.fault(seq)
+			if f.Delay > 0 {
+				s.faultsInjected.Add(1)
+				time.Sleep(f.Delay)
+			}
+			if f.Drop {
+				s.faultsInjected.Add(1)
+				return
+			}
+			if f.Fail {
+				s.faultsInjected.Add(1)
+				if !writeErr("injected failure of request %d", seq) {
+					return
+				}
+				continue
+			}
+			var respType wire.MsgType
+			var resp []byte
+			if t == wire.MsgSearch {
+				respType, resp = s.answerSearch(payload)
+			} else {
+				respType, resp = s.answerTopK(payload)
+			}
+			if respType == wire.MsgError {
+				s.errors.Add(1)
+			}
+			if !writeMsg(respType, resp) {
+				return
+			}
+		case wire.MsgStats:
+			if !writeMsg(wire.MsgStatsOK, s.Stats().Append(nil)) {
+				return
+			}
+		default:
+			if !writeErr("unexpected %s frame", t) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) answerSearch(payload []byte) (wire.MsgType, []byte) {
+	req, err := wire.ParseSearchReq(payload, s.meta.Length)
+	if err != nil {
+		return wire.MsgError, wire.ErrorMsg{Msg: err.Error()}.Append(nil)
+	}
+	if req.H < 0 || req.H > s.meta.Length {
+		return wire.MsgError, wire.ErrorMsg{Msg: fmt.Sprintf("threshold %d out of range", req.H)}.Append(nil)
+	}
+	s.queries.Add(int64(len(req.Queries)))
+	resp := wire.SearchResp{IDs: make([][]int, len(req.Queries))}
+	returned := int64(0)
+	s.runBatch(len(req.Queries), func(sr *core.Searcher, i int) {
+		ids := sr.Search(req.Queries[i], req.H)
+		if len(ids) > 0 {
+			out := append([]int(nil), ids...)
+			sort.Ints(out)
+			resp.IDs[i] = out
+			atomic.AddInt64(&returned, int64(len(out)))
+		}
+	})
+	s.idsReturned.Add(atomic.LoadInt64(&returned))
+	return wire.MsgSearchOK, resp.Append(nil)
+}
+
+func (s *Server) answerTopK(payload []byte) (wire.MsgType, []byte) {
+	req, err := wire.ParseTopKReq(payload, s.meta.Length)
+	if err != nil {
+		return wire.MsgError, wire.ErrorMsg{Msg: err.Error()}.Append(nil)
+	}
+	if req.K < 0 || req.K > 1<<20 {
+		return wire.MsgError, wire.ErrorMsg{Msg: fmt.Sprintf("k %d out of range", req.K)}.Append(nil)
+	}
+	s.topkQueries.Add(int64(len(req.Queries)))
+	resp := wire.TopKResp{IDs: make([][]int, len(req.Queries)), Dists: make([][]int, len(req.Queries))}
+	returned := int64(0)
+	s.runBatch(len(req.Queries), func(sr *core.Searcher, i int) {
+		ids, dists := sr.TopK(req.Queries[i], req.K)
+		resp.IDs[i], resp.Dists[i] = ids, dists
+		atomic.AddInt64(&returned, int64(len(ids)))
+	})
+	s.idsReturned.Add(atomic.LoadInt64(&returned))
+	return wire.MsgTopKOK, resp.Append(nil)
+}
+
+// runBatch executes one request's queries with batched admission: it blocks
+// for one searcher (the admission ticket — at most Options.Searchers
+// requests make progress at once) and opportunistically grabs idle extras
+// to parallelize the batch, so a lone large batch uses the whole pool while
+// concurrent small requests are not starved. Queries are claimed off an
+// atomic cursor, mirroring core.SearchBatch.
+func (s *Server) runBatch(n int, run func(sr *core.Searcher, i int)) {
+	if n == 0 {
+		return
+	}
+	searchers := []*core.Searcher{<-s.pool}
+	for len(searchers) < n {
+		select {
+		case sr := <-s.pool:
+			searchers = append(searchers, sr)
+		default:
+			goto acquired
+		}
+	}
+acquired:
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for _, sr := range searchers {
+		wg.Add(1)
+		go func(sr *core.Searcher) {
+			defer wg.Done()
+			var agg core.SearchStats
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				run(sr, i)
+				agg.Add(sr.Stats)
+			}
+			s.distComps.Add(int64(agg.DistanceComputations))
+			s.nodesVisited.Add(int64(agg.NodesVisited))
+			s.leavesChecked.Add(int64(agg.LeavesChecked))
+			s.pool <- sr
+		}(sr)
+	}
+	wg.Wait()
+}

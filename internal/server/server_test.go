@@ -1,0 +1,314 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/core"
+	"haindex/internal/histo"
+	"haindex/internal/wire"
+)
+
+func testShard(t *testing.T, rng *rand.Rand, n, bits, parts, part int) (wire.SnapshotMeta, *core.DynamicIndex, []bitvec.Code) {
+	t.Helper()
+	codes := make([]bitvec.Code, n)
+	for i := range codes {
+		codes[i] = bitvec.Rand(rng, bits)
+	}
+	pivots := histo.Pivots(codes[:n/4], parts)
+	var own []bitvec.Code
+	var ids []int
+	for i, c := range codes {
+		if histo.PartitionID(pivots, c) == part {
+			own = append(own, c)
+			ids = append(ids, i)
+		}
+	}
+	meta := wire.SnapshotMeta{Part: part, Parts: parts, Length: bits, Pivots: pivots}
+	return meta, core.BuildDynamic(own, ids, core.Options{}), codes
+}
+
+// client is a minimal raw-protocol client for server tests.
+type client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	t    *testing.T
+}
+
+func dialTest(t *testing.T, s *Server) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, br: bufio.NewReader(conn), t: t}
+}
+
+func (c *client) roundTrip(typ wire.MsgType, payload []byte) (wire.MsgType, []byte) {
+	c.t.Helper()
+	if err := wire.WriteFrame(c.conn, typ, payload); err != nil {
+		c.t.Fatal(err)
+	}
+	rt, resp, err := wire.ReadFrame(c.br)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return rt, resp
+}
+
+func (c *client) hello() wire.HelloOK {
+	c.t.Helper()
+	rt, resp := c.roundTrip(wire.MsgHello, wire.Hello{Version: wire.Version}.Append(nil))
+	if rt != wire.MsgHelloOK {
+		c.t.Fatalf("handshake answered %s", rt)
+	}
+	ok, err := wire.ParseHelloOK(resp)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return ok
+}
+
+func startTestServer(t *testing.T, meta wire.SnapshotMeta, idx *core.DynamicIndex, opts Options) *Server {
+	t.Helper()
+	s, err := New(meta, idx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestServerSearchMatchesLocalIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	meta, idx, codes := testShard(t, rng, 800, 32, 3, 1)
+	s := startTestServer(t, meta, idx, Options{Searchers: 4})
+	c := dialTest(t, s)
+	ok := c.hello()
+	if ok.Part != 1 || ok.Parts != 3 || ok.Length != 32 || ok.Tuples != idx.Len() || len(ok.Pivots) != 2 {
+		t.Fatalf("hello: %+v", ok)
+	}
+
+	queries := make([]bitvec.Code, 50)
+	for i := range queries {
+		q := codes[rng.Intn(len(codes))].Clone()
+		q.FlipBit(rng.Intn(32))
+		queries[i] = q
+	}
+	rt, resp := c.roundTrip(wire.MsgSearch, wire.SearchReq{H: 3, Queries: queries}.Append(nil))
+	if rt != wire.MsgSearchOK {
+		t.Fatalf("search answered %s", rt)
+	}
+	parsed, err := wire.ParseSearchResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := core.NewSearcher(idx)
+	for i, q := range queries {
+		want := append([]int(nil), sr.Search(q, 3)...)
+		sort.Ints(want)
+		if len(want) == 0 {
+			want = nil
+		}
+		got := parsed.IDs[i]
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d ids, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("query %d id %d: %d vs %d", i, j, got[j], want[j])
+			}
+		}
+	}
+
+	// Top-k must match the local searcher exactly, including tie order.
+	rt, resp = c.roundTrip(wire.MsgTopK, wire.TopKReq{K: 7, Queries: queries[:10]}.Append(nil))
+	if rt != wire.MsgTopKOK {
+		t.Fatalf("topk answered %s", rt)
+	}
+	tk, err := wire.ParseTopKResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries[:10] {
+		ids, dists := sr.TopK(q, 7)
+		if len(tk.IDs[i]) != len(ids) {
+			t.Fatalf("topk query %d: %d vs %d results", i, len(tk.IDs[i]), len(ids))
+		}
+		for j := range ids {
+			if tk.IDs[i][j] != ids[j] || tk.Dists[i][j] != dists[j] {
+				t.Fatalf("topk query %d pos %d mismatch", i, j)
+			}
+		}
+	}
+
+	// Stats reflect the work.
+	rt, resp = c.roundTrip(wire.MsgStats, nil)
+	if rt != wire.MsgStatsOK {
+		t.Fatalf("stats answered %s", rt)
+	}
+	st, err := wire.ParseStatsResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 2 || st.Queries != 50 || st.TopKQueries != 10 || st.DistanceComputations == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestServerRejectsVersionMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	meta, idx, _ := testShard(t, rng, 100, 16, 2, 0)
+	s := startTestServer(t, meta, idx, Options{})
+	c := dialTest(t, s)
+	rt, resp := c.roundTrip(wire.MsgHello, wire.Hello{Version: wire.Version + 9}.Append(nil))
+	if rt != wire.MsgError {
+		t.Fatalf("mismatched version answered %s", rt)
+	}
+	em, err := wire.ParseErrorMsg(resp)
+	if err != nil || em.Msg == "" {
+		t.Fatalf("error frame: %+v %v", em, err)
+	}
+}
+
+func TestServerRequiresHelloFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	meta, idx, _ := testShard(t, rng, 100, 16, 2, 0)
+	s := startTestServer(t, meta, idx, Options{})
+	c := dialTest(t, s)
+	rt, _ := c.roundTrip(wire.MsgSearch, wire.SearchReq{H: 1}.Append(nil))
+	if rt != wire.MsgError {
+		t.Fatalf("search before hello answered %s", rt)
+	}
+}
+
+func TestServerFaultInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	meta, idx, codes := testShard(t, rng, 200, 16, 2, 0)
+	faults := NewFaultPlan().FailRequest(0).DropRequest(1)
+	s := startTestServer(t, meta, idx, Options{Faults: faults})
+
+	c := dialTest(t, s)
+	c.hello()
+	req := wire.SearchReq{H: 2, Queries: codes[:3]}.Append(nil)
+	if rt, _ := c.roundTrip(wire.MsgSearch, req); rt != wire.MsgError {
+		t.Fatalf("request 0 not failed: %s", rt)
+	}
+	// Request 1 drops the connection mid-request.
+	if err := wire.WriteFrame(c.conn, wire.MsgSearch, req); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wire.ReadFrame(c.br); err == nil {
+		t.Fatal("request 1 not dropped")
+	}
+	// A fresh connection serves request 2 normally.
+	c2 := dialTest(t, s)
+	c2.hello()
+	if rt, _ := c2.roundTrip(wire.MsgSearch, req); rt != wire.MsgSearchOK {
+		t.Fatalf("request 2 answered %s", rt)
+	}
+	if got := s.Stats().FaultsInjected; got != 2 {
+		t.Fatalf("FaultsInjected = %d, want 2", got)
+	}
+}
+
+// TestServerConcurrentClients hammers one server from many goroutines; run
+// under -race this exercises the searcher pool and stats counters.
+func TestServerConcurrentClients(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	meta, idx, codes := testShard(t, rng, 600, 32, 2, 0)
+	s := startTestServer(t, meta, idx, Options{Searchers: 3})
+	oracle := core.NewSearcher(idx)
+	type qa struct {
+		q    bitvec.Code
+		want []int
+	}
+	cases := make([]qa, 40)
+	for i := range cases {
+		q := codes[rng.Intn(len(codes))].Clone()
+		q.FlipBit(rng.Intn(32))
+		want := append([]int(nil), oracle.Search(q, 3)...)
+		sort.Ints(want)
+		cases[i] = qa{q: q, want: want}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", s.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			if err := wire.WriteFrame(conn, wire.MsgHello, wire.Hello{Version: wire.Version}.Append(nil)); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, _, err := wire.ReadFrame(br); err != nil {
+				t.Error(err)
+				return
+			}
+			for rep := 0; rep < 10; rep++ {
+				c := cases[(w*10+rep)%len(cases)]
+				if err := wire.WriteFrame(conn, wire.MsgSearch, wire.SearchReq{H: 3, Queries: []bitvec.Code{c.q}}.Append(nil)); err != nil {
+					t.Error(err)
+					return
+				}
+				rt, resp, err := wire.ReadFrame(br)
+				if err != nil || rt != wire.MsgSearchOK {
+					t.Errorf("worker %d: %v %v", w, rt, err)
+					return
+				}
+				parsed, err := wire.ParseSearchResp(resp)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got := parsed.IDs[0]
+				if len(got) != len(c.want) {
+					t.Errorf("worker %d rep %d: %d ids, want %d", w, rep, len(got), len(c.want))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestLoadSnapshotFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	meta, idx, _ := testShard(t, rng, 300, 32, 2, 1)
+	var buf bytes.Buffer
+	if err := wire.WriteSnapshot(&buf, meta, idx); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "shard.hasn")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadSnapshotFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Meta().Part != 1 || s.idx.Len() != idx.Len() {
+		t.Fatalf("loaded meta %+v len %d", s.Meta(), s.idx.Len())
+	}
+	if _, err := LoadSnapshotFile(filepath.Join(t.TempDir(), "missing"), Options{}); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/core"
+)
+
+// Shard snapshot format: the unit haidx emits per Gray partition and haserve
+// loads at startup. A snapshot is self-describing — it carries the full
+// pivot list and its own partition id, so a server can report the cluster
+// routing table in its handshake and a router can verify that the shards it
+// dialed belong to one consistent partitioning.
+//
+// Layout:
+//
+//	magic "HASN" | version | part | parts | code length L | pivot count |
+//	pivots (fixed-width codes) | embedded HADX index (core codec, to EOF)
+
+const (
+	snapshotMagic   = "HASN"
+	snapshotVersion = 1
+)
+
+// SnapshotMeta is the shard header of a snapshot file.
+type SnapshotMeta struct {
+	Part   int // this shard's partition id in [0, Parts)
+	Parts  int // total partitions in the deployment
+	Length int // code length in bits
+	Pivots []bitvec.Code
+}
+
+func (m SnapshotMeta) validate() error {
+	if m.Parts <= 0 || m.Part < 0 || m.Part >= m.Parts {
+		return fmt.Errorf("wire: snapshot partition %d of %d out of range", m.Part, m.Parts)
+	}
+	if m.Parts != len(m.Pivots)+1 {
+		return fmt.Errorf("wire: snapshot has %d partitions but %d pivots", m.Parts, len(m.Pivots))
+	}
+	if m.Length <= 0 || m.Length > 1<<20 {
+		return fmt.Errorf("wire: implausible snapshot code length %d", m.Length)
+	}
+	for _, p := range m.Pivots {
+		if p.Len() != m.Length {
+			return fmt.Errorf("wire: snapshot pivot length %d != code length %d", p.Len(), m.Length)
+		}
+	}
+	return nil
+}
+
+// WriteSnapshot writes the shard header followed by the encoded index
+// (always with id tables — a serving shard must return ids).
+func WriteSnapshot(w io.Writer, meta SnapshotMeta, idx *core.DynamicIndex) error {
+	if err := meta.validate(); err != nil {
+		return err
+	}
+	if idx.Length() != meta.Length {
+		return fmt.Errorf("wire: snapshot index is %d-bit, header says %d", idx.Length(), meta.Length)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	for _, v := range []uint64{snapshotVersion, uint64(meta.Part), uint64(meta.Parts), uint64(meta.Length), uint64(len(meta.Pivots))} {
+		if err := putU(v); err != nil {
+			return err
+		}
+	}
+	scratch := make([]byte, 0, bitvec.EncodedLen(meta.Length))
+	for _, p := range meta.Pivots {
+		if _, err := bw.Write(p.AppendBytes(scratch[:0])); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return idx.Encode(w, true)
+}
+
+// ReadSnapshot parses a snapshot: header then embedded index. Corrupt input
+// returns an error, never panics.
+func ReadSnapshot(r io.Reader) (SnapshotMeta, *core.DynamicIndex, error) {
+	br := bufio.NewReader(r)
+	var meta SnapshotMeta
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return meta, nil, fmt.Errorf("wire: reading snapshot magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return meta, nil, fmt.Errorf("wire: bad snapshot magic %q", magic)
+	}
+	readU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	version, err := readU()
+	if err != nil {
+		return meta, nil, err
+	}
+	if version != snapshotVersion {
+		return meta, nil, fmt.Errorf("wire: unsupported snapshot version %d", version)
+	}
+	var part, parts, length, npiv uint64
+	for _, dst := range []*uint64{&part, &parts, &length, &npiv} {
+		if *dst, err = readU(); err != nil {
+			return meta, nil, err
+		}
+	}
+	meta.Part, meta.Parts, meta.Length = int(part), int(parts), int(length)
+	if meta.Length <= 0 || meta.Length > 1<<20 {
+		return meta, nil, fmt.Errorf("wire: implausible snapshot code length %d", meta.Length)
+	}
+	if npiv > uint64(meta.Parts) {
+		return meta, nil, fmt.Errorf("wire: snapshot pivot count %d exceeds partitions %d", npiv, meta.Parts)
+	}
+	codeBytes := make([]byte, bitvec.EncodedLen(meta.Length))
+	for i := uint64(0); i < npiv; i++ {
+		if _, err := io.ReadFull(br, codeBytes); err != nil {
+			return meta, nil, fmt.Errorf("wire: reading snapshot pivot %d: %w", i, err)
+		}
+		c, _, err := bitvec.CodeFromBytes(codeBytes, meta.Length)
+		if err != nil {
+			return meta, nil, err
+		}
+		meta.Pivots = append(meta.Pivots, c)
+	}
+	if err := meta.validate(); err != nil {
+		return meta, nil, err
+	}
+	idx, err := core.DecodeDynamic(br)
+	if err != nil {
+		return meta, nil, fmt.Errorf("wire: snapshot index: %w", err)
+	}
+	if idx.Length() != meta.Length {
+		return meta, nil, fmt.Errorf("wire: snapshot index is %d-bit, header says %d", idx.Length(), meta.Length)
+	}
+	return meta, idx, nil
+}
+
+// ReadSnapshotFile loads a snapshot from disk.
+func ReadSnapshotFile(path string) (SnapshotMeta, *core.DynamicIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return SnapshotMeta{}, nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}
