@@ -1,16 +1,21 @@
 GO ?= go
 
-.PHONY: all check build test race test-race bench bench-query bench-serve vet fuzz smoke experiments examples clean
+.PHONY: all check build test race test-race bench bench-query bench-serve vet fmt-check fuzz smoke debug-smoke experiments examples clean
 
 all: build vet test
 
-check: build vet test test-race
+check: build vet fmt-check test test-race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fails when any file is not gofmt-clean, listing the offenders.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -49,6 +54,12 @@ fuzz:
 # through haquery, and diff against the in-process oracle.
 smoke:
 	./scripts/smoke.sh
+
+# Smoke plus the observability surface: shard 0 serves its HTTP debug
+# endpoint, and the script asserts /debug/obs reports non-empty latency
+# histograms and nonzero request/fault counters.
+debug-smoke:
+	SMOKE_DEBUG=1 ./scripts/smoke.sh
 
 experiments:
 	$(GO) run ./cmd/habench -exp all

@@ -24,15 +24,15 @@ import (
 
 func main() {
 	var (
-		rPath  = flag.String("r", "", "CSV dataset for table R (required)")
-		sPath  = flag.String("s", "", "CSV dataset for table S (defaults to R: self-join)")
-		method = flag.String("method", "mrha-a", "plan: mrha-a|mrha-b|pmh|pgbj")
-		h      = flag.Int("h", 3, "Hamming distance threshold")
-		bits   = flag.Int("bits", 32, "binary code length")
-		nodes  = flag.Int("nodes", 16, "simulated cluster size")
-		sample = flag.Float64("sample", 0.1, "preprocessing sample rate")
-		k      = flag.Int("k", 50, "k for the PGBJ kNN-join")
-		seed   = flag.Int64("seed", 1, "RNG seed")
+		rPath    = flag.String("r", "", "CSV dataset for table R (required)")
+		sPath    = flag.String("s", "", "CSV dataset for table S (defaults to R: self-join)")
+		method   = flag.String("method", "mrha-a", "plan: mrha-a|mrha-b|pmh|pgbj")
+		h        = flag.Int("h", 3, "Hamming distance threshold")
+		bits     = flag.Int("bits", 32, "binary code length")
+		nodes    = flag.Int("nodes", 16, "simulated cluster size")
+		sample   = flag.Float64("sample", 0.1, "preprocessing sample rate")
+		k        = flag.Int("k", 50, "k for the PGBJ kNN-join")
+		seed     = flag.Int64("seed", 1, "RNG seed")
 		sworkers = flag.Int("search-workers", 0, "per-reducer query-batch workers (0 = GOMAXPROCS, 1 = serial)")
 
 		failEvery = flag.Int("fail-every", 0, "inject a failure into the first attempt of every Nth map and reduce task (0 = none)")
@@ -139,6 +139,11 @@ func main() {
 func printMetrics(phase string, m mapreduce.Metrics) {
 	fmt.Printf("  %s: shuffle %.3f MB, broadcast %.3f MB, reducer skew %.2f\n",
 		phase, float64(m.ShuffleBytes)/1e6, float64(m.BroadcastBytes)/1e6, m.Skew())
+	if m.Wall > 0 {
+		fmt.Printf("  %s walls: map=%v shuffle=%v reduce=%v (total %v)\n",
+			phase, m.MapWall.Round(time.Microsecond), m.ShuffleWall.Round(time.Microsecond),
+			m.ReduceWall.Round(time.Microsecond), m.Wall.Round(time.Microsecond))
+	}
 	if m.Attempts > int64(m.Tasks()) || m.SpeculativeLaunched > 0 {
 		fmt.Printf("  %s failures: %d attempts for %d tasks, %d retried, %d/%d speculative won/launched, wasted %.3f MB\n",
 			phase, m.Attempts, m.Tasks(), m.RetriedTasks, m.SpeculativeWon, m.SpeculativeLaunched,

@@ -30,6 +30,7 @@ import (
 	"haindex/internal/bitvec"
 	"haindex/internal/client"
 	"haindex/internal/core"
+	"haindex/internal/obs"
 	"haindex/internal/wire"
 )
 
@@ -44,6 +45,7 @@ func main() {
 		hedge     = flag.Duration("hedge", 0, "hedge delay before racing the next replica (0 = off)")
 		oracle    = flag.String("oracle", "", "snapshot directory to rebuild an in-process oracle from; diff and exit nonzero on mismatch")
 		verbose   = flag.Bool("v", false, "print every id list")
+		trace     = flag.Bool("trace", false, "print the span tree of the slowest batch and per-attempt latency percentiles")
 	)
 	flag.Parse()
 	if *shards == "" {
@@ -103,8 +105,22 @@ func main() {
 	}
 
 	st := r.Stats()
-	fmt.Printf("haquery: routed %d shard-queries, pruned %d, %d retries, %d hedges (%d won)\n",
-		st.QueriesRouted, st.QueriesPruned, st.Retries, st.Hedges, st.HedgeWins)
+	fmt.Printf("haquery: routed %d shard-queries, pruned %d, %d retries (%v backing off), %d hedges (%d won, %d losers drained)\n",
+		st.QueriesRouted, st.QueriesPruned, st.Retries, st.BackoffWait.Round(time.Microsecond),
+		st.Hedges, st.HedgeWins, st.HedgeLosses)
+
+	if *trace {
+		snap := r.Snapshot()
+		fmt.Printf("haquery: attempt latency %s\n", latSummary(snap.Attempt))
+		for m, hs := range snap.PerShard {
+			if hs.Count > 0 {
+				fmt.Printf("haquery:   shard %d %s\n", m, latSummary(hs))
+			}
+		}
+		if slowest := r.Tracer().Slowest(); slowest != nil {
+			fmt.Printf("haquery: slowest batch (%v):\n%s", slowest.Duration().Round(time.Microsecond), slowest.Tree())
+		}
+	}
 
 	if *oracle != "" {
 		diffOracle(*oracle, queries, *h, *topk, got, tkIDs, tkDists)
@@ -218,6 +234,16 @@ func diffOracle(dir string, queries []bitvec.Code, h, topk int, got [][]int, tkI
 	}
 	fmt.Printf("haquery: oracle check passed — %d queries identical to the in-process index (%d tuples)\n",
 		len(queries), all.Len())
+}
+
+// latSummary renders a nanosecond-valued histogram summary as durations.
+func latSummary(h obs.HistSummary) string {
+	if h.Count == 0 {
+		return "empty"
+	}
+	us := func(ns int64) time.Duration { return time.Duration(ns).Round(time.Microsecond) }
+	return fmt.Sprintf("p50=%v p95=%v p99=%v max=%v (n=%d)",
+		us(h.P50), us(h.P95), us(h.P99), us(h.Max), h.Count)
 }
 
 func equalInts(a, b []int) bool {

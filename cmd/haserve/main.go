@@ -11,7 +11,9 @@
 // With -addr ending in :0 the kernel picks a free port; -port-file writes
 // the bound address for scripts to pick up. The -fail-requests and
 // -drop-requests flags inject deterministic faults (by server-wide request
-// number) for smoke tests of client retry and failover.
+// number) for smoke tests of client retry and failover. -debug-addr binds a
+// loopback HTTP endpoint exposing the shard's latency histograms
+// (/debug/obs), recent request traces (/debug/traces), and pprof.
 package main
 
 import (
@@ -34,6 +36,10 @@ func main() {
 		portFile  = flag.String("port-file", "", "write the bound address to this file")
 		failReqs  = flag.String("fail-requests", "", "comma-separated request numbers answered with an error frame")
 		dropReqs  = flag.String("drop-requests", "", "comma-separated request numbers whose connection is dropped")
+		debugAddr = flag.String("debug-addr", "", "also serve /debug/obs, /debug/traces, /debug/pprof on this HTTP address (e.g. 127.0.0.1:7071; bind loopback only)")
+		debugFile = flag.String("debug-port-file", "", "write the bound debug address to this file")
+		idleTO    = flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = 30s, negative disables)")
+		writeTO   = flag.Duration("write-timeout", 0, "per-response write deadline (0 = 30s, negative disables)")
 	)
 	flag.Parse()
 	if *snapshot == "" {
@@ -59,12 +65,29 @@ func main() {
 	addFaults(*failReqs, func(p *server.FaultPlan, r int64) { p.FailRequest(r) })
 	addFaults(*dropReqs, func(p *server.FaultPlan, r int64) { p.DropRequest(r) })
 
-	s, err := server.LoadSnapshotFile(*snapshot, server.Options{Searchers: *searchers, Faults: faults})
+	s, err := server.LoadSnapshotFile(*snapshot, server.Options{
+		Searchers:    *searchers,
+		Faults:       faults,
+		IdleTimeout:  *idleTO,
+		WriteTimeout: *writeTO,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	if err := s.Start(*addr); err != nil {
 		fatalf("%v", err)
+	}
+	if *debugAddr != "" {
+		da, err := s.StartDebug(*debugAddr)
+		if err != nil {
+			fatalf("starting debug endpoint: %v", err)
+		}
+		fmt.Printf("haserve: debug endpoint on http://%s/debug/obs\n", da)
+		if *debugFile != "" {
+			if err := os.WriteFile(*debugFile, []byte(da.String()+"\n"), 0o644); err != nil {
+				fatalf("writing debug port file: %v", err)
+			}
+		}
 	}
 	bound := s.Addr().String()
 	meta := s.Meta()

@@ -18,15 +18,15 @@ const QueryBenchFile = "BENCH_query.json"
 
 // queryBenchJSON is the machine-readable record of one QueryBench run.
 type queryBenchJSON struct {
-	N           int     `json:"n"`
-	Bits        int     `json:"bits"`
-	Threshold   int     `json:"threshold"`
-	Queries     int     `json:"queries"`
-	GOMAXPROCS  int     `json:"gomaxprocs"`
-	SerialNsOp  int64   `json:"serial_ns_per_query"`
-	SerialQPS   float64 `json:"serial_qps"`
+	N           int             `json:"n"`
+	Bits        int             `json:"bits"`
+	Threshold   int             `json:"threshold"`
+	Queries     int             `json:"queries"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	SerialNsOp  int64           `json:"serial_ns_per_query"`
+	SerialQPS   float64         `json:"serial_qps"`
 	Runs        []queryBenchRun `json:"runs"`
-	BestSpeedup float64 `json:"best_speedup"`
+	BestSpeedup float64         `json:"best_speedup"`
 }
 
 type queryBenchRun struct {

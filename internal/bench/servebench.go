@@ -13,6 +13,7 @@ import (
 	"haindex/internal/core"
 	"haindex/internal/dataset"
 	"haindex/internal/histo"
+	"haindex/internal/obs"
 	"haindex/internal/server"
 	"haindex/internal/wire"
 )
@@ -35,6 +36,12 @@ type serveBenchRun struct {
 	NsPerOp   int64   `json:"ns_per_query"`
 	QPS       float64 `json:"qps"`
 	Pruned    int64   `json:"queries_pruned"`
+	// Per-SearchBatch-call latency distribution (one sample per batch, not
+	// per query), from an obs.Histogram over the measured calls.
+	P50Ns int64 `json:"batch_p50_ns"`
+	P95Ns int64 `json:"batch_p95_ns"`
+	P99Ns int64 `json:"batch_p99_ns"`
+	MaxNs int64 `json:"batch_max_ns"`
 }
 
 // ServeBench measures the online serving path end to end: real haserve-style
@@ -83,6 +90,7 @@ func ServeBench(sc Scale) ([]Table, error) {
 
 	type cell struct{ qps, us float64 }
 	cells := make(map[[2]int]cell)
+	lats := make(map[[2]int]obs.HistSnapshot)
 	for _, parts := range shardCounts {
 		r, servers, err := startDeployment(env.Codes, sc.Bits, parts)
 		if err != nil {
@@ -93,25 +101,34 @@ func ServeBench(sc Scale) ([]Table, error) {
 			if _, err := r.SearchBatch(queries[:min(b, nq)], sc.Threshold); err != nil {
 				return nil, err
 			}
+			lat := obs.NewHistogram()
 			t0 := time.Now()
 			for off := 0; off < nq; off += b {
 				end := off + b
 				if end > nq {
 					end = nq
 				}
+				c0 := time.Now()
 				if _, err := r.SearchBatch(queries[off:end], sc.Threshold); err != nil {
 					return nil, err
 				}
+				lat.RecordSince(c0)
 			}
 			dur := time.Since(t0)
 			qps := float64(nq) / dur.Seconds()
 			cells[[2]int{b, parts}] = cell{qps: qps, us: float64(dur.Microseconds()) / float64(nq)}
+			snap := lat.Snapshot()
+			lats[[2]int{b, parts}] = snap
 			rec.Runs = append(rec.Runs, serveBenchRun{
 				Shards:    parts,
 				BatchSize: b,
 				NsPerOp:   dur.Nanoseconds() / int64(nq),
 				QPS:       qps,
 				Pruned:    r.Stats().QueriesPruned,
+				P50Ns:     snap.P50(),
+				P95Ns:     snap.P95(),
+				P99Ns:     snap.P99(),
+				MaxNs:     snap.Max,
 			})
 		}
 		r.Close()
@@ -127,6 +144,20 @@ func ServeBench(sc Scale) ([]Table, error) {
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	lt := Table{
+		Title:  "Serving layer: per-batch latency percentiles",
+		Note:   "cells are p50 / p95 / p99 of one SearchBatch round trip, in µs",
+		Header: t.Header,
+	}
+	for _, b := range batchSizes {
+		row := []string{fmt.Sprintf("%d", b)}
+		for _, parts := range shardCounts {
+			s := lats[[2]int{b, parts}]
+			row = append(row, fmt.Sprintf("%.0f / %.0f / %.0f",
+				float64(s.P50())/1e3, float64(s.P95())/1e3, float64(s.P99())/1e3))
+		}
+		lt.Rows = append(lt.Rows, row)
+	}
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -135,7 +166,7 @@ func ServeBench(sc Scale) ([]Table, error) {
 	if err := os.WriteFile(ServeBenchFile, append(data, '\n'), 0o644); err != nil {
 		return nil, fmt.Errorf("bench: writing %s: %w", ServeBenchFile, err)
 	}
-	return []Table{t}, nil
+	return []Table{t, lt}, nil
 }
 
 // startDeployment partitions codes into parts Gray ranges, starts one shard

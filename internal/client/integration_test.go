@@ -2,8 +2,11 @@ package client
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -13,6 +16,7 @@ import (
 	"haindex/internal/bitvec"
 	"haindex/internal/core"
 	"haindex/internal/histo"
+	"haindex/internal/obs"
 	"haindex/internal/server"
 	"haindex/internal/wire"
 )
@@ -252,6 +256,119 @@ func TestRouterHedgingAbsorbsStraggler(t *testing.T) {
 	st := r.Stats()
 	if st.Hedges == 0 || st.HedgeWins == 0 {
 		t.Fatalf("straggler provoked no hedge wins: %+v", st)
+	}
+	// Every hedge win leaves a losing leg behind; the router must abort and
+	// account for it rather than letting it camp on the pooled connection.
+	if st.HedgeLosses == 0 {
+		t.Fatalf("hedge wins recorded but no losses drained: %+v", st)
+	}
+}
+
+// fetchObs pulls and decodes a debug endpoint's registry snapshot.
+func fetchObs(t *testing.T, addr net.Addr) obs.RegistrySnapshot {
+	t.Helper()
+	resp, err := http.Get("http://" + addr.String() + "/debug/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.RegistrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestObservabilityAcceptance drives the router against a fault-injected
+// deployment with the servers' debug endpoints up, then checks that the
+// client and server registries tell one consistent story: the client
+// retried, the servers injected faults, and every search attempt the client
+// issued is accounted for in the servers' request counters.
+func TestObservabilityAcceptance(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	const bits, parts, h = 16, 2, 2
+	// Shard 0's only replica rejects its first two requests with injected
+	// failures, so the router must retry into the same server.
+	d := buildDeployment(t, rng, 400, bits, parts, map[int][]*server.FaultPlan{
+		0: {server.NewFaultPlan().FailRequest(0).FailRequest(1)},
+	})
+	var debugAddrs []net.Addr
+	for _, s := range d.servers {
+		a, err := s.StartDebug("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		debugAddrs = append(debugAddrs, a)
+	}
+	r, err := Dial(d.addrs, Options{MaxAttempts: 4, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	queries := d.queries(rng, 60, bits, h)
+	if _, err := r.SearchBatch(queries, h); err != nil {
+		t.Fatal(err)
+	}
+
+	var serverRequests, serverFaults, serverSearchNs int64
+	for _, a := range debugAddrs {
+		snap := fetchObs(t, a)
+		serverRequests += snap.Counters["requests"]
+		serverFaults += snap.Counters["faults_injected"]
+		serverSearchNs += snap.Histograms["req.search_ns"].Count
+	}
+	st := r.Stats()
+	if st.Retries == 0 {
+		t.Fatalf("fault plan provoked no client retries: %+v", st)
+	}
+	if st.BackoffWait <= 0 {
+		t.Fatalf("retries recorded but no backoff wait accumulated: %+v", st)
+	}
+	if serverFaults == 0 {
+		t.Fatal("debug endpoints report no injected faults")
+	}
+	// Consistency across the two registries: without hedging, every client
+	// attempt (first tries plus retries) reached a server and was counted
+	// there, fault-rejected or not.
+	attempts := st.ShardRequests + st.Retries
+	if serverRequests != attempts {
+		t.Fatalf("servers counted %d requests, client issued %d attempts: %+v", serverRequests, attempts, st)
+	}
+	snap := r.Snapshot()
+	if snap.Attempt.Count != attempts {
+		t.Fatalf("client attempt histogram has %d samples, want %d", snap.Attempt.Count, attempts)
+	}
+	if snap.Attempt.P50 <= 0 || snap.Attempt.P95 < snap.Attempt.P50 || snap.Attempt.Max < snap.Attempt.P95 {
+		t.Fatalf("attempt percentiles not monotone: %+v", snap.Attempt)
+	}
+	if len(snap.PerShard) != parts {
+		t.Fatalf("PerShard has %d entries, want %d", len(snap.PerShard), parts)
+	}
+	var perShard int64
+	for _, hs := range snap.PerShard {
+		perShard += hs.Count
+	}
+	if perShard != attempts {
+		t.Fatalf("per-shard histograms hold %d samples, want %d", perShard, attempts)
+	}
+	// The client registry mirrors the Stats counters.
+	creg := r.Obs().Snapshot()
+	if creg.Counters["retries"] != st.Retries || creg.Counters["shard_requests"] != st.ShardRequests {
+		t.Fatalf("client registry %v disagrees with Stats %+v", creg.Counters, st)
+	}
+	// Only successfully answered searches land in the servers' latency
+	// histograms; the fault-rejected attempts must not.
+	if want := serverRequests - serverFaults; serverSearchNs != want {
+		t.Fatalf("servers' search histograms hold %d samples, want %d", serverSearchNs, want)
+	}
+	// The SearchBatch trace made it into the tracer ring with real spans.
+	slowest := r.Tracer().Slowest()
+	if slowest == nil {
+		t.Fatal("tracer kept no SearchBatch trace")
+	}
+	if spans := slowest.Spans(); len(spans) < 3 { // root + route + ≥1 shard span
+		t.Fatalf("slowest trace has only %d spans: %v", len(spans), spans)
 	}
 }
 

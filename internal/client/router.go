@@ -12,6 +12,7 @@ package client
 import (
 	"bufio"
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -20,6 +21,7 @@ import (
 
 	"haindex/internal/bitvec"
 	"haindex/internal/histo"
+	"haindex/internal/obs"
 	"haindex/internal/wire"
 )
 
@@ -27,18 +29,34 @@ import (
 type Options struct {
 	// MaxAttempts bounds tries per shard request across replicas (0 = 3).
 	MaxAttempts int
-	// Backoff is the sleep before the second attempt; it doubles per
-	// subsequent attempt (0 = 2ms).
+	// Backoff is the base sleep before the second attempt; it doubles per
+	// subsequent attempt up to MaxBackoff, with equal jitter (the actual
+	// sleep is uniform in [b/2, b]) so synchronized clients do not stampede
+	// a recovering shard in lockstep (0 = 2ms).
 	Backoff time.Duration
+	// MaxBackoff caps one backoff sleep regardless of how many attempts
+	// have failed (0 = 100ms).
+	MaxBackoff time.Duration
 	// HedgeAfter launches a speculative duplicate of an in-flight request
 	// on the next replica when the first has not answered within this
-	// budget; first answer wins. 0 disables hedging; it also stays off for
-	// single-replica shards.
+	// budget; first answer wins and the loser is closed promptly. 0
+	// disables hedging; it also stays off for single-replica shards.
 	HedgeAfter time.Duration
 	// DialTimeout bounds connection establishment (0 = 2s).
 	DialTimeout time.Duration
-	// Timeout bounds one request round trip (0 = 30s).
+	// Timeout bounds one request round trip on a connection, and also the
+	// total wall time of one shard request across retries and backoff
+	// sleeps — a few failed attempts can no longer sleep far past it
+	// (0 = 30s).
 	Timeout time.Duration
+
+	// Obs, when set, is the registry the router hangs its counters and
+	// per-attempt latency histograms on; nil gives the router a private one
+	// (reachable via Router.Obs).
+	Obs *obs.Registry
+	// TraceCapacity sizes the ring of recent SearchBatch traces kept for
+	// haquery -trace (0 = 16).
+	TraceCapacity int
 }
 
 func (o Options) withDefaults() Options {
@@ -48,11 +66,17 @@ func (o Options) withDefaults() Options {
 	if o.Backoff <= 0 {
 		o.Backoff = 2 * time.Millisecond
 	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 100 * time.Millisecond
+	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 2 * time.Second
 	}
 	if o.Timeout <= 0 {
 		o.Timeout = 30 * time.Second
+	}
+	if o.TraceCapacity <= 0 {
+		o.TraceCapacity = 16
 	}
 	return o
 }
@@ -70,9 +94,26 @@ type Stats struct {
 	// (or the same one, for single-replica shards).
 	Retries int64
 	// Hedges counts speculative duplicates launched; HedgeWins how many
-	// answered before the primary.
-	Hedges    int64
-	HedgeWins int64
+	// answered before the primary; HedgeLosses how many legs lost the race
+	// and were drained/closed (their work is the serving-layer analogue of
+	// the MapReduce runtime's WastedBytes).
+	Hedges      int64
+	HedgeWins   int64
+	HedgeLosses int64
+	// BackoffWait is the total wall time spent sleeping between retry
+	// attempts.
+	BackoffWait time.Duration
+}
+
+// Snapshot extends Stats with the latency distributions the counters can't
+// show: per-attempt round-trip percentiles, overall and per shard.
+type Snapshot struct {
+	Stats
+	// Attempt summarizes every round-trip attempt the router issued
+	// (including hedges and retries).
+	Attempt obs.HistSummary
+	// PerShard holds one attempt-latency summary per partition id.
+	PerShard []obs.HistSummary
 }
 
 // Router fans queries across the shards of one deployment. Safe for
@@ -90,6 +131,27 @@ type Router struct {
 	retries       atomic.Int64
 	hedges        atomic.Int64
 	hedgeWins     atomic.Int64
+	hedgeLosses   atomic.Int64
+	backoffWait   atomic.Int64 // nanoseconds
+
+	// Observability: per-attempt latency histograms (overall and per
+	// shard), retry/hedge counters mirrored into the registry, and a ring
+	// of recent SearchBatch traces.
+	reg            *obs.Registry
+	tracer         *obs.Tracer
+	histAttempt    *obs.Histogram
+	histShard      []*obs.Histogram // indexed by partition id
+	cntRequests    *obs.Counter
+	cntRetries     *obs.Counter
+	cntHedges      *obs.Counter
+	cntHedgeWins   *obs.Counter
+	cntHedgeLosses *obs.Counter
+
+	// Test seams: the retry loop tells time and sleeps through these so a
+	// fake clock can pin down the backoff bounds deterministically.
+	now        func() time.Time
+	sleep      func(time.Duration)
+	randInt63n func(int64) int64
 }
 
 // shard is one partition's replica set.
@@ -121,7 +183,28 @@ func Dial(shardAddrs [][]string, opts Options) (*Router, error) {
 	if len(shardAddrs) == 0 {
 		return nil, fmt.Errorf("client: no shards")
 	}
-	r := &Router{opts: opts, shards: make([]*shard, len(shardAddrs))}
+	r := &Router{
+		opts:       opts,
+		shards:     make([]*shard, len(shardAddrs)),
+		reg:        opts.Obs,
+		tracer:     obs.NewTracer(opts.TraceCapacity),
+		now:        time.Now,
+		sleep:      time.Sleep,
+		randInt63n: rand.Int63n,
+	}
+	if r.reg == nil {
+		r.reg = obs.NewRegistry()
+	}
+	r.histAttempt = r.reg.Histogram("attempt_ns")
+	r.histShard = make([]*obs.Histogram, len(shardAddrs))
+	for m := range r.histShard {
+		r.histShard[m] = r.reg.Histogram(fmt.Sprintf("shard%02d.attempt_ns", m))
+	}
+	r.cntRequests = r.reg.Counter("shard_requests")
+	r.cntRetries = r.reg.Counter("retries")
+	r.cntHedges = r.reg.Counter("hedges")
+	r.cntHedgeWins = r.reg.Counter("hedge_wins")
+	r.cntHedgeLosses = r.reg.Counter("hedge_losses")
 	seen := make(map[int]string)
 	for i, addrs := range shardAddrs {
 		if len(addrs) == 0 {
@@ -192,8 +275,32 @@ func (r *Router) Stats() Stats {
 		Retries:       r.retries.Load(),
 		Hedges:        r.hedges.Load(),
 		HedgeWins:     r.hedgeWins.Load(),
+		HedgeLosses:   r.hedgeLosses.Load(),
+		BackoffWait:   time.Duration(r.backoffWait.Load()),
 	}
 }
+
+// Snapshot returns Stats plus the attempt-latency distributions, overall and
+// per shard.
+func (r *Router) Snapshot() Snapshot {
+	s := Snapshot{
+		Stats:    r.Stats(),
+		Attempt:  obs.Summarize(r.histAttempt.Snapshot()),
+		PerShard: make([]obs.HistSummary, len(r.histShard)),
+	}
+	for m, h := range r.histShard {
+		s.PerShard[m] = obs.Summarize(h.Snapshot())
+	}
+	return s
+}
+
+// Obs returns the router's metric registry (the one given in Options, or the
+// router's private one).
+func (r *Router) Obs() *obs.Registry { return r.reg }
+
+// Tracer returns the ring of recent SearchBatch traces; Tracer().Slowest()
+// is what haquery -trace prints.
+func (r *Router) Tracer() *obs.Tracer { return r.tracer }
 
 // Close closes all pooled connections.
 func (r *Router) Close() {
@@ -224,7 +331,11 @@ func (r *Router) SearchBatch(queries []bitvec.Code, h int) ([][]int, error) {
 	if h < 0 || h > r.length {
 		return nil, fmt.Errorf("client: threshold %d out of range for %d-bit codes", h, r.length)
 	}
+	tr := obs.NewTrace("search-batch")
+	defer r.tracer.Add(tr)
+
 	// Route each query to the shards whose Gray range can hold a match.
+	routeSpan := tr.Start("route", 0)
 	perShard := make([][]int, len(r.shards)) // query indexes per shard
 	var parts []int
 	for i, q := range queries {
@@ -235,6 +346,7 @@ func (r *Router) SearchBatch(queries []bitvec.Code, h int) ([][]int, error) {
 		r.queriesRouted.Add(int64(len(parts)))
 		r.queriesPruned.Add(int64(len(r.shards) - len(parts)))
 	}
+	tr.End(routeSpan)
 
 	results := make([][]int, len(queries))
 	var mu sync.Mutex
@@ -251,7 +363,9 @@ func (r *Router) SearchBatch(queries []bitvec.Code, h int) ([][]int, error) {
 			for j, i := range qidx {
 				sub[j] = queries[i]
 			}
-			respType, payload, err := r.do(sh, wire.MsgSearch, wire.SearchReq{H: h, Queries: sub}.Append(nil))
+			shardSpan := tr.Start(fmt.Sprintf("shard%02d (%d queries)", sh.part, len(sub)), 0)
+			defer tr.End(shardSpan)
+			respType, payload, err := r.do(sh, wire.MsgSearch, wire.SearchReq{H: h, Queries: sub}.Append(nil), tr, shardSpan)
 			if err == nil && respType != wire.MsgSearchOK {
 				err = fmt.Errorf("client: shard %d answered %s", sh.part, respType)
 			}
@@ -309,7 +423,7 @@ func (r *Router) TopK(queries []bitvec.Code, k int) ([][]int, [][]int, error) {
 		wg.Add(1)
 		go func(m int) {
 			defer wg.Done()
-			respType, body, err := r.do(r.shards[m], wire.MsgTopK, payload)
+			respType, body, err := r.do(r.shards[m], wire.MsgTopK, payload, nil, obs.NoSpan)
 			if err == nil && respType != wire.MsgTopKOK {
 				err = fmt.Errorf("client: shard %d answered %s", m, respType)
 			}
@@ -363,7 +477,7 @@ func (r *Router) TopK(queries []bitvec.Code, k int) ([][]int, [][]int, error) {
 func (r *Router) ShardStats() ([]wire.StatsResp, error) {
 	out := make([]wire.StatsResp, len(r.shards))
 	for m, sh := range r.shards {
-		respType, payload, err := r.do(sh, wire.MsgStats, nil)
+		respType, payload, err := r.do(sh, wire.MsgStats, nil, nil, obs.NoSpan)
 		if err != nil {
 			return nil, err
 		}
@@ -388,26 +502,48 @@ func (r *Router) checkQueries(queries []bitvec.Code) error {
 
 // do performs one shard request with retry, backoff, and hedging. Attempt n
 // goes to replica n mod len(replicas); a server-reported error frame counts
-// as a failed attempt just like a transport error.
-func (r *Router) do(sh *shard, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+// as a failed attempt just like a transport error. The whole retry loop —
+// attempts plus backoff sleeps — is bounded by Opts.Timeout of wall time, so
+// a run of failures cannot sleep far past the per-request budget.
+func (r *Router) do(sh *shard, t wire.MsgType, payload []byte, tr *obs.Trace, parent obs.SpanID) (wire.MsgType, []byte, error) {
 	r.shardRequests.Add(1)
+	r.cntRequests.Inc()
+	deadline := r.now().Add(r.opts.Timeout)
 	backoff := r.opts.Backoff
 	var lastErr error
 	for attempt := 0; attempt < r.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			// Equal jitter: sleep uniform in [b/2, b] so synchronized
+			// clients spread out instead of re-stampeding a recovering
+			// shard in lockstep.
+			b := backoff
+			if b > r.opts.MaxBackoff {
+				b = r.opts.MaxBackoff
+			}
+			d := b/2 + time.Duration(r.randInt63n(int64(b/2)+1))
+			if remain := deadline.Sub(r.now()); d > remain {
+				return 0, nil, fmt.Errorf("client: shard %d: retry budget exhausted after %d attempts (timeout %v): %w",
+					sh.part, attempt, r.opts.Timeout, lastErr)
+			}
 			r.retries.Add(1)
-			time.Sleep(backoff)
+			r.cntRetries.Inc()
+			sp := tr.Start(fmt.Sprintf("backoff attempt %d", attempt), parent)
+			r.sleep(d)
+			tr.End(sp)
+			r.backoffWait.Add(int64(d))
 			backoff *= 2
 		}
 		rp := sh.replicas[attempt%len(sh.replicas)]
+		sp := tr.Start(fmt.Sprintf("attempt %d → %s", attempt, rp.addr), parent)
 		var respType wire.MsgType
 		var resp []byte
 		var err error
 		if attempt == 0 && r.opts.HedgeAfter > 0 && len(sh.replicas) > 1 {
 			respType, resp, err = r.hedged(sh, t, payload)
 		} else {
-			respType, resp, err = rp.roundTrip(t, payload)
+			respType, resp, err = r.attempt(sh, rp, t, payload, nil)
 		}
+		tr.End(sp)
 		if err == nil && respType == wire.MsgError {
 			em, perr := wire.ParseErrorMsg(resp)
 			if perr != nil {
@@ -424,22 +560,83 @@ func (r *Router) do(sh *shard, t wire.MsgType, payload []byte) (wire.MsgType, []
 	return 0, nil, fmt.Errorf("client: shard %d failed after %d attempts: %w", sh.part, r.opts.MaxAttempts, lastErr)
 }
 
+// attempt performs one round trip on rp and records its latency in the
+// per-attempt histograms (overall and per shard), win or lose — failed and
+// hedged attempts cost real time too, and the distribution should show it.
+func (r *Router) attempt(sh *shard, rp *replica, t wire.MsgType, payload []byte, cancel *connCancel) (wire.MsgType, []byte, error) {
+	t0 := time.Now()
+	respType, resp, err := rp.roundTrip(t, payload, cancel)
+	r.histAttempt.RecordSince(t0)
+	r.histShard[sh.part].RecordSince(t0)
+	return respType, resp, err
+}
+
+// errHedgeAborted marks a hedge leg whose race was decided before the leg
+// got its turn on the replica's connection; nothing was written to the wire.
+var errHedgeAborted = fmt.Errorf("client: hedge race already decided")
+
+// connCancel lets the winner of a hedged race abort the loser's in-flight
+// round trip. The loser registers its connection here after taking the
+// replica lock; abort closes that connection, which unblocks the loser's
+// read immediately (the error path poisons the pooled conn, so the next
+// request redials). Without it the losing leg would sit on the replica's
+// mutex — and its pooled connection — until the conn deadline, up to
+// Opts.Timeout.
+type connCancel struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	aborted bool
+}
+
+// register records the leg's connection so abort can reach it. It reports
+// false when the race was already decided — the leg must give up without
+// touching the wire.
+func (c *connCancel) register(conn net.Conn) bool {
+	if c == nil {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.aborted {
+		return false
+	}
+	c.conn = conn
+	return true
+}
+
+// abort ends the leg: any registered connection is closed, and a leg yet to
+// register will refuse to start.
+func (c *connCancel) abort() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.aborted = true
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}
+
 // hedged races the primary replica against a delayed speculative duplicate
-// on the next one; the first answer wins and the loser's connection is left
-// to finish (or time out) on its own.
+// on the next one. The first answer wins; losing legs are aborted promptly
+// (their connections closed, their results drained in the background) so
+// they do not hold pooled connections for the rest of the request timeout.
 func (r *Router) hedged(sh *shard, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
 	type result struct {
 		respType wire.MsgType
 		resp     []byte
 		err      error
+		cancel   *connCancel
 		hedge    bool
 	}
 	ch := make(chan result, 2)
-	launch := func(rp *replica, hedge bool) {
-		respType, resp, err := rp.roundTrip(t, payload)
-		ch <- result{respType: respType, resp: resp, err: err, hedge: hedge}
+	launch := func(rp *replica, cancel *connCancel, hedge bool) {
+		respType, resp, err := r.attempt(sh, rp, t, payload, cancel)
+		ch <- result{respType: respType, resp: resp, err: err, cancel: cancel, hedge: hedge}
 	}
-	go launch(sh.replicas[0], false)
+	cancels := []*connCancel{new(connCancel)}
+	go launch(sh.replicas[0], cancels[0], false)
 	timer := time.NewTimer(r.opts.HedgeAfter)
 	defer timer.Stop()
 	launched := 1
@@ -449,6 +646,23 @@ func (r *Router) hedged(sh *shard, t wire.MsgType, payload []byte) (wire.MsgType
 			if res.err == nil {
 				if res.hedge {
 					r.hedgeWins.Add(1)
+					r.cntHedgeWins.Inc()
+				}
+				if losers := launched - 1; losers > 0 {
+					// Cut the losing legs loose now: close their in-flight
+					// connections and drain their results off-path.
+					for _, c := range cancels {
+						if c != res.cancel {
+							c.abort()
+						}
+					}
+					r.hedgeLosses.Add(int64(losers))
+					r.cntHedgeLosses.Add(int64(losers))
+					go func() {
+						for i := 0; i < losers; i++ {
+							<-ch
+						}
+					}()
 				}
 				return res.respType, res.resp, nil
 			}
@@ -460,7 +674,10 @@ func (r *Router) hedged(sh *shard, t wire.MsgType, payload []byte) (wire.MsgType
 			}
 		case <-timer.C:
 			r.hedges.Add(1)
-			go launch(sh.replicas[1], true)
+			r.cntHedges.Inc()
+			c := new(connCancel)
+			cancels = append(cancels, c)
+			go launch(sh.replicas[1], c, true)
 			launched++
 		}
 	}
@@ -480,14 +697,21 @@ func (rp *replica) handshake() (wire.HelloOK, error) {
 
 // roundTrip performs one request on the pooled connection, redialing once
 // if the connection was lost. Any error poisons the connection so the next
-// attempt starts fresh.
-func (rp *replica) roundTrip(t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+// attempt starts fresh. A non-nil cancel makes the round trip abortable: the
+// connection is registered with it before use, so a hedge winner can close
+// it out from under the blocked read.
+func (rp *replica) roundTrip(t wire.MsgType, payload []byte, cancel *connCancel) (wire.MsgType, []byte, error) {
 	rp.mu.Lock()
 	defer rp.mu.Unlock()
 	if rp.conn == nil {
 		if err := rp.dialLocked(); err != nil {
 			return 0, nil, err
 		}
+	}
+	if !cancel.register(rp.conn) {
+		// The race was decided before this leg reached the connection;
+		// nothing was written, so the pooled conn stays healthy.
+		return 0, nil, errHedgeAborted
 	}
 	rp.conn.SetDeadline(time.Now().Add(rp.opts.Timeout))
 	if err := wire.WriteFrame(rp.conn, t, payload); err != nil {

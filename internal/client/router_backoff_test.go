@@ -1,0 +1,182 @@
+package client
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"haindex/internal/obs"
+	"haindex/internal/wire"
+)
+
+// fakeClock drives the router's retry loop deterministically: sleeps advance
+// the clock instead of passing real time, and every sleep is recorded.
+type fakeClock struct {
+	mu     sync.Mutex
+	t      time.Time
+	sleeps []time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	c.sleeps = append(c.sleeps, d)
+}
+
+// newBackoffRouter builds a Router around a single one-replica shard whose
+// address refuses connections, with the clock and jitter seams replaced —
+// every attempt fails fast and the backoff schedule is exact.
+func newBackoffRouter(t *testing.T, opts Options, clk *fakeClock, jitter func(int64) int64) *Router {
+	t.Helper()
+	// Grab a port the kernel just released: dialing it fails immediately.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	opts = opts.withDefaults()
+	reg := obs.NewRegistry()
+	r := &Router{
+		opts:       opts,
+		shards:     []*shard{{part: 0, replicas: []*replica{{addr: addr, opts: opts}}}},
+		reg:        reg,
+		tracer:     obs.NewTracer(4),
+		now:        clk.now,
+		sleep:      clk.sleep,
+		randInt63n: jitter,
+	}
+	r.histAttempt = reg.Histogram("attempt_ns")
+	r.histShard = []*obs.Histogram{reg.Histogram("shard00.attempt_ns")}
+	r.cntRequests = reg.Counter("shard_requests")
+	r.cntRetries = reg.Counter("retries")
+	r.cntHedges = reg.Counter("hedges")
+	r.cntHedgeWins = reg.Counter("hedge_wins")
+	r.cntHedgeLosses = reg.Counter("hedge_losses")
+	return r
+}
+
+// TestBackoffCapAndDoubling: with jitter pinned to its maximum, the sleep
+// schedule must double from Backoff and flatten at MaxBackoff exactly.
+func TestBackoffCapAndDoubling(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	maxJitter := func(n int64) int64 { return n - 1 } // top of [0, n)
+	r := newBackoffRouter(t, Options{
+		MaxAttempts: 6,
+		Backoff:     4 * time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		DialTimeout: 100 * time.Millisecond,
+		Timeout:     10 * time.Second,
+	}, clk, maxJitter)
+
+	_, _, err := r.do(r.shards[0], wire.MsgStats, nil, nil, obs.NoSpan)
+	if err == nil {
+		t.Fatal("expected failure against a refusing address")
+	}
+	want := []time.Duration{
+		4 * time.Millisecond,  // b=4ms, max jitter → full b
+		8 * time.Millisecond,  // doubled
+		10 * time.Millisecond, // 16ms capped
+		10 * time.Millisecond, // 32ms capped
+		10 * time.Millisecond, // 64ms capped
+	}
+	if len(clk.sleeps) != len(want) {
+		t.Fatalf("sleeps %v, want %v", clk.sleeps, want)
+	}
+	var total time.Duration
+	for i, d := range clk.sleeps {
+		if d != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (all: %v)", i, d, want[i], clk.sleeps)
+		}
+		if d > r.opts.MaxBackoff {
+			t.Fatalf("sleep %d = %v exceeds MaxBackoff %v", i, d, r.opts.MaxBackoff)
+		}
+		total += d
+	}
+	st := r.Stats()
+	if st.BackoffWait != total {
+		t.Fatalf("BackoffWait = %v, want %v", st.BackoffWait, total)
+	}
+	if st.Retries != int64(len(want)) {
+		t.Fatalf("Retries = %d, want %d", st.Retries, len(want))
+	}
+	// Every failed attempt must still land in the latency histograms.
+	if n := r.Snapshot().Attempt.Count; n != int64(len(want))+1 {
+		t.Fatalf("attempt histogram has %d samples, want %d", n, len(want)+1)
+	}
+}
+
+// TestBackoffJitterRange: sleeps must stay within the equal-jitter envelope
+// [b/2, b] for any jitter draw.
+func TestBackoffJitterRange(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	minJitter := func(n int64) int64 { return 0 } // bottom of the range
+	r := newBackoffRouter(t, Options{
+		MaxAttempts: 4,
+		Backoff:     4 * time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		DialTimeout: 100 * time.Millisecond,
+		Timeout:     10 * time.Second,
+	}, clk, minJitter)
+
+	r.do(r.shards[0], wire.MsgStats, nil, nil, obs.NoSpan)
+	want := []time.Duration{
+		2 * time.Millisecond, // b=4ms, zero jitter → b/2
+		4 * time.Millisecond, // b=8ms → 4ms
+		5 * time.Millisecond, // b capped at 10ms → 5ms
+	}
+	if len(clk.sleeps) != len(want) {
+		t.Fatalf("sleeps %v, want %v", clk.sleeps, want)
+	}
+	for i, d := range clk.sleeps {
+		if d != want[i] {
+			t.Fatalf("sleep %d = %v, want %v", i, d, want[i])
+		}
+	}
+}
+
+// TestBackoffBoundedByTimeout: the retry loop may not sleep past the request
+// deadline — it must give up with a budget error instead, and the total
+// sleep must stay under Timeout.
+func TestBackoffBoundedByTimeout(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	maxJitter := func(n int64) int64 { return n - 1 }
+	r := newBackoffRouter(t, Options{
+		MaxAttempts: 50,
+		Backoff:     4 * time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+		DialTimeout: 100 * time.Millisecond,
+		Timeout:     20 * time.Millisecond,
+	}, clk, maxJitter)
+
+	start := clk.now()
+	_, _, err := r.do(r.shards[0], wire.MsgStats, nil, nil, obs.NoSpan)
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("err = %v, want retry-budget error", err)
+	}
+	// Sleeps 4ms then 8ms land at t+12ms; the next 16ms draw would end at
+	// t+28ms > deadline, so the loop must stop there.
+	var total time.Duration
+	for _, d := range clk.sleeps {
+		total += d
+	}
+	if total >= r.opts.Timeout {
+		t.Fatalf("slept %v total, must stay under Timeout %v", total, r.opts.Timeout)
+	}
+	if got := clk.now().Sub(start); got > r.opts.Timeout {
+		t.Fatalf("retry loop consumed %v of fake wall time, Timeout is %v", got, r.opts.Timeout)
+	}
+	if len(clk.sleeps) != 2 {
+		t.Fatalf("sleeps %v, want exactly 2 before the budget error", clk.sleeps)
+	}
+}

@@ -26,6 +26,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"haindex/internal/obs"
 )
 
 // KV is one key-value record. Keys and values are raw bytes, as on the wire.
@@ -82,6 +84,13 @@ type Config struct {
 	// running longer than a multiple of the median completed-task time and
 	// takes the first finisher.
 	Speculation Speculation
+
+	// Obs, when set, receives the job's timing distributions: per-task wall
+	// times land in the "mr.map_task_ns" / "mr.reduce_task_ns" histograms
+	// and the phase walls in "mr.{map,shuffle,reduce}_wall_ns", so a
+	// multi-job pipeline accumulates per-phase latency percentiles across
+	// jobs. Nil records nothing.
+	Obs *obs.Registry
 }
 
 // Metrics reports what one job cost.
@@ -95,6 +104,13 @@ type Metrics struct {
 	ReduceTaskTimes []time.Duration
 	ReducerRecords  []int64 // per-reducer input records (skew indicator)
 	Wall            time.Duration
+
+	// Per-phase wall times; Wall covers the whole job, these split it into
+	// the map phase, the shuffle (partition merge + sort), and the reduce
+	// phase (including the identity pass of map-only jobs).
+	MapWall     time.Duration
+	ShuffleWall time.Duration
+	ReduceWall  time.Duration
 
 	// Failure-model counters. On a failure-free run without speculation,
 	// Attempts equals the task count and the rest are zero.
@@ -131,6 +147,9 @@ func (m *Metrics) Add(o Metrics) {
 	m.BroadcastBytes += o.BroadcastBytes
 	m.OutputRecords += o.OutputRecords
 	m.Wall += o.Wall
+	m.MapWall += o.MapWall
+	m.ShuffleWall += o.ShuffleWall
+	m.ReduceWall += o.ReduceWall
 	m.MapTaskTimes = append(m.MapTaskTimes, o.MapTaskTimes...)
 	m.ReduceTaskTimes = append(m.ReduceTaskTimes, o.ReduceTaskTimes...)
 	m.ReducerRecords = append(m.ReducerRecords, o.ReducerRecords...)
@@ -145,6 +164,31 @@ func (m *Metrics) Add(o Metrics) {
 // Attempts exceeds it.
 func (m Metrics) Tasks() int {
 	return len(m.MapTaskTimes) + len(m.ReduceTaskTimes)
+}
+
+// observe publishes the job's timing distributions into reg (nil records
+// nothing): per-task times and per-phase walls as histograms, job and
+// attempt totals as counters.
+func (m Metrics) observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	mapTask := reg.Histogram("mr.map_task_ns")
+	for _, d := range m.MapTaskTimes {
+		mapTask.Record(int64(d))
+	}
+	redTask := reg.Histogram("mr.reduce_task_ns")
+	for _, d := range m.ReduceTaskTimes {
+		redTask.Record(int64(d))
+	}
+	reg.Histogram("mr.map_wall_ns").Record(int64(m.MapWall))
+	reg.Histogram("mr.shuffle_wall_ns").Record(int64(m.ShuffleWall))
+	reg.Histogram("mr.reduce_wall_ns").Record(int64(m.ReduceWall))
+	reg.Histogram("mr.job_wall_ns").Record(int64(m.Wall))
+	reg.Counter("mr.jobs").Inc()
+	reg.Counter("mr.attempts").Add(m.Attempts)
+	reg.Counter("mr.shuffle_bytes").Add(m.ShuffleBytes)
+	reg.Counter("mr.wasted_bytes").Add(m.WastedBytes)
 }
 
 // recordOverhead models per-record framing (key length + value length).
@@ -200,6 +244,7 @@ func Run(cfg Config, input []KV) ([]KV, Metrics, error) {
 		metrics.BroadcastBytes += b.Size * int64(cfg.Nodes)
 	}
 	start := time.Now()
+	defer func() { metrics.observe(cfg.Obs) }()
 	sem := make(chan struct{}, cfg.Nodes)
 
 	// ---- Map phase ----
@@ -232,8 +277,10 @@ func Run(cfg Config, input []KV) ([]KV, Metrics, error) {
 		return nil, metrics, err
 	}
 	metrics.MapTaskTimes = mapTooks
+	metrics.MapWall = time.Since(start)
 
 	// ---- Shuffle ----
+	shuffleStart := time.Now()
 	// Only winning attempts reach this point, so the shuffle volume is
 	// identical to a failure-free run.
 	partData := make([][]KV, cfg.Reducers)
@@ -264,8 +311,10 @@ func Run(cfg Config, input []KV) ([]KV, Metrics, error) {
 		}(p)
 	}
 	sortWG.Wait()
+	metrics.ShuffleWall = time.Since(shuffleStart)
 
 	// ---- Reduce phase ----
+	reduceStart := time.Now()
 	if cfg.Reduce == nil {
 		// Identity job: the shuffled records are the output.
 		var out []KV
@@ -274,6 +323,7 @@ func Run(cfg Config, input []KV) ([]KV, Metrics, error) {
 		}
 		sortKVs(out)
 		metrics.OutputRecords = int64(len(out))
+		metrics.ReduceWall = time.Since(reduceStart)
 		metrics.Wall = time.Since(start)
 		return out, metrics, nil
 	}
@@ -313,6 +363,7 @@ func Run(cfg Config, input []KV) ([]KV, Metrics, error) {
 	}
 	sortKVs(out)
 	metrics.OutputRecords = int64(len(out))
+	metrics.ReduceWall = time.Since(reduceStart)
 	metrics.Wall = time.Since(start)
 	return out, metrics, nil
 }

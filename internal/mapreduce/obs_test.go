@@ -1,0 +1,73 @@
+package mapreduce
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"haindex/internal/obs"
+)
+
+// TestPhaseWallsAndObs: a job must split its wall time into the three
+// phases and, when given a registry, publish per-task and per-phase timing
+// distributions into it.
+func TestPhaseWallsAndObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := Config{
+		Name:    "obs",
+		Mappers: 3, Reducers: 2, Nodes: 2,
+		Obs: reg,
+		Map: func(in KV, emit func(KV)) error {
+			for _, w := range strings.Fields(string(in.Value)) {
+				emit(kv(w, "1"))
+			}
+			return nil
+		},
+		Reduce: func(key []byte, values [][]byte, emit func(KV)) error {
+			emit(KV{Key: key, Value: []byte(strconv.Itoa(len(values)))})
+			return nil
+		},
+	}
+	docs := []KV{kv("d1", "a b c"), kv("d2", "b c d"), kv("d3", "c d e")}
+	_, m, err := Run(cfg, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MapWall <= 0 || m.ShuffleWall <= 0 || m.ReduceWall <= 0 {
+		t.Fatalf("phase walls not set: map=%v shuffle=%v reduce=%v", m.MapWall, m.ShuffleWall, m.ReduceWall)
+	}
+	if sum := m.MapWall + m.ShuffleWall + m.ReduceWall; sum > m.Wall+m.Wall/2 {
+		t.Fatalf("phase walls %v far exceed job wall %v", sum, m.Wall)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Histograms["mr.map_task_ns"].Count; got != int64(len(m.MapTaskTimes)) {
+		t.Fatalf("mr.map_task_ns holds %d samples, want %d", got, len(m.MapTaskTimes))
+	}
+	if got := snap.Histograms["mr.reduce_task_ns"].Count; got != int64(len(m.ReduceTaskTimes)) {
+		t.Fatalf("mr.reduce_task_ns holds %d samples, want %d", got, len(m.ReduceTaskTimes))
+	}
+	for _, name := range []string{"mr.map_wall_ns", "mr.shuffle_wall_ns", "mr.reduce_wall_ns", "mr.job_wall_ns"} {
+		if snap.Histograms[name].Count != 1 {
+			t.Fatalf("%s holds %d samples, want 1", name, snap.Histograms[name].Count)
+		}
+	}
+	if snap.Counters["mr.jobs"] != 1 || snap.Counters["mr.attempts"] != m.Attempts {
+		t.Fatalf("job counters wrong: %v (attempts=%d)", snap.Counters, m.Attempts)
+	}
+
+	// A second job accumulates into the same registry, and Metrics.Add
+	// carries the phase walls along.
+	var total Metrics
+	total.Add(m)
+	_, m2, err := Run(cfg, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total.Add(m2)
+	if total.MapWall != m.MapWall+m2.MapWall || total.ReduceWall != m.ReduceWall+m2.ReduceWall {
+		t.Fatalf("Metrics.Add dropped phase walls: %+v", total)
+	}
+	if got := reg.Snapshot().Counters["mr.jobs"]; got != 2 {
+		t.Fatalf("mr.jobs = %d after two jobs", got)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"haindex/internal/hash"
 	"haindex/internal/histo"
 	"haindex/internal/mapreduce"
+	"haindex/internal/obs"
 	"haindex/internal/vector"
 )
 
@@ -60,13 +61,20 @@ type Options struct {
 	Faults      *mapreduce.FaultPlan
 	Retry       mapreduce.RetryPolicy
 	Speculation mapreduce.Speculation
+
+	// Obs, when set, is handed to every MapReduce job the pipeline runs, so
+	// per-phase wall times and per-task latency distributions accumulate
+	// across the pipeline's jobs; see mapreduce.Config.Obs.
+	Obs *obs.Registry
 }
 
-// applyRuntime threads the failure-model knobs into one job config.
+// applyRuntime threads the failure-model and observability knobs into one
+// job config.
 func (o Options) applyRuntime(cfg *mapreduce.Config) {
 	cfg.Faults = o.Faults
 	cfg.Retry = o.Retry
 	cfg.Speculation = o.Speculation
+	cfg.Obs = o.Obs
 }
 
 func (o Options) withDefaults() Options {

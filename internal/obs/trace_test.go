@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("request")
+	route := tr.Start("route", 0)
+	tr.End(route)
+	shard := tr.Start("shard-0", 0)
+	attempt := tr.Start("attempt-0", shard)
+	tr.End(attempt)
+	tr.End(shard)
+	tr.Finish()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	if spans[0].Name != "request" || spans[0].Parent != NoSpan {
+		t.Fatalf("root span %+v", spans[0])
+	}
+	if spans[attempt].Parent != shard || spans[shard].Parent != 0 {
+		t.Fatalf("parenting: %+v", spans)
+	}
+	if tr.Duration() <= 0 {
+		t.Fatalf("duration %v", tr.Duration())
+	}
+	// The child's window nests inside its parent's.
+	if spans[attempt].Start < spans[shard].Start {
+		t.Fatalf("child starts before parent")
+	}
+
+	tree := tr.Tree()
+	for _, name := range []string{"request", "route", "shard-0", "attempt-0"} {
+		if !strings.Contains(tree, name) {
+			t.Fatalf("tree missing %q:\n%s", name, tree)
+		}
+	}
+	// The nested span is indented under its parent.
+	lines := strings.Split(strings.TrimRight(tree, "\n"), "\n")
+	if len(lines) != 4 || !strings.HasPrefix(lines[3], "    attempt-0") {
+		t.Fatalf("tree layout:\n%s", tree)
+	}
+
+	blob, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Name  string `json:"name"`
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal(blob, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Name != "request" || len(dump.Spans) != 4 {
+		t.Fatalf("JSON dump: %+v", dump)
+	}
+}
+
+// TestTraceConcurrentSpans mirrors the router's fan-out: per-shard spans are
+// opened and closed from separate goroutines.
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := tr.Start("shard", 0)
+			tr.End(id)
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+	if got := len(tr.Spans()); got != 9 {
+		t.Fatalf("%d spans, want 9", got)
+	}
+}
+
+func TestTracerRingAndSlowest(t *testing.T) {
+	tz := NewTracer(2)
+	if tz.Slowest() != nil {
+		t.Fatal("slowest on empty tracer")
+	}
+	slow := NewTrace("slow")
+	time.Sleep(2 * time.Millisecond)
+	tz.Add(slow)
+	for i := 0; i < 3; i++ {
+		tz.Add(NewTrace("fast")) // finishes immediately
+	}
+	if got := tz.Total(); got != 4 {
+		t.Fatalf("total %d", got)
+	}
+	if got := len(tz.Traces()); got != 2 {
+		t.Fatalf("ring holds %d", got)
+	}
+	// The slowest trace is pinned even after the ring evicted it.
+	if s := tz.Slowest(); s == nil || s.Name() != "slow" {
+		t.Fatalf("slowest = %v", s)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"haindex/internal/core"
+	"haindex/internal/obs"
 	"haindex/internal/wire"
 )
 
@@ -29,6 +30,23 @@ type Options struct {
 	// Faults optionally injects deterministic request-level faults (tests,
 	// smoke runs). Nil injects nothing.
 	Faults *FaultPlan
+
+	// IdleTimeout bounds how long a connection may sit between frames (and
+	// how long a half-written request may stall) before the server reaps it.
+	// A stalled or half-open client otherwise pins its handler goroutine
+	// forever. 0 selects 30s; negative disables the deadline.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response frame to a client that has
+	// stopped reading. 0 selects 30s; negative disables the deadline.
+	WriteTimeout time.Duration
+
+	// Obs, when set, is the registry the server hangs its counters and
+	// latency histograms on; nil gives the server a private one (reachable
+	// via Server.Obs).
+	Obs *obs.Registry
+	// TraceCapacity is the size of the per-server ring of request traces
+	// kept for the debug endpoint. 0 selects 64.
+	TraceCapacity int
 }
 
 // Stats is a snapshot of the per-shard serving counters.
@@ -58,11 +76,29 @@ type Server struct {
 	nodesVisited   atomic.Int64
 	leavesChecked  atomic.Int64
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	// Observability: the registry mirrors the counters above and adds the
+	// per-message-type latency histograms; the tracer rings recent request
+	// span trees. Hot-path instruments are resolved once here.
+	reg           *obs.Registry
+	tracer        *obs.Tracer
+	reqCount      *obs.Counter
+	errCount      *obs.Counter
+	faultCount    *obs.Counter
+	histSearch    *obs.Histogram // req.search_ns
+	histTopK      *obs.Histogram // req.topk_ns
+	histStats     *obs.Histogram // req.stats_ns
+	histAdmission *obs.Histogram // admission_wait_ns
+	histDist      *obs.Histogram // search.dist_comps
+	histNodes     *obs.Histogram // search.nodes_visited
+	histLeaves    *obs.Histogram // search.leaves_checked
+	poolIdle      *obs.Gauge
+
+	mu      sync.Mutex
+	ln      net.Listener
+	debugLn net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
 }
 
 // New builds a server over a decoded snapshot. The index must not be
@@ -74,19 +110,52 @@ func New(meta wire.SnapshotMeta, idx *core.DynamicIndex, opts Options) (*Server,
 	if opts.Searchers <= 0 {
 		opts.Searchers = runtime.GOMAXPROCS(0)
 	}
+	if opts.IdleTimeout == 0 {
+		opts.IdleTimeout = 30 * time.Second
+	}
+	if opts.WriteTimeout == 0 {
+		opts.WriteTimeout = 30 * time.Second
+	}
+	if opts.Obs == nil {
+		opts.Obs = obs.NewRegistry()
+	}
+	if opts.TraceCapacity <= 0 {
+		opts.TraceCapacity = 64
+	}
 	idx.Flush() // settle any unflushed inserts before the read-only phase
 	s := &Server{
-		meta:  meta,
-		idx:   idx,
-		opts:  opts,
-		pool:  make(chan *core.Searcher, opts.Searchers),
-		conns: make(map[net.Conn]struct{}),
+		meta:   meta,
+		idx:    idx,
+		opts:   opts,
+		pool:   make(chan *core.Searcher, opts.Searchers),
+		conns:  make(map[net.Conn]struct{}),
+		reg:    opts.Obs,
+		tracer: obs.NewTracer(opts.TraceCapacity),
 	}
+	s.reqCount = s.reg.Counter("requests")
+	s.errCount = s.reg.Counter("errors")
+	s.faultCount = s.reg.Counter("faults_injected")
+	s.histSearch = s.reg.Histogram("req.search_ns")
+	s.histTopK = s.reg.Histogram("req.topk_ns")
+	s.histStats = s.reg.Histogram("req.stats_ns")
+	s.histAdmission = s.reg.Histogram("admission_wait_ns")
+	s.histDist = s.reg.Histogram("search.dist_comps")
+	s.histNodes = s.reg.Histogram("search.nodes_visited")
+	s.histLeaves = s.reg.Histogram("search.leaves_checked")
+	s.poolIdle = s.reg.Gauge("pool.idle")
+	s.poolIdle.Set(int64(opts.Searchers))
 	for i := 0; i < opts.Searchers; i++ {
 		s.pool <- core.NewSearcher(idx)
 	}
 	return s, nil
 }
+
+// Obs returns the server's metric registry (counters, gauges, latency and
+// per-search cost histograms).
+func (s *Server) Obs() *obs.Registry { return s.reg }
+
+// Tracer returns the ring of recent request traces.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // LoadSnapshotFile is New over a snapshot file on disk.
 func LoadSnapshotFile(path string, opts Options) (*Server, error) {
@@ -154,11 +223,12 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// Close stops the listener, closes all connections, and waits for handlers.
+// Close stops the listeners (serving and debug), closes all connections,
+// and waits for handlers.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
-	ln := s.ln
+	ln, dln := s.ln, s.debugLn
 	for c := range s.conns {
 		c.Close()
 	}
@@ -166,12 +236,18 @@ func (s *Server) Close() error {
 	if ln != nil {
 		ln.Close()
 	}
+	if dln != nil {
+		dln.Close()
+	}
 	s.wg.Wait()
 	return nil
 }
 
-// Stats returns a snapshot of the serving counters.
+// Stats returns a snapshot of the serving counters. The latency percentile
+// fields summarize the per-request search and top-k histograms.
 func (s *Server) Stats() Stats {
+	lat := s.histSearch.Snapshot()
+	lat.Merge(s.histTopK.Snapshot())
 	return Stats{
 		Requests:             s.requests.Load(),
 		Queries:              s.queries.Load(),
@@ -182,6 +258,10 @@ func (s *Server) Stats() Stats {
 		DistanceComputations: s.distComps.Load(),
 		NodesVisited:         s.nodesVisited.Load(),
 		LeavesChecked:        s.leavesChecked.Load(),
+		LatencyP50Ns:         lat.P50(),
+		LatencyP95Ns:         lat.P95(),
+		LatencyP99Ns:         lat.P99(),
+		LatencyMaxNs:         lat.Max,
 	}
 }
 
@@ -194,7 +274,21 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
+	// Deadlines are the reap mechanism for dead and stalled clients: the
+	// read deadline is re-armed before every frame (bounding both idle
+	// sessions and half-written requests), the write deadline before every
+	// response (bounding clients that stopped reading). Without them a
+	// half-open connection pins this goroutine forever.
+	readFrame := func() (wire.MsgType, []byte, error) {
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		return wire.ReadFrame(br)
+	}
 	writeMsg := func(t wire.MsgType, payload []byte) bool {
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
 		if err := wire.WriteFrame(bw, t, payload); err != nil {
 			return false
 		}
@@ -202,11 +296,12 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	writeErr := func(format string, args ...interface{}) bool {
 		s.errors.Add(1)
+		s.errCount.Inc()
 		return writeMsg(wire.MsgError, wire.ErrorMsg{Msg: fmt.Sprintf(format, args...)}.Append(nil))
 	}
 
 	// The session must open with a version handshake.
-	t, payload, err := wire.ReadFrame(br)
+	t, payload, err := readFrame()
 	if err != nil {
 		return
 	}
@@ -236,25 +331,33 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 
 	for {
-		t, payload, err := wire.ReadFrame(br)
+		t, payload, err := readFrame()
 		if err != nil {
-			return // client went away (or sent garbage framing)
+			return // client went away, stalled past the deadline, or sent garbage framing
 		}
 		switch t {
 		case wire.MsgSearch, wire.MsgTopK:
 			s.requests.Add(1)
+			s.reqCount.Inc()
+			t0 := time.Now()
+			tr := obs.NewTrace(t.String())
 			seq := s.reqSeq.Add(1) - 1
 			f := s.opts.Faults.fault(seq)
 			if f.Delay > 0 {
 				s.faultsInjected.Add(1)
+				s.faultCount.Inc()
+				sp := tr.Start("fault.delay", 0)
 				time.Sleep(f.Delay)
+				tr.End(sp)
 			}
 			if f.Drop {
 				s.faultsInjected.Add(1)
+				s.faultCount.Inc()
 				return
 			}
 			if f.Fail {
 				s.faultsInjected.Add(1)
+				s.faultCount.Inc()
 				if !writeErr("injected failure of request %d", seq) {
 					return
 				}
@@ -263,18 +366,31 @@ func (s *Server) handleConn(conn net.Conn) {
 			var respType wire.MsgType
 			var resp []byte
 			if t == wire.MsgSearch {
-				respType, resp = s.answerSearch(payload)
+				respType, resp = s.answerSearch(payload, tr)
 			} else {
-				respType, resp = s.answerTopK(payload)
+				respType, resp = s.answerTopK(payload, tr)
 			}
 			if respType == wire.MsgError {
 				s.errors.Add(1)
+				s.errCount.Inc()
 			}
-			if !writeMsg(respType, resp) {
+			sp := tr.Start("write", 0)
+			ok := writeMsg(respType, resp)
+			tr.End(sp)
+			if t == wire.MsgSearch {
+				s.histSearch.RecordSince(t0)
+			} else {
+				s.histTopK.RecordSince(t0)
+			}
+			s.tracer.Add(tr)
+			if !ok {
 				return
 			}
 		case wire.MsgStats:
-			if !writeMsg(wire.MsgStatsOK, s.Stats().Append(nil)) {
+			t0 := time.Now()
+			ok := writeMsg(wire.MsgStatsOK, s.Stats().Append(nil))
+			s.histStats.RecordSince(t0)
+			if !ok {
 				return
 			}
 		default:
@@ -285,7 +401,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) answerSearch(payload []byte) (wire.MsgType, []byte) {
+func (s *Server) answerSearch(payload []byte, tr *obs.Trace) (wire.MsgType, []byte) {
 	req, err := wire.ParseSearchReq(payload, s.meta.Length)
 	if err != nil {
 		return wire.MsgError, wire.ErrorMsg{Msg: err.Error()}.Append(nil)
@@ -296,7 +412,7 @@ func (s *Server) answerSearch(payload []byte) (wire.MsgType, []byte) {
 	s.queries.Add(int64(len(req.Queries)))
 	resp := wire.SearchResp{IDs: make([][]int, len(req.Queries))}
 	returned := int64(0)
-	s.runBatch(len(req.Queries), func(sr *core.Searcher, i int) {
+	s.runBatch(len(req.Queries), tr, func(sr *core.Searcher, i int) {
 		ids := sr.Search(req.Queries[i], req.H)
 		if len(ids) > 0 {
 			out := append([]int(nil), ids...)
@@ -309,7 +425,7 @@ func (s *Server) answerSearch(payload []byte) (wire.MsgType, []byte) {
 	return wire.MsgSearchOK, resp.Append(nil)
 }
 
-func (s *Server) answerTopK(payload []byte) (wire.MsgType, []byte) {
+func (s *Server) answerTopK(payload []byte, tr *obs.Trace) (wire.MsgType, []byte) {
 	req, err := wire.ParseTopKReq(payload, s.meta.Length)
 	if err != nil {
 		return wire.MsgError, wire.ErrorMsg{Msg: err.Error()}.Append(nil)
@@ -320,7 +436,7 @@ func (s *Server) answerTopK(payload []byte) (wire.MsgType, []byte) {
 	s.topkQueries.Add(int64(len(req.Queries)))
 	resp := wire.TopKResp{IDs: make([][]int, len(req.Queries)), Dists: make([][]int, len(req.Queries))}
 	returned := int64(0)
-	s.runBatch(len(req.Queries), func(sr *core.Searcher, i int) {
+	s.runBatch(len(req.Queries), tr, func(sr *core.Searcher, i int) {
 		ids, dists := sr.TopK(req.Queries[i], req.K)
 		resp.IDs[i], resp.Dists[i] = ids, dists
 		atomic.AddInt64(&returned, int64(len(ids)))
@@ -335,11 +451,18 @@ func (s *Server) answerTopK(payload []byte) (wire.MsgType, []byte) {
 // to parallelize the batch, so a lone large batch uses the whole pool while
 // concurrent small requests are not starved. Queries are claimed off an
 // atomic cursor, mirroring core.SearchBatch.
-func (s *Server) runBatch(n int, run func(sr *core.Searcher, i int)) {
+func (s *Server) runBatch(n int, tr *obs.Trace, run func(sr *core.Searcher, i int)) {
 	if n == 0 {
 		return
 	}
+	// The blocking wait for the admission ticket is the queueing delay a
+	// saturated pool imposes; its span and histogram are where overload
+	// shows up first.
+	t0 := time.Now()
+	adm := tr.Start("admission", 0)
 	searchers := []*core.Searcher{<-s.pool}
+	tr.End(adm)
+	s.histAdmission.RecordSince(t0)
 	for len(searchers) < n {
 		select {
 		case sr := <-s.pool:
@@ -349,6 +472,8 @@ func (s *Server) runBatch(n int, run func(sr *core.Searcher, i int)) {
 		}
 	}
 acquired:
+	s.poolIdle.Add(-int64(len(searchers)))
+	runSpan := tr.Start("run", 0)
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for _, sr := range searchers {
@@ -363,12 +488,19 @@ acquired:
 				}
 				run(sr, i)
 				agg.Add(sr.Stats)
+				// Per-search cost distributions: how much index work one
+				// query did, the core.SearchStats flow into the registry.
+				s.histDist.Record(int64(sr.Stats.DistanceComputations))
+				s.histNodes.Record(int64(sr.Stats.NodesVisited))
+				s.histLeaves.Record(int64(sr.Stats.LeavesChecked))
 			}
 			s.distComps.Add(int64(agg.DistanceComputations))
 			s.nodesVisited.Add(int64(agg.NodesVisited))
 			s.leavesChecked.Add(int64(agg.LeavesChecked))
 			s.pool <- sr
+			s.poolIdle.Add(1)
 		}(sr)
 	}
 	wg.Wait()
+	tr.End(runSpan)
 }

@@ -3,17 +3,21 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"haindex/internal/bitvec"
 	"haindex/internal/core"
 	"haindex/internal/histo"
+	"haindex/internal/obs"
 	"haindex/internal/wire"
 )
 
@@ -310,5 +314,129 @@ func TestLoadSnapshotFile(t *testing.T) {
 	}
 	if _, err := LoadSnapshotFile(filepath.Join(t.TempDir(), "missing"), Options{}); err == nil {
 		t.Fatal("missing snapshot accepted")
+	}
+}
+
+// TestServerReapsDeadClient is the deadline bugfix's regression test: a
+// client that goes silent (or half-writes a frame) must be reaped by the
+// idle deadline instead of pinning its handler goroutine forever.
+func TestServerReapsDeadClient(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	meta, idx, _ := testShard(t, rng, 100, 16, 2, 0)
+	s := startTestServer(t, meta, idx, Options{IdleTimeout: 100 * time.Millisecond})
+
+	// Connection 1: handshakes, then goes silent mid-session.
+	c := dialTest(t, s)
+	c.hello()
+	// Connection 2: half-writes a frame header and stalls.
+	half, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { half.Close() })
+	if _, err := half.Write([]byte{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both connections must be closed by the server: reads unblock with an
+	// error long before any request was answered.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, conn := range []net.Conn{c.conn, half} {
+		conn.SetReadDeadline(deadline)
+		if _, err := conn.Read(make([]byte, 1)); err == nil {
+			t.Fatal("dead connection still served")
+		} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatal("server never reaped the dead connection")
+		}
+	}
+	// The handler bookkeeping must drain too — no goroutine pinned.
+	for start := time.Now(); ; {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Since(start) > 5*time.Second {
+			t.Fatalf("%d connections still tracked after reap", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A live client arriving afterwards is served normally.
+	c2 := dialTest(t, s)
+	c2.hello()
+}
+
+// TestServerDebugEndpoint exercises the observability surface end to end:
+// after a few requests the debug endpoint must serve a registry snapshot
+// with non-empty latency histograms and matching counters, and a trace dump.
+func TestServerDebugEndpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	meta, idx, codes := testShard(t, rng, 300, 16, 2, 0)
+	s := startTestServer(t, meta, idx, Options{Searchers: 2})
+	dbgAddr, err := s.StartDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StartDebug("127.0.0.1:0"); err == nil {
+		t.Fatal("second debug endpoint accepted")
+	}
+
+	c := dialTest(t, s)
+	c.hello()
+	req := wire.SearchReq{H: 2, Queries: codes[:5]}.Append(nil)
+	for i := 0; i < 4; i++ {
+		if rt, _ := c.roundTrip(wire.MsgSearch, req); rt != wire.MsgSearchOK {
+			t.Fatalf("search answered %s", rt)
+		}
+	}
+
+	resp, err := http.Get("http://" + dbgAddr.String() + "/debug/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.RegistrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["requests"] != 4 {
+		t.Fatalf("debug snapshot requests = %d, want 4", snap.Counters["requests"])
+	}
+	lat := snap.Histograms["req.search_ns"]
+	if lat.Count != 4 || lat.P50 <= 0 || lat.Max < lat.P50 {
+		t.Fatalf("latency histogram: %+v", lat)
+	}
+	if snap.Histograms["search.dist_comps"].Count == 0 {
+		t.Fatal("per-search cost histograms empty")
+	}
+	// Wire-level stats carry the same percentiles (the v2 field).
+	rt, body := c.roundTrip(wire.MsgStats, nil)
+	if rt != wire.MsgStatsOK {
+		t.Fatalf("stats answered %s", rt)
+	}
+	st, err := wire.ParseStatsResp(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LatencyP50Ns != lat.P50 || st.LatencyMaxNs < st.LatencyP50Ns {
+		t.Fatalf("wire stats percentiles %+v vs debug %+v", st, lat)
+	}
+
+	tresp, err := http.Get("http://" + dbgAddr.String() + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var traces struct {
+		Total   int64           `json:"total"`
+		Slowest json.RawMessage `json:"slowest"`
+		Recent  json.RawMessage `json:"recent"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if traces.Total != 4 || string(traces.Slowest) == "null" {
+		t.Fatalf("trace dump: total=%d slowest=%s", traces.Total, traces.Slowest)
 	}
 }

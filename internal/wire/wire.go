@@ -24,8 +24,10 @@ import (
 )
 
 // Version is the protocol version spoken by this build. Bump on any frame
-// layout change.
-const Version = 1
+// layout change. Version 2 extended StatsResp with search-latency
+// percentiles; ParseStatsResp still accepts the shorter v1 payload, so the
+// field is version-gated at the handshake, not the parser.
+const Version = 2
 
 // MaxFrame bounds a frame's payload so a corrupt or hostile length prefix
 // cannot make a reader allocate unboundedly.
@@ -359,7 +361,10 @@ func ParseTopKResp(payload []byte) (TopKResp, error) {
 	return m, p.done()
 }
 
-// StatsResp is the server's counter snapshot.
+// StatsResp is the server's counter snapshot. The four latency fields are
+// per-request search/top-k latency percentiles in nanoseconds, served from
+// the shard's observability registry; they were added in protocol version 2
+// and are absent from v1 payloads (ParseStatsResp leaves them zero).
 type StatsResp struct {
 	Requests             int64
 	Queries              int64
@@ -370,12 +375,18 @@ type StatsResp struct {
 	DistanceComputations int64
 	NodesVisited         int64
 	LeavesChecked        int64
+
+	LatencyP50Ns int64
+	LatencyP95Ns int64
+	LatencyP99Ns int64
+	LatencyMaxNs int64
 }
 
 func (m StatsResp) Append(dst []byte) []byte {
 	for _, v := range []int64{
 		m.Requests, m.Queries, m.TopKQueries, m.IDsReturned, m.Errors,
 		m.FaultsInjected, m.DistanceComputations, m.NodesVisited, m.LeavesChecked,
+		m.LatencyP50Ns, m.LatencyP95Ns, m.LatencyP99Ns, m.LatencyMaxNs,
 	} {
 		dst = binary.AppendUvarint(dst, uint64(v))
 	}
@@ -389,6 +400,16 @@ func ParseStatsResp(payload []byte) (StatsResp, error) {
 		&m.Requests, &m.Queries, &m.TopKQueries, &m.IDsReturned, &m.Errors,
 		&m.FaultsInjected, &m.DistanceComputations, &m.NodesVisited, &m.LeavesChecked,
 	} {
+		*f = int64(p.uvarint())
+	}
+	// Version-2 extension: latency percentiles, optional so a v1 peer's
+	// shorter payload still parses.
+	for _, f := range []*int64{
+		&m.LatencyP50Ns, &m.LatencyP95Ns, &m.LatencyP99Ns, &m.LatencyMaxNs,
+	} {
+		if p.err == nil && len(p.b) == 0 {
+			break
+		}
 		*f = int64(p.uvarint())
 	}
 	return m, p.done()

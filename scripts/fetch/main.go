@@ -1,0 +1,32 @@
+// Command fetch GETs one URL and writes the body to stdout — the smoke
+// script's fallback when neither curl nor wget is installed (only the Go
+// toolchain is assumed).
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: fetch URL")
+		os.Exit(2)
+	}
+	resp, err := http.Get(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fetch:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintln(os.Stderr, "fetch:", resp.Status)
+		os.Exit(1)
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, "fetch:", err)
+		os.Exit(1)
+	}
+}

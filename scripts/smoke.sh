@@ -4,6 +4,10 @@
 #   haquery with the in-process oracle diff.
 # Exits nonzero if any step fails or the distributed answers differ from a
 # single-index oracle.
+#
+# With SMOKE_DEBUG=1 (make debug-smoke), shard 0 also binds its HTTP debug
+# endpoint; after the queries run, /debug/obs is fetched and must report a
+# non-empty request-latency histogram and nonzero request/fault counters.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,9 +27,16 @@ echo "smoke: generating and sharding a tiny dataset"
 "$WORK/bin/hagen" -profile NUS-WIDE -n 2000 -seed 7 -o "$WORK/data.csv"
 "$WORK/bin/haidx" shard -data "$WORK/data.csv" -bits 32 -parts 2 -o "$WORK/shards"
 
+SMOKE_DEBUG=${SMOKE_DEBUG:-0}
+DEBUG_FLAGS=""
+if [ "$SMOKE_DEBUG" = "1" ]; then
+    DEBUG_FLAGS="-debug-addr 127.0.0.1:0 -debug-port-file $WORK/s0.debug"
+fi
+
 echo "smoke: starting two shard servers (shard 0 fails its first request)"
+# shellcheck disable=SC2086 # DEBUG_FLAGS is intentionally word-split
 "$WORK/bin/haserve" -snapshot "$WORK/shards/shard-00000.hasn" -addr 127.0.0.1:0 \
-    -port-file "$WORK/s0.addr" -fail-requests 0 &
+    -port-file "$WORK/s0.addr" -fail-requests 0 $DEBUG_FLAGS &
 PIDS="$PIDS $!"
 "$WORK/bin/haserve" -snapshot "$WORK/shards/shard-00001.hasn" -addr 127.0.0.1:0 \
     -port-file "$WORK/s1.addr" &
@@ -45,6 +56,27 @@ ADDR1=$(cat "$WORK/s1.addr")
 echo "smoke: querying rows 0-49 through the router (h=3, top-5), diffing vs oracle"
 "$WORK/bin/haquery" -shards "$ADDR0,$ADDR1" \
     -codes-file "$WORK/shards/codes.txt" -rows 0-49 -h 3 -topk 5 \
-    -oracle "$WORK/shards"
+    -oracle "$WORK/shards" -trace
+
+if [ "$SMOKE_DEBUG" = "1" ]; then
+    DEBUG_ADDR=$(cat "$WORK/s0.debug")
+    echo "smoke: fetching http://$DEBUG_ADDR/debug/obs"
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "http://$DEBUG_ADDR/debug/obs" > "$WORK/obs.json"
+    elif command -v wget >/dev/null 2>&1; then
+        wget -qO "$WORK/obs.json" "http://$DEBUG_ADDR/debug/obs"
+    else
+        go run ./scripts/fetch "http://$DEBUG_ADDR/debug/obs" > "$WORK/obs.json"
+    fi
+    grep -q '"req.search_ns"' "$WORK/obs.json" || {
+        echo "smoke: debug snapshot has no search-latency histogram" >&2; exit 1; }
+    REQS=$(sed -n 's/^ *"requests": \([0-9]*\).*/\1/p' "$WORK/obs.json" | head -n 1)
+    [ -n "$REQS" ] && [ "$REQS" -gt 0 ] || {
+        echo "smoke: debug snapshot reports no served requests" >&2; exit 1; }
+    FAULTS=$(sed -n 's/^ *"faults_injected": \([0-9]*\).*/\1/p' "$WORK/obs.json" | head -n 1)
+    [ -n "$FAULTS" ] && [ "$FAULTS" -gt 0 ] || {
+        echo "smoke: debug snapshot reports no injected faults" >&2; exit 1; }
+    echo "smoke: debug endpoint OK ($REQS requests, $FAULTS faults injected)"
+fi
 
 echo "smoke: OK"
