@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race test-race bench bench-query bench-serve vet fmt-check fuzz smoke debug-smoke experiments examples clean
+.PHONY: all check build test race test-race bench bench-query bench-frozen bench-serve vet fmt-check fuzz smoke debug-smoke experiments examples clean
 
 all: build vet test
 
@@ -39,6 +39,13 @@ bench-query:
 	$(GO) test -run=NONE -bench='Searcher|SearchBatch' -benchmem ./internal/core/
 	$(GO) run ./cmd/habench -exp query
 
+# Frozen-index microbenchmarks: freeze (compile) time, flat-walk search and
+# top-k, and the near-single-copy v2 decode, then the pointer-vs-frozen
+# experiment rows (BENCH_query.json gains a "frozen" field per run).
+bench-frozen:
+	$(GO) test -run=NONE -bench='Freeze|Frozen' -benchmem ./internal/core/
+	$(GO) run ./cmd/habench -exp query
+
 # Serving-layer throughput experiment: QPS and latency against in-process
 # shard servers across shard counts and batch sizes; writes BENCH_serve.json.
 bench-serve:
@@ -47,6 +54,7 @@ bench-serve:
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeDynamic -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeIndex -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzDecodeFrozen -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzFromString -fuzztime=15s ./internal/bitvec/
 
 # End-to-end smoke of the serving stack: build the CLIs, generate a tiny

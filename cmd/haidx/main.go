@@ -60,6 +60,7 @@ func cmdBuild(args []string) {
 	out := fs.String("o", "index.hadx", "output index file")
 	seed := fs.Int64("seed", 1, "hash-learning sample seed")
 	leafless := fs.Bool("leafless", false, "write the Option-B form without tuple-id tables")
+	frozen := fs.Bool("frozen", false, "write the compiled (frozen, v2) form instead of the pointer encoding")
 	fs.Parse(args)
 	if *data == "" {
 		fatalf("build: -data is required")
@@ -80,22 +81,31 @@ func cmdBuild(args []string) {
 		fatalf("%v", err)
 	}
 	defer f.Close()
-	if err := idx.Encode(f, !*leafless); err != nil {
-		fatalf("encoding: %v", err)
+	var sz int
+	if *frozen {
+		fz := core.Freeze(idx)
+		if err := fz.Encode(f, !*leafless); err != nil {
+			fatalf("encoding: %v", err)
+		}
+		sz, _ = fz.EncodedSize(!*leafless)
+	} else {
+		if err := idx.Encode(f, !*leafless); err != nil {
+			fatalf("encoding: %v", err)
+		}
+		sz, _ = idx.EncodedSize(!*leafless)
 	}
-	sz, _ := idx.EncodedSize(!*leafless)
 	fmt.Printf("haidx: indexed %d tuples (%d-bit codes) in %v; wrote %s (%.1f KB)\n",
 		idx.Len(), *bits, buildTime.Round(time.Millisecond), *out, float64(sz)/1e3)
 	fmt.Println("note: queries must be hashed with the same learned function; keep the dataset and seed")
 }
 
-func loadIndex(path string) *core.DynamicIndex {
+func loadIndex(path string) core.Index {
 	f, err := os.Open(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer f.Close()
-	idx, err := core.DecodeDynamic(f)
+	idx, err := core.DecodeIndex(f)
 	if err != nil {
 		fatalf("decoding %s: %v", path, err)
 	}
@@ -110,14 +120,30 @@ func cmdInfo(args []string) {
 		fatalf("info: -index is required")
 	}
 	idx := loadIndex(*index)
+	// Both index forms expose the same structural counters.
+	stats := idx.(interface {
+		Codes() []bitvec.Code
+		NodeCount() int
+		EdgeCount() int
+		SizeBytes() int
+	})
+	form := "pointer (v1)"
+	if _, ok := idx.(*core.FrozenIndex); ok {
+		form = "frozen (v2)"
+	}
 	fmt.Printf("HA-Index file: %s\n", *index)
+	fmt.Printf("  form:           %s\n", form)
 	fmt.Printf("  code length:    %d bits\n", idx.Length())
 	fmt.Printf("  tuples:         %d\n", idx.Len())
-	fmt.Printf("  distinct codes: %d\n", len(idx.Codes()))
-	fmt.Printf("  internal nodes: %d\n", idx.NodeCount())
-	fmt.Printf("  edges:          %d\n", idx.EdgeCount())
-	fmt.Printf("  memory:         %.1f KB (internal %.1f KB)\n",
-		float64(idx.SizeBytes())/1e3, float64(idx.InternalSizeBytes())/1e3)
+	fmt.Printf("  distinct codes: %d\n", len(stats.Codes()))
+	fmt.Printf("  internal nodes: %d\n", stats.NodeCount())
+	fmt.Printf("  edges:          %d\n", stats.EdgeCount())
+	if dyn, ok := idx.(*core.DynamicIndex); ok {
+		fmt.Printf("  memory:         %.1f KB (internal %.1f KB)\n",
+			float64(dyn.SizeBytes())/1e3, float64(dyn.InternalSizeBytes())/1e3)
+	} else {
+		fmt.Printf("  memory:         %.1f KB (flat arena)\n", float64(stats.SizeBytes())/1e3)
+	}
 }
 
 func cmdSearch(args []string) {
@@ -140,6 +166,7 @@ func cmdSearch(args []string) {
 	if err != nil {
 		fatalf("re-learning hash: %v", err)
 	}
+	sr := core.NewSearcher(idx)
 	for _, part := range strings.Split(*rows, ",") {
 		row, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || row < 0 || row >= len(vecs) {
@@ -147,11 +174,11 @@ func cmdSearch(args []string) {
 		}
 		q := hf.Hash(vecs[row])
 		t0 := time.Now()
-		ids := idx.Search(q, *h)
+		ids := append([]int(nil), sr.Search(q, *h)...)
 		took := time.Since(t0)
 		sort.Ints(ids)
 		fmt.Printf("row %d: %d matches within h=%d in %v [%d distance computations]\n",
-			row, len(ids), *h, took, idx.Stats.DistanceComputations)
+			row, len(ids), *h, took, sr.Stats.DistanceComputations)
 	}
 }
 
@@ -166,6 +193,7 @@ func cmdShard(args []string) {
 	parts := fs.Int("parts", 2, "number of partitions (one snapshot each)")
 	out := fs.String("o", "shards", "output directory")
 	seed := fs.Int64("seed", 1, "hash-learning sample seed")
+	frozen := fs.Bool("frozen", true, "write frozen (v2) snapshots; -frozen=false writes the pointer encoding")
 	fs.Parse(args)
 	if *data == "" {
 		fatalf("shard: -data is required")
@@ -204,7 +232,10 @@ func cmdShard(args []string) {
 		for j, i := range rows {
 			partCodes[j] = codes[i]
 		}
-		idx := core.BuildDynamic(partCodes, rows, core.Options{})
+		var idx core.Index = core.BuildDynamic(partCodes, rows, core.Options{})
+		if *frozen {
+			idx = core.Freeze(idx.(*core.DynamicIndex))
+		}
 		meta := wire.SnapshotMeta{Part: m, Parts: *parts, Length: *bits, Pivots: pivots}
 		path := filepath.Join(*out, fmt.Sprintf("shard-%05d.hasn", m))
 		f, err := os.Create(path)

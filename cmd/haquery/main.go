@@ -194,23 +194,25 @@ func diffOracle(dir string, queries []bitvec.Code, h, topk int, got [][]int, tkI
 		fatalf("oracle: no *.hasn snapshots in %s", dir)
 	}
 	sort.Strings(paths)
-	var all *core.DynamicIndex
+	var ids []int
+	var codes []bitvec.Code
 	for _, p := range paths {
 		_, idx, err := wire.ReadSnapshotFile(p)
 		if err != nil {
 			fatalf("oracle: %v", err)
 		}
-		if all == nil {
-			all = idx
-			continue
-		}
-		for _, c := range idx.Codes() {
-			for _, id := range idx.Search(c, 0) {
-				all.Insert(id, c)
-			}
-		}
+		// Both snapshot forms (pointer and frozen) enumerate their tuples.
+		idx.(interface {
+			Tuples(func(id int, code bitvec.Code))
+		}).Tuples(func(id int, code bitvec.Code) {
+			ids = append(ids, id)
+			codes = append(codes, code)
+		})
 	}
-	all.Flush()
+	if len(codes) == 0 {
+		fatalf("oracle: snapshots in %s hold no tuples", dir)
+	}
+	all := core.BuildDynamic(codes, ids, core.Options{})
 	sr := core.NewSearcher(all)
 	mismatches := 0
 	for i, q := range queries {

@@ -40,6 +40,7 @@ func main() {
 		debugFile = flag.String("debug-port-file", "", "write the bound debug address to this file")
 		idleTO    = flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = 30s, negative disables)")
 		writeTO   = flag.Duration("write-timeout", 0, "per-response write deadline (0 = 30s, negative disables)")
+		frozen    = flag.Bool("frozen", true, "serve the compiled (frozen) index; -frozen=false walks the pointer hierarchy")
 	)
 	flag.Parse()
 	if *snapshot == "" {
@@ -70,6 +71,7 @@ func main() {
 		Faults:       faults,
 		IdleTimeout:  *idleTO,
 		WriteTimeout: *writeTO,
+		PointerWalk:  !*frozen,
 	})
 	if err != nil {
 		fatalf("%v", err)

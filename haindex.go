@@ -69,6 +69,10 @@ type (
 	// StaticIndex is the Static HA-Index with fixed bit segmentation
 	// (Section 4.3).
 	StaticIndex = core.StaticIndex
+	// FrozenIndex is the immutable compiled form of a Dynamic HA-Index:
+	// the pattern DAG flattened into contiguous arrays for cache-friendly,
+	// allocation-free search and near-single-copy snapshot load.
+	FrozenIndex = core.FrozenIndex
 	// IndexOptions configures HA-Index construction (window, depth,
 	// insert-buffer size).
 	IndexOptions = core.Options
@@ -181,6 +185,11 @@ func BuildDynamicIndex(codes []Code, ids []int, opts IndexOptions) *DynamicIndex
 func BuildStaticIndex(codes []Code, ids []int, segWidth int) *StaticIndex {
 	return core.BuildStatic(codes, ids, segWidth)
 }
+
+// FreezeIndex compiles a Dynamic HA-Index into its immutable frozen form.
+// Buffered inserts are flushed first, so the frozen index always covers every
+// tuple the dynamic index held.
+func FreezeIndex(x *DynamicIndex) *FrozenIndex { return core.Freeze(x) }
 
 // ---- Query engine ----
 
@@ -357,6 +366,14 @@ func PGBJ(r, s []Vec, k int, opt JoinOptions) (*PGBJResult, error) {
 // (*DynamicIndex).Encode — the wire format local indexes are persisted and
 // broadcast in.
 func DecodeIndex(r io.Reader) (*DynamicIndex, error) { return core.DecodeDynamic(r) }
+
+// DecodeAnyIndex reads either index wire format — v1 pointer (DynamicIndex)
+// or v2 frozen (FrozenIndex) — dispatching on the header version.
+func DecodeAnyIndex(r io.Reader) (SearchIndex, error) { return core.DecodeIndex(r) }
+
+// DecodeFrozenIndex reads a frozen index previously written with
+// (*FrozenIndex).Encode (wire format v2), rejecting v1 pointer payloads.
+func DecodeFrozenIndex(r io.Reader) (*FrozenIndex, error) { return core.DecodeFrozen(r) }
 
 // ---- Similarity-aware relational operators (Section 7 direction) ----
 

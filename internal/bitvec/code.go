@@ -302,5 +302,19 @@ func CodeFromBytes(src []byte, n int) (Code, int, error) {
 // size accounting and the gray package.
 func (c Code) Words() []uint64 { return c.words }
 
+// FromWords wraps an existing word slice as an n-bit code WITHOUT copying:
+// the code aliases words, so the caller must not mutate them afterwards. It
+// is the arena constructor used by the frozen HA-Index, whose codes live
+// packed in one contiguous slab. Bits beyond n in the last word are cleared
+// in place. It panics when the slice is not exactly wordsFor(n) long.
+func FromWords(words []uint64, n int) Code {
+	if n <= 0 || len(words) != wordsFor(n) {
+		panic(fmt.Sprintf("bitvec: FromWords %d words for %d bits", len(words), n))
+	}
+	c := Code{words: words, n: n}
+	c.clearTail()
+	return c
+}
+
 // SizeBytes returns the in-memory footprint of the code's bit storage.
 func (c Code) SizeBytes() int { return len(c.words)*8 + 16 /* slice header */ + 8 /* n */ }

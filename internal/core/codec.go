@@ -150,24 +150,62 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// readCodecHeader consumes the HADX magic and returns the format version.
+func readCodecHeader(br *bufio.Reader) (uint64, error) {
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return 0, fmt.Errorf("core: reading index magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return 0, fmt.Errorf("core: bad index magic %q", magic)
+	}
+	return binary.ReadUvarint(br)
+}
+
 // DecodeDynamic reads an index previously written by Encode. Indexes encoded
 // without ids answer SearchCodes; their Search returns no ids.
 func DecodeDynamic(r io.Reader) (*DynamicIndex, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(codecMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("core: reading index magic: %w", err)
-	}
-	if string(magic) != codecMagic {
-		return nil, fmt.Errorf("core: bad index magic %q", magic)
-	}
-	version, err := binary.ReadUvarint(br)
+	version, err := readCodecHeader(br)
 	if err != nil {
 		return nil, err
 	}
 	if version != codecVersion {
 		return nil, fmt.Errorf("core: unsupported index version %d", version)
 	}
+	return decodeDynamicBody(br)
+}
+
+// DecodeIndex reads either codec version from r: a v1 encoding yields the
+// pointer-walk *DynamicIndex, a v2 encoding the flat *FrozenIndex. Serving
+// paths that only need the read-only Index surface should decode through
+// this so frozen snapshots load without reconstruction.
+func DecodeIndex(r io.Reader) (Index, error) {
+	br := bufio.NewReader(r)
+	version, err := readCodecHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	switch version {
+	case codecVersion:
+		idx, err := decodeDynamicBody(br)
+		if err != nil {
+			return nil, err
+		}
+		return idx, nil
+	case codecVersionFrozen:
+		idx, err := decodeFrozenBody(br)
+		if err != nil {
+			return nil, err
+		}
+		return idx, nil
+	default:
+		return nil, fmt.Errorf("core: unsupported index version %d", version)
+	}
+}
+
+// decodeDynamicBody parses the v1 layout after the magic and version.
+func decodeDynamicBody(br *bufio.Reader) (*DynamicIndex, error) {
 	length64, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// codecVersionFrozen is the HADX v2 layout: the frozen index's arenas
+// serialized directly, so decoding is a near-single-copy fill of the flat
+// arrays instead of node-by-node pointer reconstruction.
+//
+// Layout (integers are unsigned varints unless noted):
+//
+//	magic "HADX" | version 2 | code length L | flags (bit0: ids present)
+//	nGroups | nNodes | nRoots | nChildRefs | nLeafRefs | nTopLeaves
+//	codeSlab: nGroups*nw words (fixed 8B big-endian each)
+//	ids (only when flag set): per group: count, then delta-encoded ids
+//	topLeaves: nTopLeaves group indexes
+//	child degrees: nNodes counts (prefix-summed into childStart on decode)
+//	childList: nChildRefs node ids (level order: each child id > its parent)
+//	leaf degrees: nNodes counts | leafList: nLeafRefs group indexes
+//	resSlab: nNodes*2*nw words (fixed) | maskSlab: nNodes*nw words (fixed)
+const codecVersionFrozen = 2
+
+// Encode writes the frozen index in the v2 arena layout. With withIDs=false
+// the tuple-id tables are omitted (the leafless Option-B broadcast form).
+func (f *FrozenIndex) Encode(w io.Writer, withIDs bool) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	putUvarint(bw, codecVersionFrozen)
+	putUvarint(bw, uint64(f.length))
+	flags := uint64(0)
+	if withIDs {
+		flags |= 1
+	}
+	putUvarint(bw, flags)
+
+	nn := len(f.childStart) - 1
+	for _, v := range []uint64{
+		uint64(len(f.groups)), uint64(nn), uint64(f.nRoots),
+		uint64(len(f.childList)), uint64(len(f.leafList)), uint64(len(f.topLeaves)),
+	} {
+		putUvarint(bw, v)
+	}
+	writeWords := func(words []uint64) error {
+		var buf [8]byte
+		for _, w := range words {
+			binary.BigEndian.PutUint64(buf[:], w)
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeWords(f.codeSlab); err != nil {
+		return err
+	}
+	if withIDs {
+		for i := range f.groups {
+			ids := f.groups[i].ids
+			putUvarint(bw, uint64(len(ids)))
+			prev := int64(0)
+			for _, id := range ids {
+				putVarint(bw, int64(id)-prev)
+				prev = int64(id)
+			}
+		}
+	}
+	for _, gi := range f.topLeaves {
+		putUvarint(bw, uint64(gi))
+	}
+	for i := 0; i < nn; i++ {
+		putUvarint(bw, uint64(f.childStart[i+1]-f.childStart[i]))
+	}
+	for _, c := range f.childList {
+		putUvarint(bw, uint64(c))
+	}
+	for i := 0; i < nn; i++ {
+		putUvarint(bw, uint64(f.leafStart[i+1]-f.leafStart[i]))
+	}
+	for _, gi := range f.leafList {
+		putUvarint(bw, uint64(gi))
+	}
+	if err := writeWords(f.resSlab); err != nil {
+		return err
+	}
+	if err := writeWords(f.maskSlab); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// EncodedSize returns the exact wire size of the frozen index.
+func (f *FrozenIndex) EncodedSize(withIDs bool) (int, error) {
+	var c countingWriter
+	if err := f.Encode(&c, withIDs); err != nil {
+		return 0, err
+	}
+	return int(c), nil
+}
+
+// DecodeFrozen reads a frozen index previously written by
+// (*FrozenIndex).Encode. Corrupt input returns an error, never panics.
+func DecodeFrozen(r io.Reader) (*FrozenIndex, error) {
+	br := bufio.NewReader(r)
+	version, err := readCodecHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != codecVersionFrozen {
+		return nil, fmt.Errorf("core: not a frozen index (version %d)", version)
+	}
+	return decodeFrozenBody(br)
+}
+
+// decodeFrozenBody parses the v2 layout after the magic and version. Every
+// array grows incrementally while its bytes arrive, so hostile counts fail
+// at EOF instead of pre-allocating, and all cross-array indexes are bounds-
+// checked before the index is returned.
+func decodeFrozenBody(br *bufio.Reader) (*FrozenIndex, error) {
+	length64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	length := int(length64)
+	if length <= 0 || length > 1<<20 {
+		return nil, fmt.Errorf("core: implausible code length %d", length)
+	}
+	flags, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	withIDs := flags&1 != 0
+	var nGroups, nNodes, nRoots, nChild, nLeafRefs, nTop uint64
+	for _, dst := range []*uint64{&nGroups, &nNodes, &nRoots, &nChild, &nLeafRefs, &nTop} {
+		if *dst, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+	}
+	if nRoots > nNodes {
+		return nil, fmt.Errorf("core: frozen index claims %d roots of %d nodes", nRoots, nNodes)
+	}
+	if nNodes > 1<<31-2 || nGroups > 1<<31-2 || nChild > 1<<31-2 || nLeafRefs > 1<<31-2 {
+		return nil, fmt.Errorf("core: frozen index counts overflow")
+	}
+
+	nw := (length + 63) / 64
+	f := &FrozenIndex{length: length, nw: nw, nRoots: int32(nRoots)}
+
+	// readWords appends `count` big-endian words, reading in bounded chunks
+	// so the allocation grows only as fast as real input arrives.
+	var chunk [512 * 8]byte
+	readWords := func(dst []uint64, count uint64, what string) ([]uint64, error) {
+		for count > 0 {
+			c := uint64(len(chunk) / 8)
+			if c > count {
+				c = count
+			}
+			if _, err := io.ReadFull(br, chunk[:c*8]); err != nil {
+				return nil, fmt.Errorf("core: reading frozen %s: %w", what, err)
+			}
+			for i := uint64(0); i < c; i++ {
+				dst = append(dst, binary.BigEndian.Uint64(chunk[i*8:]))
+			}
+			count -= c
+		}
+		return dst, nil
+	}
+	// readRefs appends `count` uvarint values each below `bound`.
+	readRefs := func(dst []int32, count, bound uint64, what string) ([]int32, error) {
+		for i := uint64(0); i < count; i++ {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("core: reading frozen %s: %w", what, err)
+			}
+			if v >= bound {
+				return nil, fmt.Errorf("core: frozen %s index %d out of range (%d)", what, v, bound)
+			}
+			dst = append(dst, int32(v))
+		}
+		return dst, nil
+	}
+
+	if f.codeSlab, err = readWords(nil, nGroups*uint64(nw), "code slab"); err != nil {
+		return nil, err
+	}
+	f.idStart = make([]int32, 0, 1024)
+	if withIDs {
+		for g := uint64(0); g < nGroups; g++ {
+			f.idStart = append(f.idStart, int32(len(f.idSlab)))
+			cnt, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			prev := int64(0)
+			for j := uint64(0); j < cnt; j++ {
+				d, err := binary.ReadVarint(br)
+				if err != nil {
+					return nil, err
+				}
+				prev += d
+				if len(f.idSlab) >= 1<<31-2 {
+					return nil, fmt.Errorf("core: frozen id table overflows")
+				}
+				f.idSlab = append(f.idSlab, int(prev))
+			}
+		}
+	} else {
+		for g := uint64(0); g < nGroups; g++ {
+			f.idStart = append(f.idStart, 0)
+		}
+	}
+	f.idStart = append(f.idStart, int32(len(f.idSlab)))
+	f.n = len(f.idSlab)
+	f.buildGroups()
+
+	if f.topLeaves, err = readRefs(nil, nTop, maxU64(nGroups, 1), "top leaf"); err != nil {
+		return nil, err
+	}
+	if nGroups == 0 && nTop > 0 {
+		return nil, fmt.Errorf("core: frozen index has %d top leaves but no groups", nTop)
+	}
+
+	// CSR edges: degrees prefix-sum into the start arrays, then the flat ref
+	// lists, validated against the declared totals.
+	readStarts := func(total uint64, what string) ([]int32, error) {
+		starts := make([]int32, 0, 1024)
+		sum := uint64(0)
+		for i := uint64(0); i < nNodes; i++ {
+			starts = append(starts, int32(sum))
+			deg, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("core: reading frozen %s degrees: %w", what, err)
+			}
+			sum += deg
+			if sum > total {
+				return nil, fmt.Errorf("core: frozen %s degrees exceed declared total %d", what, total)
+			}
+		}
+		if sum != total {
+			return nil, fmt.Errorf("core: frozen %s degrees sum to %d, declared %d", what, sum, total)
+		}
+		return append(starts, int32(sum)), nil
+	}
+	if f.childStart, err = readStarts(nChild, "child"); err != nil {
+		return nil, err
+	}
+	if f.childList, err = readRefs(nil, nChild, maxU64(nNodes, 1), "child"); err != nil {
+		return nil, err
+	}
+	if nNodes == 0 && nChild > 0 {
+		return nil, fmt.Errorf("core: frozen index has %d child refs but no nodes", nChild)
+	}
+	// Level-order invariant: every child id exceeds its parent's, which both
+	// rules out cycles and guarantees the BFS walk terminates.
+	for nid := 0; nid < int(nNodes); nid++ {
+		for ci := f.childStart[nid]; ci < f.childStart[nid+1]; ci++ {
+			if f.childList[ci] <= int32(nid) {
+				return nil, fmt.Errorf("core: frozen node %d lists child %d out of level order", nid, f.childList[ci])
+			}
+		}
+	}
+	if f.leafStart, err = readStarts(nLeafRefs, "leaf"); err != nil {
+		return nil, err
+	}
+	if f.leafList, err = readRefs(nil, nLeafRefs, maxU64(nGroups, 1), "leaf"); err != nil {
+		return nil, err
+	}
+	if nGroups == 0 && nLeafRefs > 0 {
+		return nil, fmt.Errorf("core: frozen index has %d leaf refs but no groups", nLeafRefs)
+	}
+	if f.resSlab, err = readWords(nil, nNodes*2*uint64(nw), "residual slab"); err != nil {
+		return nil, err
+	}
+	if f.maskSlab, err = readWords(nil, nNodes*uint64(nw), "mask slab"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// maxU64 keeps readRefs' exclusive bound nonzero so a zero-element universe
+// rejects every reference (the callers double-check the zero cases).
+func maxU64(v, floor uint64) uint64 {
+	if v < floor {
+		return floor
+	}
+	return v
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -44,6 +45,17 @@ type Searcher struct {
 
 	// Dynamic H-Search scratch: the BFS work queue.
 	queue []qitem
+
+	// Frozen walk scratch: the BFS queue over flat node ids, the qualifying
+	// (group, distance) collection buffers, and the epoch-packed per-node
+	// residual-distance memo with per-group seen marks that TopK's radius
+	// escalation reuses (see FrozenIndex.walk).
+	fqueue  []fitem
+	fgroups []int32
+	fdists  []int32
+	fmemo   []uint64
+	fseen   []uint64
+	fepoch  uint64
 
 	// Static walk scratch. memo[l][nid] packs (epoch<<7 | dist+1) so the
 	// per-level distance tables reset between queries by bumping epoch
@@ -350,16 +362,25 @@ func (s *StaticIndex) lookupAssembled(sr *Searcher) *leafGroup {
 		used += w
 	}
 	// Key layout must match bitvec.Code.Key: big-endian words then length.
-	if cap(sr.keyBuf) < nw*8+1 {
-		sr.keyBuf = make([]byte, 0, nw*8+1)
-	}
-	buf := sr.keyBuf[:0]
-	for _, w := range words {
-		for sh := 56; sh >= 0; sh -= 8 {
-			buf = append(buf, byte(w>>uint(sh)))
+	// Codes up to 256 bits key through a stack buffer; longer ones reuse the
+	// searcher's scratch. Either way the map probe's string conversion stays
+	// off the heap (the compiler's map[string(bytes)] optimization), so no
+	// per-query allocation happens on this path.
+	if nw <= 4 {
+		var stack [4*8 + 1]byte
+		for i, w := range words {
+			binary.BigEndian.PutUint64(stack[i*8:], w)
 		}
+		stack[nw*8] = byte(s.length)
+		return s.byCode[string(stack[:nw*8+1])]
 	}
-	buf = append(buf, byte(s.length))
-	sr.keyBuf = buf
+	if cap(sr.keyBuf) < nw*8+1 {
+		sr.keyBuf = make([]byte, nw*8+1)
+	}
+	buf := sr.keyBuf[:nw*8+1]
+	for i, w := range words {
+		binary.BigEndian.PutUint64(buf[i*8:], w)
+	}
+	buf[nw*8] = byte(s.length)
 	return s.byCode[string(buf)]
 }

@@ -25,6 +25,7 @@ func searcherEnv(t testing.TB, seed int64, n, bitsLen, h int) ([]bitvec.Code, []
 	return codes, queries, []Index{
 		BuildDynamic(codes, nil, Options{}),
 		BuildStatic(codes, nil, 8),
+		Freeze(BuildDynamic(codes, nil, Options{})),
 	}
 }
 
@@ -91,6 +92,37 @@ func TestSearcherZeroAlloc(t *testing.T) {
 			if allocs != 0 {
 				t.Errorf("L=%d %T: %.1f allocs/op in steady state, want 0", bitsLen, idx, allocs)
 			}
+		}
+	}
+}
+
+// TestStaticLookupAssembledZeroAlloc pins the multi-word byCode lookup: the
+// static walk's assembled-key probe must resolve exact hits correctly and
+// allocation-free on both its variants — the stack buffer (codes ≤ 256 bits)
+// and the reused scratch buffer (wider codes).
+func TestStaticLookupAssembledZeroAlloc(t *testing.T) {
+	for _, bitsLen := range []int{128, 320} {
+		rng := rand.New(rand.NewSource(int64(400 + bitsLen)))
+		codes := clusteredCodes(rng, 400, bitsLen, 6, 3)
+		idx := BuildStatic(codes, nil, 8)
+		sr := NewSearcher(idx)
+		for qi, q := range codes[:50] {
+			if got, want := sr.Search(q, 0), oracle(codes, q, 0); !equalIDs(got, want) {
+				t.Fatalf("L=%d q#%d: exact lookup got %d ids, want %d", bitsLen, qi, len(got), len(want))
+			}
+		}
+		for r := 0; r < 3; r++ {
+			for _, q := range codes[:50] {
+				sr.Search(q, 2)
+			}
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			sr.Search(codes[i%50], 2)
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("L=%d: %.1f allocs/op through the assembled-key lookup, want 0", bitsLen, allocs)
 		}
 	}
 }

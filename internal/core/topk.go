@@ -17,6 +17,11 @@ import (
 // scan. Unlike Search, the returned slices are freshly allocated and do not
 // alias the searcher's scratch; Stats aggregates the whole expansion.
 func (sr *Searcher) TopK(q bitvec.Code, k int) ([]int, []int) {
+	if f, ok := sr.idx.(*FrozenIndex); ok {
+		// The frozen index escalates natively: its epoch-packed memo computes
+		// each node's residual distance once for the whole expansion.
+		return f.topK(sr, q, k)
+	}
 	if k <= 0 || sr.idx.Len() == 0 {
 		sr.Stats = SearchStats{}
 		return nil, nil

@@ -31,6 +31,13 @@ type Options struct {
 	// smoke runs). Nil injects nothing.
 	Faults *FaultPlan
 
+	// PointerWalk disables the default freeze-on-load: LoadSnapshotFile
+	// normally compiles a pointer (v1) snapshot into a core.FrozenIndex
+	// before serving, which is faster and smaller at query time. Set this to
+	// serve the decoded pointer hierarchy as-is (the haserve -frozen=false
+	// escape hatch). Frozen (v2) snapshots are already flat and ignore it.
+	PointerWalk bool
+
 	// IdleTimeout bounds how long a connection may sit between frames (and
 	// how long a half-written request may stall) before the server reaps it.
 	// A stalled or half-open client otherwise pins its handler goroutine
@@ -56,7 +63,7 @@ type Stats = wire.StatsResp
 // an existing listener), stop with Close.
 type Server struct {
 	meta wire.SnapshotMeta
-	idx  *core.DynamicIndex
+	idx  core.Index
 	opts Options
 
 	// pool holds the idle Searchers; its capacity is the admission limit.
@@ -101,9 +108,10 @@ type Server struct {
 	wg      sync.WaitGroup
 }
 
-// New builds a server over a decoded snapshot. The index must not be
-// mutated once serving starts — the searcher pool shares it read-only.
-func New(meta wire.SnapshotMeta, idx *core.DynamicIndex, opts Options) (*Server, error) {
+// New builds a server over a decoded snapshot, either the pointer
+// *core.DynamicIndex or the compiled *core.FrozenIndex. The index must not
+// be mutated once serving starts — the searcher pool shares it read-only.
+func New(meta wire.SnapshotMeta, idx core.Index, opts Options) (*Server, error) {
 	if idx.Length() != meta.Length {
 		return nil, fmt.Errorf("server: index is %d-bit, snapshot header says %d", idx.Length(), meta.Length)
 	}
@@ -122,7 +130,9 @@ func New(meta wire.SnapshotMeta, idx *core.DynamicIndex, opts Options) (*Server,
 	if opts.TraceCapacity <= 0 {
 		opts.TraceCapacity = 64
 	}
-	idx.Flush() // settle any unflushed inserts before the read-only phase
+	if dyn, ok := idx.(*core.DynamicIndex); ok {
+		dyn.Flush() // settle any unflushed inserts before the read-only phase
+	}
 	s := &Server{
 		meta:   meta,
 		idx:    idx,
@@ -157,11 +167,16 @@ func (s *Server) Obs() *obs.Registry { return s.reg }
 // Tracer returns the ring of recent request traces.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
-// LoadSnapshotFile is New over a snapshot file on disk.
+// LoadSnapshotFile is New over a snapshot file on disk. A pointer (v1)
+// snapshot is compiled with core.Freeze before serving unless
+// Options.PointerWalk is set; a frozen (v2) snapshot is served as decoded.
 func LoadSnapshotFile(path string, opts Options) (*Server, error) {
 	meta, idx, err := wire.ReadSnapshotFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("server: loading snapshot %s: %w", path, err)
+	}
+	if dyn, ok := idx.(*core.DynamicIndex); ok && !opts.PointerWalk {
+		idx = core.Freeze(dyn)
 	}
 	return New(meta, idx, opts)
 }

@@ -23,8 +23,9 @@ import (
 //	pivots (fixed-width codes) | embedded HADX index (core codec, to EOF)
 
 const (
-	snapshotMagic   = "HASN"
-	snapshotVersion = 1
+	snapshotMagic         = "HASN"
+	snapshotVersion       = 1 // embedded index is the v1 pointer encoding
+	snapshotVersionFrozen = 2 // embedded index is the v2 frozen arena encoding
 )
 
 // SnapshotMeta is the shard header of a snapshot file.
@@ -54,13 +55,26 @@ func (m SnapshotMeta) validate() error {
 }
 
 // WriteSnapshot writes the shard header followed by the encoded index
-// (always with id tables — a serving shard must return ids).
-func WriteSnapshot(w io.Writer, meta SnapshotMeta, idx *core.DynamicIndex) error {
+// (always with id tables — a serving shard must return ids). A pointer
+// index produces a version-1 snapshot, a frozen one version 2, so readers
+// and tooling know the embedded layout from the header alone.
+func WriteSnapshot(w io.Writer, meta SnapshotMeta, idx core.Index) error {
 	if err := meta.validate(); err != nil {
 		return err
 	}
 	if idx.Length() != meta.Length {
 		return fmt.Errorf("wire: snapshot index is %d-bit, header says %d", idx.Length(), meta.Length)
+	}
+	version := uint64(snapshotVersion)
+	var encode func(io.Writer) error
+	switch t := idx.(type) {
+	case *core.DynamicIndex:
+		encode = func(w io.Writer) error { return t.Encode(w, true) }
+	case *core.FrozenIndex:
+		version = snapshotVersionFrozen
+		encode = func(w io.Writer) error { return t.Encode(w, true) }
+	default:
+		return fmt.Errorf("wire: cannot snapshot index type %T", idx)
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
@@ -72,7 +86,7 @@ func WriteSnapshot(w io.Writer, meta SnapshotMeta, idx *core.DynamicIndex) error
 		_, err := bw.Write(buf[:n])
 		return err
 	}
-	for _, v := range []uint64{snapshotVersion, uint64(meta.Part), uint64(meta.Parts), uint64(meta.Length), uint64(len(meta.Pivots))} {
+	for _, v := range []uint64{version, uint64(meta.Part), uint64(meta.Parts), uint64(meta.Length), uint64(len(meta.Pivots))} {
 		if err := putU(v); err != nil {
 			return err
 		}
@@ -86,12 +100,14 @@ func WriteSnapshot(w io.Writer, meta SnapshotMeta, idx *core.DynamicIndex) error
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	return idx.Encode(w, true)
+	return encode(w)
 }
 
-// ReadSnapshot parses a snapshot: header then embedded index. Corrupt input
-// returns an error, never panics.
-func ReadSnapshot(r io.Reader) (SnapshotMeta, *core.DynamicIndex, error) {
+// ReadSnapshot parses a snapshot: header then embedded index. A version-1
+// snapshot yields a *core.DynamicIndex, a version-2 one a *core.FrozenIndex
+// decoded near-single-copy into its arena. Corrupt input returns an error,
+// never panics.
+func ReadSnapshot(r io.Reader) (SnapshotMeta, core.Index, error) {
 	br := bufio.NewReader(r)
 	var meta SnapshotMeta
 	magic := make([]byte, len(snapshotMagic))
@@ -106,7 +122,7 @@ func ReadSnapshot(r io.Reader) (SnapshotMeta, *core.DynamicIndex, error) {
 	if err != nil {
 		return meta, nil, err
 	}
-	if version != snapshotVersion {
+	if version != snapshotVersion && version != snapshotVersionFrozen {
 		return meta, nil, fmt.Errorf("wire: unsupported snapshot version %d", version)
 	}
 	var part, parts, length, npiv uint64
@@ -136,9 +152,12 @@ func ReadSnapshot(r io.Reader) (SnapshotMeta, *core.DynamicIndex, error) {
 	if err := meta.validate(); err != nil {
 		return meta, nil, err
 	}
-	idx, err := core.DecodeDynamic(br)
+	idx, err := core.DecodeIndex(br)
 	if err != nil {
 		return meta, nil, fmt.Errorf("wire: snapshot index: %w", err)
+	}
+	if _, frozen := idx.(*core.FrozenIndex); frozen != (version == snapshotVersionFrozen) {
+		return meta, nil, fmt.Errorf("wire: snapshot version %d embeds index type %T", version, idx)
 	}
 	if idx.Length() != meta.Length {
 		return meta, nil, fmt.Errorf("wire: snapshot index is %d-bit, header says %d", idx.Length(), meta.Length)
@@ -147,7 +166,7 @@ func ReadSnapshot(r io.Reader) (SnapshotMeta, *core.DynamicIndex, error) {
 }
 
 // ReadSnapshotFile loads a snapshot from disk.
-func ReadSnapshotFile(path string) (SnapshotMeta, *core.DynamicIndex, error) {
+func ReadSnapshotFile(path string) (SnapshotMeta, core.Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return SnapshotMeta{}, nil, err

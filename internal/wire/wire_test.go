@@ -3,6 +3,8 @@ package wire
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 
 	"haindex/internal/bitvec"
@@ -189,8 +191,43 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("tuples %d vs %d", gotIdx.Len(), idx.Len())
 	}
 	q := idx.Codes()[0]
-	if got, want := gotIdx.Search(q, 2), idx.Search(q, 2); len(got) != len(want) {
+	if got, want := core.NewSearcher(gotIdx).Search(q, 2), idx.Search(q, 2); len(got) != len(want) {
 		t.Fatalf("decoded snapshot answers differently: %v vs %v", got, want)
+	}
+}
+
+func TestFrozenSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	meta, idx, _ := buildSnapshot(t, rng, 32, 4)
+	frozen := core.Freeze(idx)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, meta, frozen); err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, gotIdx, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFrozen, ok := gotIdx.(*core.FrozenIndex)
+	if !ok {
+		t.Fatalf("frozen snapshot decoded as %T", gotIdx)
+	}
+	if gotMeta.Part != meta.Part || gotMeta.Parts != meta.Parts || gotMeta.Length != meta.Length {
+		t.Fatalf("meta: %+v vs %+v", gotMeta, meta)
+	}
+	if gotFrozen.Len() != idx.Len() {
+		t.Fatalf("tuples %d vs %d", gotFrozen.Len(), idx.Len())
+	}
+	sr := core.NewSearcher(gotFrozen)
+	oracle := core.NewSearcher(idx)
+	for _, q := range idx.Codes()[:10] {
+		got := append([]int(nil), sr.Search(q, 3)...)
+		want := append([]int(nil), oracle.Search(q, 3)...)
+		sort.Ints(got)
+		sort.Ints(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frozen snapshot answers differently: %v vs %v", got, want)
+		}
 	}
 }
 
