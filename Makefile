@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build test race test-race bench bench-query bench-frozen bench-serve vet fmt-check fuzz smoke debug-smoke experiments examples clean
+.PHONY: all check build test race test-race bench bench-query bench-frozen bench-serve vet fmt-check fuzz fuzz-wire smoke debug-smoke lsm-smoke experiments examples clean
 
 all: build vet test
 
-check: build vet fmt-check test test-race
+check: build vet fmt-check test test-race fuzz-wire
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,12 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeIndex -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeFrozen -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzFromString -fuzztime=15s ./internal/bitvec/
+	$(GO) test -fuzz=FuzzParseMutationFrames -fuzztime=30s ./internal/wire/
+
+# Short fuzz smoke of the protocol-v3 mutation-frame decoders — cheap enough
+# to run on every check.
+fuzz-wire:
+	$(GO) test -run=NONE -fuzz=FuzzParseMutationFrames -fuzztime=5s ./internal/wire/
 
 # End-to-end smoke of the serving stack: build the CLIs, generate a tiny
 # dataset, shard it, start two haserve processes (one fault-injected), query
@@ -68,6 +74,12 @@ smoke:
 # histograms and nonzero request/fault counters.
 debug-smoke:
 	SMOKE_DEBUG=1 ./scripts/smoke.sh
+
+# Smoke of the mutable (LSM) serving tier: restart the shards with -mutable,
+# insert, delete, seal, and compact through haquery, and verify searches see
+# every mutation.
+lsm-smoke:
+	SMOKE_LSM=1 ./scripts/smoke.sh
 
 experiments:
 	$(GO) run ./cmd/habench -exp all

@@ -14,6 +14,17 @@
 // index rebuilt from every snapshot in DIR, the two result sets are diffed,
 // and a mismatch exits nonzero — the end-to-end correctness check the smoke
 // test runs.
+//
+// Against a mutable deployment (haserve -mutable) the router also mutates:
+//
+//	haquery -shards ... -insert "500:0101...,501:1100..."   # upsert tuples
+//	haquery -shards ... -delete 500,501                     # delete by id
+//	haquery -shards ... -seal -h 3 -codes 0101...           # freeze memtables
+//	haquery -shards ... -seal-compact                       # ...and compact
+//
+// Mutations run before the queries of the same invocation, so an inserted
+// tuple is immediately searchable. Inserts route by the code's Gray
+// partition; deletes and seals broadcast.
 package main
 
 import (
@@ -46,6 +57,11 @@ func main() {
 		oracle    = flag.String("oracle", "", "snapshot directory to rebuild an in-process oracle from; diff and exit nonzero on mismatch")
 		verbose   = flag.Bool("v", false, "print every id list")
 		trace     = flag.Bool("trace", false, "print the span tree of the slowest batch and per-attempt latency percentiles")
+
+		insert      = flag.String("insert", "", "comma-separated id:bit-string upserts applied before querying (mutable shards)")
+		deleteIDs   = flag.String("delete", "", "comma-separated tuple ids deleted before querying (mutable shards)")
+		seal        = flag.Bool("seal", false, "seal every shard's memtable into a frozen segment")
+		sealCompact = flag.Bool("seal-compact", false, "seal, then compact every shard's segment stack")
 	)
 	flag.Parse()
 	if *shards == "" {
@@ -70,8 +86,13 @@ func main() {
 	}
 	defer r.Close()
 
+	mutated := runMutations(r, *insert, *deleteIDs, *seal, *sealCompact)
+
 	queries := loadQueries(*codesCSV, *codesFile, *rows, r.Length())
 	if len(queries) == 0 {
+		if mutated {
+			return // a pure mutation invocation needs no queries
+		}
 		fatalf("no queries; pass -codes or -codes-file")
 	}
 
@@ -125,6 +146,69 @@ func main() {
 	if *oracle != "" {
 		diffOracle(*oracle, queries, *h, *topk, got, tkIDs, tkDists)
 	}
+}
+
+// runMutations applies -insert, -delete, and -seal/-seal-compact, in that
+// order, reporting whether any mutation flag was given.
+func runMutations(r *client.Router, insert, deleteIDs string, seal, sealCompact bool) bool {
+	mutated := false
+	if insert != "" {
+		mutated = true
+		var ids []int
+		var codes []bitvec.Code
+		for _, pair := range strings.Split(insert, ",") {
+			i := strings.IndexByte(pair, ':')
+			if i < 0 {
+				fatalf("bad -insert pair %q: want id:bit-string", pair)
+			}
+			id, err := strconv.Atoi(strings.TrimSpace(pair[:i]))
+			if err != nil || id < 0 {
+				fatalf("bad -insert id %q", pair[:i])
+			}
+			c, err := bitvec.FromString(strings.TrimSpace(pair[i+1:]))
+			if err != nil {
+				fatalf("bad -insert code in %q: %v", pair, err)
+			}
+			if c.Len() != r.Length() {
+				fatalf("-insert code for id %d is %d bits; the deployment serves %d-bit codes", id, c.Len(), r.Length())
+			}
+			ids = append(ids, id)
+			codes = append(codes, c)
+		}
+		replaced, err := r.Insert(ids, codes)
+		if err != nil {
+			fatalf("insert: %v", err)
+		}
+		fmt.Printf("haquery: upserted %d tuples (%d replaced an older version)\n", len(ids), replaced)
+	}
+	if deleteIDs != "" {
+		mutated = true
+		var ids []int
+		for _, s := range strings.Split(deleteIDs, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || id < 0 {
+				fatalf("bad -delete id %q", s)
+			}
+			ids = append(ids, id)
+		}
+		deleted, err := r.Delete(ids)
+		if err != nil {
+			fatalf("delete: %v", err)
+		}
+		fmt.Printf("haquery: deleted %d of %d ids\n", deleted, len(ids))
+	}
+	if seal || sealCompact {
+		mutated = true
+		seals, err := r.Seal(sealCompact)
+		if err != nil {
+			fatalf("seal: %v", err)
+		}
+		for m, sok := range seals {
+			fmt.Printf("haquery: shard %d sealed: %d segments, %d memtable entries, %d tombstones, epoch %d\n",
+				m, sok.Segments, sok.MemtableSize, sok.Tombstones, sok.Epoch)
+		}
+	}
+	return mutated
 }
 
 // loadQueries parses -codes, or the selected -rows of -codes-file.

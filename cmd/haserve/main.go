@@ -14,6 +14,12 @@
 // number) for smoke tests of client retry and failover. -debug-addr binds a
 // loopback HTTP endpoint exposing the shard's latency histograms
 // (/debug/obs), recent request traces (/debug/traces), and pprof.
+//
+// With -mutable the snapshot seeds an LSM shard (internal/lsm) instead of
+// an immutable index: the server then also accepts protocol-v3 insert,
+// delete, and seal frames (haquery -insert/-delete/-seal), sealing the
+// memtable into frozen segments in the background past -memtable-max
+// entries and compacting the stack past -compact-at segments.
 package main
 
 import (
@@ -25,7 +31,9 @@ import (
 	"strings"
 	"syscall"
 
+	"haindex/internal/lsm"
 	"haindex/internal/server"
+	"haindex/internal/wire"
 )
 
 func main() {
@@ -41,6 +49,10 @@ func main() {
 		idleTO    = flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = 30s, negative disables)")
 		writeTO   = flag.Duration("write-timeout", 0, "per-response write deadline (0 = 30s, negative disables)")
 		frozen    = flag.Bool("frozen", true, "serve the compiled (frozen) index; -frozen=false walks the pointer hierarchy")
+
+		mutable     = flag.Bool("mutable", false, "serve a mutable LSM shard seeded from the snapshot; accepts insert/delete/seal")
+		memtableMax = flag.Int("memtable-max", 0, "memtable entries before a background seal (0 = 4096, negative disables)")
+		compactAt   = flag.Int("compact-at", 0, "segment count that triggers compaction after a seal (0 = 4, negative disables)")
 	)
 	flag.Parse()
 	if *snapshot == "" {
@@ -66,13 +78,25 @@ func main() {
 	addFaults(*failReqs, func(p *server.FaultPlan, r int64) { p.FailRequest(r) })
 	addFaults(*dropReqs, func(p *server.FaultPlan, r int64) { p.DropRequest(r) })
 
-	s, err := server.LoadSnapshotFile(*snapshot, server.Options{
+	opts := server.Options{
 		Searchers:    *searchers,
 		Faults:       faults,
 		IdleTimeout:  *idleTO,
 		WriteTimeout: *writeTO,
 		PointerWalk:  !*frozen,
-	})
+	}
+	var s *server.Server
+	var shard *lsm.Shard
+	var err error
+	if *mutable {
+		var meta wire.SnapshotMeta
+		meta, shard, err = loadMutable(*snapshot, *memtableMax, *compactAt)
+		if err == nil {
+			s, err = server.NewMutable(meta, shard, opts)
+		}
+	} else {
+		s, err = server.LoadSnapshotFile(*snapshot, opts)
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -108,6 +132,28 @@ func main() {
 	s.Close()
 	fmt.Printf("haserve: served %d requests (%d select + %d top-k queries, %d ids, %d errors, %d faults injected)\n",
 		st.Requests, st.Queries, st.TopKQueries, st.IDsReturned, st.Errors, st.FaultsInjected)
+	if shard != nil {
+		lst := shard.Stats()
+		fmt.Printf("haserve: shard ended at %d tuples in %d segments + %d memtable entries (%d seals, %d compactions, epoch %d)\n",
+			lst.Len, lst.Segments, lst.MemtableSize, lst.Seals, lst.Compactions, lst.Epoch)
+	}
+}
+
+// loadMutable seeds an LSM shard from a snapshot: the decoded index — either
+// form — becomes the shard's first immutable segment.
+func loadMutable(path string, memtableMax, compactAt int) (wire.SnapshotMeta, *lsm.Shard, error) {
+	meta, idx, err := wire.ReadSnapshotFile(path)
+	if err != nil {
+		return meta, nil, fmt.Errorf("loading snapshot %s: %w", path, err)
+	}
+	shard := lsm.New(meta.Length, lsm.Options{
+		MemtableMax: memtableMax,
+		CompactAt:   compactAt,
+	})
+	if err := shard.Bootstrap(idx); err != nil {
+		return meta, nil, err
+	}
+	return meta, shard, nil
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -759,9 +759,13 @@ func (rp *replica) dialLocked() error {
 		conn.Close()
 		return err
 	}
-	if hello.Version != wire.Version {
+	// Downward negotiation: the server answers with min(client, server), so
+	// anything in [1, our version] is a session we can speak; the negotiated
+	// level is kept per replica to gate newer frames. A higher version than
+	// we offered is a protocol violation.
+	if hello.Version < 1 || hello.Version > wire.Version {
 		conn.Close()
-		return fmt.Errorf("client: %s speaks protocol version %d, this client %d", rp.addr, hello.Version, wire.Version)
+		return fmt.Errorf("client: %s negotiated protocol version %d, this client speaks 1..%d", rp.addr, hello.Version, wire.Version)
 	}
 	rp.conn, rp.br, rp.hello = conn, br, hello
 	return nil

@@ -507,7 +507,12 @@ func (x *DynamicIndex) Insert(id int, c bitvec.Code) {
 	if c.Len() != x.length {
 		panic(fmt.Sprintf("core: inserting %d-bit code into %d-bit index", c.Len(), x.length))
 	}
-	// Fast path: the code already has a leaf group — join it directly.
+	// Fast path: the code already has a leaf group — join it directly. No
+	// ancestor mask needs widening: the inserted code is bit-identical to the
+	// group's code, which already matches every ancestor's FLSSeq pattern, so
+	// the soundness invariant (each leaf beneath a node agrees with the node's
+	// pattern on all its fixed positions) is untouched. Only the frequencies
+	// change. Pinned by TestMutatePropertyVsOracle / checkHierarchyInvariants.
 	if g, ok := x.byCode[c.Key()]; ok {
 		g.ids = append(g.ids, id)
 		x.n++
@@ -538,6 +543,16 @@ func (x *DynamicIndex) Flush() {
 // H-Delete): the leaf is located, frequencies along its path are
 // decremented, and nodes whose frequency reaches zero are unlinked.
 // It reports whether a tuple was removed.
+//
+// Ancestor residual and full masks are deliberately NOT recomputed. A node's
+// pattern was the FLSSeq shared by every item beneath it at build time;
+// removing an item leaves the survivors still matching that pattern, so the
+// soundness invariant H-Search depends on (descendants agree with the node
+// pattern on all fixed positions, hence per-node residual charges are exact
+// along any root-to-leaf path) is preserved. The masks may become narrower
+// than the survivors' true FLSSeq — the hierarchy loses pruning power, never
+// correctness — until the next rebuild() re-tightens them. Pinned by
+// TestMutatePropertyVsOracle / checkHierarchyInvariants.
 func (x *DynamicIndex) Delete(id int, c bitvec.Code) bool {
 	for i, p := range x.buffer {
 		if p.id == id && p.code.Equal(c) {

@@ -88,6 +88,122 @@ func TestMergeSingle(t *testing.T) {
 	}
 }
 
+// TestMergeSingleFlushes pins the single-part bug: Merge(p) must flush p's
+// insert buffer exactly like the multi-part path flushes every input, so a
+// buffered-insert index merges identically regardless of sibling count.
+func TestMergeSingleFlushes(t *testing.T) {
+	codes := paperCodes()
+	a := BuildDynamic(codes, nil, Options{Window: 2, BufferMax: 64})
+	a.Insert(100, bitvec.MustFromString("110110001"))
+	if len(a.buffer) != 1 {
+		t.Fatalf("setup: insert should be buffered, buffer=%d", len(a.buffer))
+	}
+	m := Merge(a)
+	if len(m.buffer) != 0 {
+		t.Fatalf("single-part Merge left %d buffered inserts unflushed", len(m.buffer))
+	}
+	if got := m.Search(bitvec.MustFromString("110110001"), 0); !equalIDs(got, []int{100}) {
+		t.Fatalf("buffered insert lost across single-part Merge: got %v", got)
+	}
+}
+
+// TestMergeDoesNotAliasParts pins the graft-aliasing bug: mutating the
+// merged index (Insert into an existing leaf group, Delete, Flush/rebuild)
+// must leave the input parts byte-identical in behavior — the LSM compactor
+// deletes tombstoned tuples out of a merged index while the source segments
+// are still serving reads.
+func TestMergeDoesNotAliasParts(t *testing.T) {
+	rng := rand.New(rand.NewSource(114))
+	codes := clusteredCodes(rng, 400, 32, 8, 3)
+	pivots := histo.Pivots(codes[:150], 3)
+	parts := make([][]bitvec.Code, 3)
+	ids := make([][]int, 3)
+	for i, c := range codes {
+		p := histo.PartitionID(pivots, c)
+		parts[p] = append(parts[p], c)
+		ids[p] = append(ids[p], i)
+	}
+	var locals []*DynamicIndex
+	for p := range parts {
+		if len(parts[p]) == 0 {
+			continue
+		}
+		locals = append(locals, BuildDynamic(parts[p], ids[p], Options{Window: 8}))
+	}
+	if len(locals) < 2 {
+		t.Skip("degenerate partitioning")
+	}
+	merged := Merge(locals...)
+
+	// Mutate the merged index every way the dynamic index can change shape:
+	// join an existing leaf group (the Insert fast path), delete tuples until
+	// nodes unlink, then force a full rebuild.
+	merged.Insert(9001, codes[0]) // fast path: codes[0]'s group exists
+	for i := 0; i < 150; i++ {
+		if !merged.Delete(i, codes[i]) {
+			t.Fatalf("merged.Delete(%d) failed", i)
+		}
+	}
+	merged.Insert(9002, bitvec.FromUint64(0xDEADBEEF, 32))
+	merged.Flush() // rebuild reparents every leaf group in the merged index
+
+	// Every part must still answer exactly as a fresh index over its own
+	// tuples would — any shared node or leaf group breaks this.
+	for p := range parts {
+		if len(parts[p]) == 0 {
+			continue
+		}
+		want := BuildDynamic(parts[p], ids[p], Options{Window: 8})
+		var local *DynamicIndex
+		for _, l := range locals {
+			if l.Len() == want.Len() && sameIDSet(l, want) {
+				local = l
+				break
+			}
+		}
+		if local == nil {
+			t.Fatalf("part %d: tuple set changed under the merged index's mutations", p)
+		}
+		for q := 0; q < 40; q++ {
+			query := parts[p][rng.Intn(len(parts[p]))].Clone()
+			for f := 0; f < rng.Intn(4); f++ {
+				query.FlipBit(rng.Intn(32))
+			}
+			h := rng.Intn(6)
+			if got, wantIDs := local.Search(query, h), want.Search(query, h); !equalIDs(got, wantIDs) {
+				t.Fatalf("part %d corrupted by merged-index mutation: got %v want %v", p, got, wantIDs)
+			}
+		}
+	}
+	// And the merged index itself must reflect its own mutations.
+	got := merged.Search(codes[0], 0)
+	for _, id := range got {
+		if id < 150 && codes[id].Equal(codes[0]) {
+			t.Fatalf("deleted tuple %d still reported by merged index", id)
+		}
+	}
+	found := false
+	for _, id := range got {
+		found = found || id == 9001
+	}
+	if !found {
+		t.Fatalf("merged index lost inserted tuple 9001: %v", got)
+	}
+}
+
+// sameIDSet reports whether two indexes hold the same multiset of tuple ids.
+func sameIDSet(a, b *DynamicIndex) bool {
+	count := map[int]int{}
+	a.Tuples(func(id int, _ bitvec.Code) { count[id]++ })
+	b.Tuples(func(id int, _ bitvec.Code) { count[id]-- })
+	for _, v := range count {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // TestMergeGrayPartitionsShareNothing double-checks the disjointness
 // premise: gray-range partitions cannot contain the same code.
 func TestMergeGrayPartitionsShareNothing(t *testing.T) {

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"haindex/internal/bitvec"
+)
+
+// mutOracle is the brute-force model a mutated index is checked against: one
+// live code per id.
+type mutOracle map[int]bitvec.Code
+
+func (o mutOracle) search(q bitvec.Code, h int) []int {
+	var out []int
+	for id, c := range o {
+		if _, ok := q.DistanceWithin(c, h); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// checkHierarchyInvariants walks the pointer hierarchy and verifies the
+// soundness conditions H-Search relies on after arbitrary mutation:
+// every leaf code beneath a node matches the node's pattern on all fixed
+// positions, every node's frequency equals the tuples beneath it, and
+// parent links are consistent. This is the structural audit of the Insert
+// fast path (which never widens masks) and of H-Delete (which leaves
+// ancestor masks stale): both are harmless exactly as long as these hold.
+func checkHierarchyInvariants(t *testing.T, x *DynamicIndex) {
+	t.Helper()
+	var walk func(n *dnode) int
+	walk = func(n *dnode) int {
+		total := 0
+		for _, c := range n.children {
+			if c.parent != n {
+				t.Fatalf("child node has wrong parent pointer")
+			}
+			total += walk(c)
+		}
+		for _, g := range n.leaves {
+			if g.parent != n {
+				t.Fatalf("leaf group has wrong parent pointer")
+			}
+			for p := n; p != nil; p = p.parent {
+				if !p.pat.Matches(g.code) {
+					t.Fatalf("leaf code %s violates ancestor pattern %s", g.code, p.pat)
+				}
+			}
+			total += len(g.ids)
+		}
+		if n.freq != total {
+			t.Fatalf("node freq %d but %d tuples beneath", n.freq, total)
+		}
+		return total
+	}
+	n := 0
+	for _, r := range x.roots {
+		if r.parent != nil {
+			t.Fatalf("root has non-nil parent")
+		}
+		n += walk(r)
+	}
+	for _, g := range x.topLeaves {
+		if g.parent != nil {
+			t.Fatalf("top-level leaf has non-nil parent")
+		}
+		n += len(g.ids)
+	}
+	if n != x.n {
+		t.Fatalf("hierarchy holds %d tuples, index says %d", n, x.n)
+	}
+}
+
+// TestMutatePropertyVsOracle drives a random interleaving of Insert, Delete,
+// Flush, and Freeze against a brute-force oracle across code lengths 32, 64,
+// and 128 bits and thresholds 0..8 — the correctness pinning for the
+// mutation path (Sections 4.5–4.6) that the LSM serving tier builds on.
+func TestMutatePropertyVsOracle(t *testing.T) {
+	for _, bitsLen := range []int{32, 64, 128} {
+		bitsLen := bitsLen
+		t.Run(fmt.Sprintf("bits=%d", bitsLen), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(4000 + bitsLen)))
+			oracle := mutOracle{}
+			nextID := 0
+			// Seed with a clustered base so the hierarchy is non-trivial.
+			seeds := clusteredCodes(rng, 60, bitsLen, 6, 3)
+			ids := make([]int, len(seeds))
+			for i, c := range seeds {
+				ids[i] = nextID
+				oracle[nextID] = c
+				nextID++
+			}
+			idx := BuildDynamic(seeds, ids, Options{Window: 8, BufferMax: 16})
+
+			liveIDs := func() []int {
+				out := make([]int, 0, len(oracle))
+				for id := range oracle {
+					out = append(out, id)
+				}
+				return out
+			}
+			randomCode := func() bitvec.Code {
+				// Mix exact duplicates (Insert fast path), near-duplicates
+				// (Gray neighbours), and fresh codes.
+				if live := liveIDs(); len(live) > 0 && rng.Intn(3) > 0 {
+					c := oracle[live[rng.Intn(len(live))]].Clone()
+					for f := 0; f < rng.Intn(3); f++ {
+						c.FlipBit(rng.Intn(bitsLen))
+					}
+					return c
+				}
+				return bitvec.Rand(rng, bitsLen)
+			}
+
+			for step := 0; step < 250; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // insert
+					c := randomCode()
+					oracle[nextID] = c
+					idx.Insert(nextID, c)
+					nextID++
+				case op < 7: // delete
+					if live := liveIDs(); len(live) > 0 {
+						id := live[rng.Intn(len(live))]
+						if !idx.Delete(id, oracle[id]) {
+							t.Fatalf("step %d: Delete(%d) reported not found", step, id)
+						}
+						delete(oracle, id)
+					}
+					// Deleting a tuple that is not there must be a no-op.
+					if idx.Delete(1<<30, bitvec.Rand(rng, bitsLen)) {
+						t.Fatalf("step %d: Delete of absent tuple succeeded", step)
+					}
+				case op < 8: // flush
+					idx.Flush()
+				default: // freeze: the compiled form must agree too
+					if len(oracle) == 0 {
+						continue
+					}
+					fz := Freeze(idx)
+					q := randomCode()
+					h := rng.Intn(9)
+					fsr := NewSearcher(fz)
+					if got, want := fsr.Search(q, h), oracle.search(q, h); !equalIDs(got, want) {
+						t.Fatalf("step %d: frozen search mismatch: got %v want %v", step, got, want)
+					}
+				}
+				if idx.Len() != len(oracle) {
+					t.Fatalf("step %d: Len=%d oracle=%d", step, idx.Len(), len(oracle))
+				}
+				// Every few steps, check queries across the whole threshold
+				// band and audit the hierarchy structure.
+				if step%10 == 0 {
+					checkHierarchyInvariants(t, idx)
+					q := randomCode()
+					var stats SearchStats
+					for h := 0; h <= 8; h++ {
+						if got, want := idx.SearchInto(q, h, &stats), oracle.search(q, h); !equalIDs(got, want) {
+							t.Fatalf("step %d: search h=%d mismatch: got %v want %v", step, h, got, want)
+						}
+					}
+				}
+			}
+			checkHierarchyInvariants(t, idx)
+		})
+	}
+}

@@ -1,0 +1,615 @@
+// Package lsm is the mutable serving tier: a log-structured shard that
+// layers a small Dynamic HA-Index memtable (Section 4.5, H-Insert/H-Delete)
+// over a stack of immutable compiled segments (core.FrozenIndex), the way an
+// LSM storage engine layers a memtable over sorted runs.
+//
+// Writes are upserts keyed by tuple id. An Insert lands in the memtable; if
+// the id is live in a frozen segment, a tombstone masks the old version. A
+// Delete of a memtable id edits the memtable in place (H-Delete); a delete
+// of a frozen id becomes a tombstone. When the memtable passes a size
+// threshold a background goroutine seals it: the memtable is published as an
+// immutable just-sealed segment (still the pointer index, already flushed),
+// then compiled with core.Freeze off the write path and swapped in under an
+// epoch-bumped atomic state update. A compactor merges the segment stack
+// with core.Merge — safe only because Merge deep-copies, the bug fixed
+// alongside this package — drops tombstoned tuples, refreezes, and swaps,
+// garbage-collecting tombstones no remaining segment needs.
+//
+// Versioning uses a single mutation sequence: every segment records the
+// sequence at seal time (maxSeq), every tombstone the sequence of the
+// mutation that created it, and a tombstone masks an id only in segments
+// sealed before it (tomb > maxSeq). Because an insert always tombstones any
+// frozen occurrence of its id, at most one live version of an id exists
+// across the memtable and all segments, so searches fan out and concatenate
+// without a dedup pass.
+//
+// Searches take a read lock (memtable and tombstones are mutable); seal
+// freeze and compaction — the expensive work — run off-lock on immutable
+// structure, so readers only ever wait out the cheap pointer swaps.
+package lsm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/core"
+	"haindex/internal/obs"
+)
+
+// Options configures a mutable shard.
+type Options struct {
+	// Index is the H-Build configuration used for the memtable and for
+	// compaction rebuilds.
+	Index core.Options
+	// MemtableMax is the number of live memtable entries that triggers a
+	// background seal. 0 selects 4096; negative disables automatic sealing
+	// (Seal must be called explicitly).
+	MemtableMax int
+	// CompactAt is the segment count that triggers compaction after a seal.
+	// 0 selects 4; negative disables automatic compaction.
+	CompactAt int
+
+	// Obs, when set, is the registry the shard hangs its instruments on:
+	// lsm.memtable_size / lsm.segments / lsm.tombstones gauges,
+	// lsm.seal_ns / lsm.compact_ns wall histograms, and
+	// lsm.inserts / lsm.deletes / lsm.seals / lsm.compactions counters.
+	Obs *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemtableMax == 0 {
+		o.MemtableMax = 4096
+	}
+	if o.CompactAt == 0 {
+		o.CompactAt = 4
+	}
+	return o
+}
+
+// segment is one immutable layer of the shard: the serving index (frozen,
+// or the just-sealed pointer index until the background freeze lands), the
+// pointer form kept for compaction merges, and the seal-time sequence that
+// orders it against tombstones.
+type segment struct {
+	idx    core.Index
+	dyn    *core.DynamicIndex // nil when bootstrapped from a frozen snapshot
+	maxSeq uint64
+	pool   sync.Pool // *core.Searcher bound to idx
+}
+
+func newSegment(idx core.Index, dyn *core.DynamicIndex, maxSeq uint64) *segment {
+	g := &segment{idx: idx, dyn: dyn, maxSeq: maxSeq}
+	g.pool.New = func() interface{} { return core.NewSearcher(g.idx) }
+	return g
+}
+
+// state is the immutable segment stack, swapped atomically under the write
+// lock and readable without it.
+type state struct {
+	segments []*segment
+	epoch    uint64
+}
+
+// Stats is a point-in-time summary of the shard's layering.
+type Stats struct {
+	Len          int    // live tuples (memtable + unmasked frozen)
+	MemtableSize int    // live memtable entries
+	Segments     int    // immutable segments
+	Tombstones   int    // ids masked in some segment
+	Epoch        uint64 // bumped on every seal/compaction swap
+	Seals        int64
+	Compactions  int64
+}
+
+// Shard is a mutable, searchable HA-Index shard. All methods are safe for
+// concurrent use; Close must be the last call.
+type Shard struct {
+	opts   Options
+	length int
+
+	mu         sync.RWMutex
+	mem        *core.DynamicIndex    // nil when empty
+	memPool    *sync.Pool            // searchers bound to mem's current incarnation
+	memIDs     map[int]bitvec.Code   // live memtable entries by id
+	frozenLive map[int]struct{}      // ids live in some segment (not masked)
+	tomb       map[int]uint64        // id -> sequence of the masking mutation
+	seq        uint64                // mutation sequence, monotone under mu
+	state      atomic.Pointer[state] // immutable segment stack
+	booted     bool
+
+	// structMu serializes structural background work (seal, compact) so at
+	// most one freeze/merge is in flight.
+	structMu    sync.Mutex
+	sealArmed   atomic.Bool
+	wg          sync.WaitGroup
+	closed      atomic.Bool
+	seals       atomic.Int64
+	compactions atomic.Int64
+
+	gMem, gSegs, gTomb                 *obs.Gauge
+	cInserts, cDeletes, cSeals, cComps *obs.Counter
+	hSeal, hCompact                    *obs.Histogram
+}
+
+// New creates an empty mutable shard for codes of the given bit length.
+func New(length int, opts Options) *Shard {
+	if length <= 0 {
+		panic("lsm: non-positive code length")
+	}
+	opts = opts.withDefaults()
+	s := &Shard{
+		opts:       opts,
+		length:     length,
+		memIDs:     make(map[int]bitvec.Code),
+		frozenLive: make(map[int]struct{}),
+		tomb:       make(map[int]uint64),
+	}
+	s.state.Store(&state{})
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.gMem = reg.Gauge("lsm.memtable_size")
+	s.gSegs = reg.Gauge("lsm.segments")
+	s.gTomb = reg.Gauge("lsm.tombstones")
+	s.cInserts = reg.Counter("lsm.inserts")
+	s.cDeletes = reg.Counter("lsm.deletes")
+	s.cSeals = reg.Counter("lsm.seals")
+	s.cComps = reg.Counter("lsm.compactions")
+	s.hSeal = reg.Histogram("lsm.seal_ns")
+	s.hCompact = reg.Histogram("lsm.compact_ns")
+	return s
+}
+
+// Bootstrap seeds the shard with an existing immutable index as its first
+// segment — how a server turns a loaded snapshot into a mutable shard. Ids
+// in the index must be unique. It must be called before any mutation.
+func (s *Shard) Bootstrap(idx core.Index) error {
+	if idx.Length() != s.length {
+		return fmt.Errorf("lsm: bootstrap index is %d-bit, shard serves %d-bit codes", idx.Length(), s.length)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.booted || s.seq != 0 {
+		return fmt.Errorf("lsm: Bootstrap must be the first operation")
+	}
+	s.booted = true
+	if idx.Len() == 0 {
+		return nil
+	}
+	var seg *segment
+	s.seq++
+	switch t := idx.(type) {
+	case *core.DynamicIndex:
+		t.Flush()
+		seg = newSegment(core.Freeze(t), t, s.seq)
+	case *core.FrozenIndex:
+		seg = newSegment(t, nil, s.seq)
+	default:
+		return fmt.Errorf("lsm: cannot bootstrap from index type %T", idx)
+	}
+	enumerate(idx, func(id int, _ bitvec.Code) {
+		s.frozenLive[id] = struct{}{}
+	})
+	st := s.state.Load()
+	s.state.Store(&state{segments: []*segment{seg}, epoch: st.epoch + 1})
+	s.publishGauges()
+	return nil
+}
+
+// enumerate walks (id, code) pairs of either index form.
+func enumerate(idx core.Index, fn func(int, bitvec.Code)) {
+	idx.(interface {
+		Tuples(func(id int, code bitvec.Code))
+	}).Tuples(fn)
+}
+
+// Length returns the code length L in bits.
+func (s *Shard) Length() int { return s.length }
+
+// Len returns the number of live tuples.
+func (s *Shard) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.memIDs) + len(s.frozenLive)
+}
+
+// Epoch returns the current structural epoch; it bumps on every seal and
+// compaction swap, so cached results keyed on it invalidate correctly.
+func (s *Shard) Epoch() uint64 { return s.state.Load().epoch }
+
+// Stats returns a point-in-time layering summary.
+func (s *Shard) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.state.Load()
+	return Stats{
+		Len:          len(s.memIDs) + len(s.frozenLive),
+		MemtableSize: len(s.memIDs),
+		Segments:     len(st.segments),
+		Tombstones:   len(s.tomb),
+		Epoch:        st.epoch,
+		Seals:        s.seals.Load(),
+		Compactions:  s.compactions.Load(),
+	}
+}
+
+// publishGauges mirrors the layering into the registry; callers hold mu.
+func (s *Shard) publishGauges() {
+	s.gMem.Set(int64(len(s.memIDs)))
+	s.gSegs.Set(int64(len(s.state.Load().segments)))
+	s.gTomb.Set(int64(len(s.tomb)))
+}
+
+// Insert upserts the tuple: any older version of the id — in the memtable or
+// in a frozen segment — is superseded. It reports whether an older version
+// was replaced.
+func (s *Shard) Insert(id int, c bitvec.Code) bool {
+	if c.Len() != s.length {
+		panic(fmt.Sprintf("lsm: inserting %d-bit code into %d-bit shard", c.Len(), s.length))
+	}
+	s.mu.Lock()
+	s.booted = true
+	replaced := false
+	if old, ok := s.memIDs[id]; ok {
+		if old.Equal(c) {
+			s.mu.Unlock()
+			return true
+		}
+		s.mem.Delete(id, old)
+		replaced = true
+	} else if _, ok := s.frozenLive[id]; ok {
+		// The frozen copy is now stale: mask it in every current segment.
+		delete(s.frozenLive, id)
+		s.seq++
+		s.tomb[id] = s.seq
+		replaced = true
+	}
+	s.seq++
+	s.memIDs[id] = c
+	if s.mem == nil {
+		mem := core.BuildDynamic([]bitvec.Code{c}, []int{id}, s.opts.Index)
+		s.mem = mem
+		s.memPool = &sync.Pool{New: func() interface{} { return core.NewSearcher(mem) }}
+	} else {
+		s.mem.Insert(id, c)
+	}
+	s.cInserts.Inc()
+	sealNow := s.opts.MemtableMax > 0 && len(s.memIDs) >= s.opts.MemtableMax
+	s.publishGauges()
+	s.mu.Unlock()
+	if sealNow && !s.closed.Load() && s.sealArmed.CompareAndSwap(false, true) {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.sealArmed.Store(false)
+			s.Seal(false)
+			if s.opts.CompactAt > 0 && len(s.state.Load().segments) > s.opts.CompactAt {
+				s.Compact()
+			}
+		}()
+	}
+	return replaced
+}
+
+// Delete removes the tuple with the given id, wherever its live version
+// sits: a memtable id is H-Deleted in place, a frozen id becomes a
+// tombstone. It reports whether the id was live.
+func (s *Shard) Delete(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.booted = true
+	if c, ok := s.memIDs[id]; ok {
+		s.mem.Delete(id, c)
+		delete(s.memIDs, id)
+		s.cDeletes.Inc()
+		s.publishGauges()
+		return true
+	}
+	if _, ok := s.frozenLive[id]; ok {
+		delete(s.frozenLive, id)
+		s.seq++
+		s.tomb[id] = s.seq
+		s.cDeletes.Inc()
+		s.publishGauges()
+		return true
+	}
+	return false
+}
+
+// SearchInto returns the ids of all live tuples within Hamming distance h of
+// q, fanning out over the memtable and every segment with tombstone masking;
+// stats aggregates the index work of the whole fan-out.
+func (s *Shard) SearchInto(q bitvec.Code, h int, stats *core.SearchStats) []int {
+	if q.Len() != s.length {
+		panic(fmt.Sprintf("lsm: %d-bit query against %d-bit shard", q.Len(), s.length))
+	}
+	var out []int
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.mem != nil {
+		pool := s.memPool
+		sr := pool.Get().(*core.Searcher)
+		out = append(out, sr.Search(q, h)...)
+		stats.Add(sr.Stats)
+		pool.Put(sr)
+	}
+	for _, seg := range s.state.Load().segments {
+		sr := seg.pool.Get().(*core.Searcher)
+		for _, id := range sr.Search(q, h) {
+			if t, masked := s.tomb[id]; masked && t > seg.maxSeq {
+				continue
+			}
+			out = append(out, id)
+		}
+		stats.Add(sr.Stats)
+		seg.pool.Put(sr)
+	}
+	return out
+}
+
+// Search is SearchInto with throwaway statistics.
+func (s *Shard) Search(q bitvec.Code, h int) []int {
+	var stats core.SearchStats
+	return s.SearchInto(q, h, &stats)
+}
+
+// TopKInto returns the k nearest live ids with their distances, ordered by
+// (distance, id), by radius escalation over the layered search — a tuple's
+// distance is the first radius at which it appears.
+func (s *Shard) TopKInto(q bitvec.Code, k int, stats *core.SearchStats) ([]int, []int) {
+	if k <= 0 {
+		return nil, nil
+	}
+	dist := make(map[int]int)
+	for h := 0; h <= s.length; h++ {
+		for _, id := range s.SearchInto(q, h, stats) {
+			if _, seen := dist[id]; !seen {
+				dist[id] = h
+			}
+		}
+		if len(dist) >= k {
+			break
+		}
+	}
+	ids := make([]int, 0, len(dist))
+	for id := range dist {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := dist[ids[i]], dist[ids[j]]
+		if di != dj {
+			return di < dj
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	dists := make([]int, len(ids))
+	for i, id := range ids {
+		dists[i] = dist[id]
+	}
+	return ids, dists
+}
+
+// TopK is TopKInto with throwaway statistics.
+func (s *Shard) TopK(q bitvec.Code, k int) ([]int, []int) {
+	var stats core.SearchStats
+	return s.TopKInto(q, k, &stats)
+}
+
+// Tuples invokes fn for every live (id, code) pair: memtable entries plus
+// unmasked segment tuples.
+func (s *Shard) Tuples(fn func(id int, code bitvec.Code)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for id, c := range s.memIDs {
+		fn(id, c)
+	}
+	for _, seg := range s.state.Load().segments {
+		enumerate(seg.idx, func(id int, c bitvec.Code) {
+			if t, masked := s.tomb[id]; masked && t > seg.maxSeq {
+				return
+			}
+			fn(id, c)
+		})
+	}
+}
+
+// Seal freezes the current memtable into a new immutable segment. The
+// memtable is first published as a just-sealed (pointer-index) segment so
+// its tuples stay searchable, then compiled with core.Freeze off the write
+// path and swapped in. With compact set, a compaction follows. Seal is
+// synchronous: when it returns, the new segment is frozen and live.
+func (s *Shard) Seal(compact bool) {
+	s.structMu.Lock()
+	t0 := time.Now()
+	s.mu.Lock()
+	mem := s.mem
+	if mem == nil || len(s.memIDs) == 0 {
+		s.mu.Unlock()
+		s.structMu.Unlock()
+		if compact {
+			s.Compact()
+		}
+		return
+	}
+	// Settle the insert buffer while exclusive; afterwards the pointer index
+	// is read-only and safe to publish and to Freeze concurrently.
+	mem.Flush()
+	for id := range s.memIDs {
+		s.frozenLive[id] = struct{}{}
+	}
+	s.mem, s.memPool = nil, nil
+	s.memIDs = make(map[int]bitvec.Code)
+	sealed := newSegment(mem, mem, s.seq)
+	st := s.state.Load()
+	segs := append(append([]*segment(nil), st.segments...), sealed)
+	s.state.Store(&state{segments: segs, epoch: st.epoch + 1})
+	s.publishGauges()
+	s.mu.Unlock()
+
+	// Compile off-lock; searches meanwhile walk the pointer segment.
+	frozen := newSegment(core.Freeze(mem), mem, sealed.maxSeq)
+
+	s.mu.Lock()
+	st = s.state.Load()
+	segs = make([]*segment, 0, len(st.segments))
+	for _, seg := range st.segments {
+		if seg == sealed {
+			seg = frozen
+		}
+		segs = append(segs, seg)
+	}
+	s.state.Store(&state{segments: segs, epoch: st.epoch + 1})
+	s.publishGauges()
+	s.mu.Unlock()
+	s.seals.Add(1)
+	s.cSeals.Inc()
+	s.hSeal.RecordSince(t0)
+	s.structMu.Unlock()
+	if compact {
+		s.Compact()
+	}
+}
+
+// Compact merges the whole segment stack into one segment: the pointer forms
+// are combined with core.Merge (deep-copying, so the live inputs stay
+// valid), tombstoned tuples are H-Deleted out of the merged index, and the
+// result is refrozen and swapped in. Tombstones no remaining segment was
+// sealed after are garbage-collected. Synchronous, like Seal.
+func (s *Shard) Compact() {
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
+	t0 := time.Now()
+	inputs := s.state.Load().segments
+	if len(inputs) == 0 {
+		return
+	}
+	// Snapshot the masking decisions: which (segment, id) occurrences are
+	// dead, and the sequence horizon the output represents. A tombstone
+	// created mid-compaction has a sequence above this snapshot — and so
+	// above the output's maxSeq — so the tuple it masks simply stays masked
+	// by the live check after the swap.
+	s.mu.RLock()
+	snapSeq := s.seq
+	type drop struct {
+		id   int
+		code bitvec.Code
+	}
+	var drops []drop
+	droppedIDs := make(map[int]struct{})
+	for _, seg := range inputs {
+		enumerate(seg.idx, func(id int, c bitvec.Code) {
+			if t, masked := s.tomb[id]; masked && t > seg.maxSeq {
+				drops = append(drops, drop{id: id, code: c})
+				droppedIDs[id] = struct{}{}
+			}
+		})
+	}
+	s.mu.RUnlock()
+	if len(inputs) == 1 && len(drops) == 0 {
+		return // nothing to merge, nothing to fold away
+	}
+
+	var merged *core.DynamicIndex
+	if len(inputs) == 1 {
+		// Merge of one part returns the part itself, which must keep serving
+		// reads untouched — rebuild the survivors instead. An id occurs once
+		// per segment, so the dropped-id set decides membership.
+		var codes []bitvec.Code
+		var ids []int
+		enumerate(inputs[0].idx, func(id int, c bitvec.Code) {
+			if _, dead := droppedIDs[id]; !dead {
+				ids = append(ids, id)
+				codes = append(codes, c)
+			}
+		})
+		if len(ids) > 0 {
+			merged = core.BuildDynamic(codes, ids, s.opts.Index)
+		}
+	} else {
+		// Pointer forms for the merge; a frozen-bootstrapped segment rebuilds
+		// one from its tuples.
+		dyns := make([]*core.DynamicIndex, len(inputs))
+		for i, seg := range inputs {
+			if seg.dyn != nil {
+				dyns[i] = seg.dyn
+				continue
+			}
+			var codes []bitvec.Code
+			var ids []int
+			enumerate(seg.idx, func(id int, c bitvec.Code) {
+				ids = append(ids, id)
+				codes = append(codes, c)
+			})
+			dyns[i] = core.BuildDynamic(codes, ids, s.opts.Index)
+		}
+		// Merge deep-copies, so deleting the masked tuples out of the merged
+		// index cannot corrupt the inputs still serving reads.
+		merged = core.Merge(dyns...)
+		if merged == dyns[0] {
+			// Multi-part Merge always builds a fresh index; guard the
+			// invariant anyway so a future Merge change cannot alias us.
+			panic("lsm: Merge returned an input")
+		}
+		for _, d := range drops {
+			merged.Delete(d.id, d.code)
+		}
+		merged.Flush()
+		if merged.Len() == 0 {
+			merged = nil
+		}
+	}
+	var out *segment
+	if merged != nil {
+		out = newSegment(core.Freeze(merged), merged, snapSeq)
+	}
+
+	s.mu.Lock()
+	st := s.state.Load()
+	replaced := make(map[*segment]bool, len(inputs))
+	for _, seg := range inputs {
+		replaced[seg] = true
+	}
+	var segs []*segment
+	if out != nil {
+		segs = append(segs, out)
+	}
+	for _, seg := range st.segments {
+		if !replaced[seg] {
+			segs = append(segs, seg)
+		}
+	}
+	s.state.Store(&state{segments: segs, epoch: st.epoch + 1})
+	// GC tombstones that mask nothing anymore: a tombstone is needed only
+	// while some segment was sealed before it.
+	minMax := uint64(0)
+	for i, seg := range segs {
+		if i == 0 || seg.maxSeq < minMax {
+			minMax = seg.maxSeq
+		}
+	}
+	for id, t := range s.tomb {
+		if len(segs) == 0 || t <= minMax {
+			delete(s.tomb, id)
+		}
+	}
+	s.publishGauges()
+	s.mu.Unlock()
+	s.compactions.Add(1)
+	s.cComps.Inc()
+	s.hCompact.RecordSince(t0)
+}
+
+// Close waits for in-flight background seals and compactions. The shard
+// must not be mutated concurrently with or after Close.
+func (s *Shard) Close() {
+	s.closed.Store(true)
+	s.wg.Wait()
+}

@@ -4,6 +4,11 @@
 // batched admission, and keeps per-shard statistics. One process serves one
 // Gray partition; a deployment runs one or more replicas of each partition
 // and a client router (internal/client) fans queries across them.
+//
+// A server built with NewMutable serves an lsm.Shard instead of a fixed
+// index and additionally answers the protocol-v3 mutation frames
+// (insert/delete/seal); mutations are applied synchronously, so an
+// acknowledged write is visible to every subsequent search.
 package server
 
 import (
@@ -17,6 +22,7 @@ import (
 	"time"
 
 	"haindex/internal/core"
+	"haindex/internal/lsm"
 	"haindex/internal/obs"
 	"haindex/internal/wire"
 )
@@ -63,10 +69,17 @@ type Stats = wire.StatsResp
 // an existing listener), stop with Close.
 type Server struct {
 	meta wire.SnapshotMeta
-	idx  core.Index
+	idx  core.Index // nil in mutable mode
 	opts Options
 
-	// pool holds the idle Searchers; its capacity is the admission limit.
+	// shard, when non-nil, makes this a mutable server: searches go through
+	// the LSM layering and the v3 mutation frames are accepted.
+	shard *lsm.Shard
+
+	// pool holds the idle Searchers; its capacity is the admission limit. A
+	// mutable server has no fixed index to bind searchers to (the shard pools
+	// its own per-segment searchers), so the channel holds nil admission
+	// tickets instead.
 	pool chan *core.Searcher
 
 	// reqSeq numbers search/top-k requests across all connections — the
@@ -94,6 +107,7 @@ type Server struct {
 	histSearch    *obs.Histogram // req.search_ns
 	histTopK      *obs.Histogram // req.topk_ns
 	histStats     *obs.Histogram // req.stats_ns
+	histMutate    *obs.Histogram // req.mutate_ns
 	histAdmission *obs.Histogram // admission_wait_ns
 	histDist      *obs.Histogram // search.dist_comps
 	histNodes     *obs.Histogram // search.nodes_visited
@@ -115,6 +129,36 @@ func New(meta wire.SnapshotMeta, idx core.Index, opts Options) (*Server, error) 
 	if idx.Length() != meta.Length {
 		return nil, fmt.Errorf("server: index is %d-bit, snapshot header says %d", idx.Length(), meta.Length)
 	}
+	if dyn, ok := idx.(*core.DynamicIndex); ok {
+		dyn.Flush() // settle any unflushed inserts before the read-only phase
+	}
+	s := newServer(meta, opts)
+	s.idx = idx
+	for i := 0; i < cap(s.pool); i++ {
+		s.pool <- core.NewSearcher(idx)
+	}
+	return s, nil
+}
+
+// NewMutable builds a server over a mutable LSM shard. The caller keeps
+// ownership of the shard's lifecycle up to Close, which waits out the
+// shard's background seals and compactions. Insert/delete/seal frames are
+// only reachable on sessions that negotiated protocol version 3 or later.
+func NewMutable(meta wire.SnapshotMeta, sh *lsm.Shard, opts Options) (*Server, error) {
+	if sh.Length() != meta.Length {
+		return nil, fmt.Errorf("server: shard is %d-bit, snapshot header says %d", sh.Length(), meta.Length)
+	}
+	s := newServer(meta, opts)
+	s.shard = sh
+	// The shard brings its own per-segment searcher pools; the channel still
+	// bounds admission, with nil tickets.
+	for i := 0; i < cap(s.pool); i++ {
+		s.pool <- nil
+	}
+	return s, nil
+}
+
+func newServer(meta wire.SnapshotMeta, opts Options) *Server {
 	if opts.Searchers <= 0 {
 		opts.Searchers = runtime.GOMAXPROCS(0)
 	}
@@ -130,12 +174,8 @@ func New(meta wire.SnapshotMeta, idx core.Index, opts Options) (*Server, error) 
 	if opts.TraceCapacity <= 0 {
 		opts.TraceCapacity = 64
 	}
-	if dyn, ok := idx.(*core.DynamicIndex); ok {
-		dyn.Flush() // settle any unflushed inserts before the read-only phase
-	}
 	s := &Server{
 		meta:   meta,
-		idx:    idx,
 		opts:   opts,
 		pool:   make(chan *core.Searcher, opts.Searchers),
 		conns:  make(map[net.Conn]struct{}),
@@ -148,16 +188,14 @@ func New(meta wire.SnapshotMeta, idx core.Index, opts Options) (*Server, error) 
 	s.histSearch = s.reg.Histogram("req.search_ns")
 	s.histTopK = s.reg.Histogram("req.topk_ns")
 	s.histStats = s.reg.Histogram("req.stats_ns")
+	s.histMutate = s.reg.Histogram("req.mutate_ns")
 	s.histAdmission = s.reg.Histogram("admission_wait_ns")
 	s.histDist = s.reg.Histogram("search.dist_comps")
 	s.histNodes = s.reg.Histogram("search.nodes_visited")
 	s.histLeaves = s.reg.Histogram("search.leaves_checked")
 	s.poolIdle = s.reg.Gauge("pool.idle")
 	s.poolIdle.Set(int64(opts.Searchers))
-	for i := 0; i < opts.Searchers; i++ {
-		s.pool <- core.NewSearcher(idx)
-	}
-	return s, nil
+	return s
 }
 
 // Obs returns the server's metric registry (counters, gauges, latency and
@@ -255,6 +293,9 @@ func (s *Server) Close() error {
 		dln.Close()
 	}
 	s.wg.Wait()
+	if s.shard != nil {
+		s.shard.Close() // wait out background seals and compactions
+	}
 	return nil
 }
 
@@ -329,16 +370,26 @@ func (s *Server) handleConn(conn net.Conn) {
 		writeErr("bad hello: %v", err)
 		return
 	}
-	if hello.Version != wire.Version {
+	// Negotiate downward: any client up to this build's version is served at
+	// the lower of the two feature levels; a client from the future is
+	// refused loudly.
+	if hello.Version < 1 || hello.Version > wire.Version {
 		writeErr("protocol version %d not supported (server speaks %d)", hello.Version, wire.Version)
 		return
 	}
+	nego := hello.Version
+	tuples := 0
+	if s.shard != nil {
+		tuples = s.shard.Len()
+	} else {
+		tuples = s.idx.Len()
+	}
 	ok := wire.HelloOK{
-		Version: wire.Version,
+		Version: nego,
 		Length:  s.meta.Length,
 		Part:    s.meta.Part,
 		Parts:   s.meta.Parts,
-		Tuples:  s.idx.Len(),
+		Tuples:  tuples,
 		Pivots:  s.meta.Pivots,
 	}
 	if !writeMsg(wire.MsgHelloOK, ok.Append(nil)) {
@@ -403,8 +454,51 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 		case wire.MsgStats:
 			t0 := time.Now()
-			ok := writeMsg(wire.MsgStatsOK, s.Stats().Append(nil))
+			st := s.Stats()
+			var pl []byte
+			if nego >= 2 {
+				pl = st.Append(nil)
+			} else {
+				// A v1 peer rejects trailing bytes: emit the shorter payload.
+				pl = st.AppendV1(nil)
+			}
+			ok := writeMsg(wire.MsgStatsOK, pl)
 			s.histStats.RecordSince(t0)
+			if !ok {
+				return
+			}
+		case wire.MsgInsert, wire.MsgDelete, wire.MsgSeal:
+			if nego < 3 {
+				if !writeErr("%s requires protocol version 3 (session negotiated %d)", t, nego) {
+					return
+				}
+				continue
+			}
+			if s.shard == nil {
+				if !writeErr("shard is immutable: %s refused", t) {
+					return
+				}
+				continue
+			}
+			s.requests.Add(1)
+			s.reqCount.Inc()
+			t0 := time.Now()
+			var respType wire.MsgType
+			var resp []byte
+			switch t {
+			case wire.MsgInsert:
+				respType, resp = s.answerInsert(payload)
+			case wire.MsgDelete:
+				respType, resp = s.answerDelete(payload)
+			default:
+				respType, resp = s.answerSeal(payload)
+			}
+			if respType == wire.MsgError {
+				s.errors.Add(1)
+				s.errCount.Inc()
+			}
+			ok := writeMsg(respType, resp)
+			s.histMutate.RecordSince(t0)
 			if !ok {
 				return
 			}
@@ -427,14 +521,22 @@ func (s *Server) answerSearch(payload []byte, tr *obs.Trace) (wire.MsgType, []by
 	s.queries.Add(int64(len(req.Queries)))
 	resp := wire.SearchResp{IDs: make([][]int, len(req.Queries))}
 	returned := int64(0)
-	s.runBatch(len(req.Queries), tr, func(sr *core.Searcher, i int) {
-		ids := sr.Search(req.Queries[i], req.H)
+	s.runBatch(len(req.Queries), tr, func(sr *core.Searcher, i int) core.SearchStats {
+		var ids []int
+		var stats core.SearchStats
+		if s.shard != nil {
+			ids = s.shard.SearchInto(req.Queries[i], req.H, &stats)
+		} else {
+			ids = sr.Search(req.Queries[i], req.H)
+			stats = sr.Stats
+		}
 		if len(ids) > 0 {
 			out := append([]int(nil), ids...)
 			sort.Ints(out)
 			resp.IDs[i] = out
 			atomic.AddInt64(&returned, int64(len(out)))
 		}
+		return stats
 	})
 	s.idsReturned.Add(atomic.LoadInt64(&returned))
 	return wire.MsgSearchOK, resp.Append(nil)
@@ -451,13 +553,78 @@ func (s *Server) answerTopK(payload []byte, tr *obs.Trace) (wire.MsgType, []byte
 	s.topkQueries.Add(int64(len(req.Queries)))
 	resp := wire.TopKResp{IDs: make([][]int, len(req.Queries)), Dists: make([][]int, len(req.Queries))}
 	returned := int64(0)
-	s.runBatch(len(req.Queries), tr, func(sr *core.Searcher, i int) {
-		ids, dists := sr.TopK(req.Queries[i], req.K)
+	s.runBatch(len(req.Queries), tr, func(sr *core.Searcher, i int) core.SearchStats {
+		var ids, dists []int
+		var stats core.SearchStats
+		if s.shard != nil {
+			ids, dists = s.shard.TopKInto(req.Queries[i], req.K, &stats)
+		} else {
+			ids, dists = sr.TopK(req.Queries[i], req.K)
+			stats = sr.Stats
+		}
 		resp.IDs[i], resp.Dists[i] = ids, dists
 		atomic.AddInt64(&returned, int64(len(ids)))
+		return stats
 	})
 	s.idsReturned.Add(atomic.LoadInt64(&returned))
 	return wire.MsgTopKOK, resp.Append(nil)
+}
+
+// answerInsert applies a batch of upserts to the mutable shard.
+func (s *Server) answerInsert(payload []byte) (wire.MsgType, []byte) {
+	req, err := wire.ParseInsertReq(payload, s.meta.Length)
+	if err != nil {
+		return wire.MsgError, wire.ErrorMsg{Msg: err.Error()}.Append(nil)
+	}
+	replaced := 0
+	for i, id := range req.IDs {
+		if s.shard.Insert(id, req.Codes[i]) {
+			replaced++
+		}
+	}
+	st := s.shard.Stats()
+	resp := wire.InsertResp{
+		Upserts:      len(req.IDs),
+		Replaced:     replaced,
+		MemtableSize: st.MemtableSize,
+		Epoch:        st.Epoch,
+	}
+	return wire.MsgInsertOK, resp.Append(nil)
+}
+
+// answerDelete applies a batch of deletes; ids not live on this shard are
+// counted out, not errors — the router broadcasts deletes to every shard.
+func (s *Server) answerDelete(payload []byte) (wire.MsgType, []byte) {
+	req, err := wire.ParseDeleteReq(payload)
+	if err != nil {
+		return wire.MsgError, wire.ErrorMsg{Msg: err.Error()}.Append(nil)
+	}
+	deleted := 0
+	for _, id := range req.IDs {
+		if s.shard.Delete(id) {
+			deleted++
+		}
+	}
+	st := s.shard.Stats()
+	return wire.MsgDeleteOK, wire.DeleteResp{Deleted: deleted, Epoch: st.Epoch}.Append(nil)
+}
+
+// answerSeal runs a synchronous seal (and optional compaction), so the OK
+// frame doubles as a structural barrier for the connection.
+func (s *Server) answerSeal(payload []byte) (wire.MsgType, []byte) {
+	req, err := wire.ParseSealReq(payload)
+	if err != nil {
+		return wire.MsgError, wire.ErrorMsg{Msg: err.Error()}.Append(nil)
+	}
+	s.shard.Seal(req.Compact)
+	st := s.shard.Stats()
+	resp := wire.SealOK{
+		Segments:     st.Segments,
+		MemtableSize: st.MemtableSize,
+		Tombstones:   st.Tombstones,
+		Epoch:        st.Epoch,
+	}
+	return wire.MsgSealOK, resp.Append(nil)
 }
 
 // runBatch executes one request's queries with batched admission: it blocks
@@ -465,8 +632,10 @@ func (s *Server) answerTopK(payload []byte, tr *obs.Trace) (wire.MsgType, []byte
 // requests make progress at once) and opportunistically grabs idle extras
 // to parallelize the batch, so a lone large batch uses the whole pool while
 // concurrent small requests are not starved. Queries are claimed off an
-// atomic cursor, mirroring core.SearchBatch.
-func (s *Server) runBatch(n int, tr *obs.Trace, run func(sr *core.Searcher, i int)) {
+// atomic cursor, mirroring core.SearchBatch. run returns the index work one
+// query did; in mutable mode the pooled searcher is a nil admission ticket
+// and the shard supplies its own per-segment searchers.
+func (s *Server) runBatch(n int, tr *obs.Trace, run func(sr *core.Searcher, i int) core.SearchStats) {
 	if n == 0 {
 		return
 	}
@@ -501,13 +670,13 @@ acquired:
 				if i >= n {
 					break
 				}
-				run(sr, i)
-				agg.Add(sr.Stats)
+				stats := run(sr, i)
+				agg.Add(stats)
 				// Per-search cost distributions: how much index work one
 				// query did, the core.SearchStats flow into the registry.
-				s.histDist.Record(int64(sr.Stats.DistanceComputations))
-				s.histNodes.Record(int64(sr.Stats.NodesVisited))
-				s.histLeaves.Record(int64(sr.Stats.LeavesChecked))
+				s.histDist.Record(int64(stats.DistanceComputations))
+				s.histNodes.Record(int64(stats.NodesVisited))
+				s.histLeaves.Record(int64(stats.LeavesChecked))
 			}
 			s.distComps.Add(int64(agg.DistanceComputations))
 			s.nodesVisited.Add(int64(agg.NodesVisited))

@@ -7,11 +7,15 @@
 //	           Search -> SearchOK | TopK -> TopKOK | Stats -> StatsOK,
 //	           any of which may instead answer Error.
 //
-// The protocol is versioned in the Hello exchange: a server refuses clients
-// speaking a different Version, so a rolling fleet upgrade fails loudly at
-// connect time instead of corrupting answers. Payload integers are unsigned
-// varints; binary codes travel fixed-width (bitvec.AppendBytes) since the
-// code length is fixed per session by the handshake.
+// The protocol is versioned in the Hello exchange. Since version 3 the
+// handshake negotiates downward: the server accepts any client version in
+// [1, Version] and replies with min(client, server), and both sides gate
+// newer frames on the negotiated version — so a rolling fleet upgrade keeps
+// serving at the older feature level instead of partitioning the fleet. A
+// client from the future (version above the server's) is still refused
+// loudly at connect time. Payload integers are unsigned varints; binary
+// codes travel fixed-width (bitvec.AppendBytes) since the code length is
+// fixed per session by the handshake.
 package wire
 
 import (
@@ -26,8 +30,10 @@ import (
 // Version is the protocol version spoken by this build. Bump on any frame
 // layout change. Version 2 extended StatsResp with search-latency
 // percentiles; ParseStatsResp still accepts the shorter v1 payload, so the
-// field is version-gated at the handshake, not the parser.
-const Version = 2
+// field is version-gated at the handshake, not the parser. Version 3 added
+// the mutation frames (Insert/Delete/Seal) for the LSM serving tier and the
+// downward-negotiating handshake.
+const Version = 3
 
 // MaxFrame bounds a frame's payload so a corrupt or hostile length prefix
 // cannot make a reader allocate unboundedly.
@@ -46,6 +52,14 @@ const (
 	MsgStats
 	MsgStatsOK
 	MsgError
+
+	// Version 3: mutation frames for the LSM serving tier.
+	MsgInsert
+	MsgInsertOK
+	MsgDelete
+	MsgDeleteOK
+	MsgSeal
+	MsgSealOK
 )
 
 func (t MsgType) String() string {
@@ -68,6 +82,18 @@ func (t MsgType) String() string {
 		return "stats-ok"
 	case MsgError:
 		return "error"
+	case MsgInsert:
+		return "insert"
+	case MsgInsertOK:
+		return "insert-ok"
+	case MsgDelete:
+		return "delete"
+	case MsgDeleteOK:
+		return "delete-ok"
+	case MsgSeal:
+		return "seal"
+	case MsgSealOK:
+		return "seal-ok"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(t))
 }
@@ -387,6 +413,19 @@ func (m StatsResp) Append(dst []byte) []byte {
 		m.Requests, m.Queries, m.TopKQueries, m.IDsReturned, m.Errors,
 		m.FaultsInjected, m.DistanceComputations, m.NodesVisited, m.LeavesChecked,
 		m.LatencyP50Ns, m.LatencyP95Ns, m.LatencyP99Ns, m.LatencyMaxNs,
+	} {
+		dst = binary.AppendUvarint(dst, uint64(v))
+	}
+	return dst
+}
+
+// AppendV1 emits the version-1 payload, without the latency percentile
+// fields — what a server sends on a session negotiated down to protocol
+// version 1, whose peer rejects trailing bytes.
+func (m StatsResp) AppendV1(dst []byte) []byte {
+	for _, v := range []int64{
+		m.Requests, m.Queries, m.TopKQueries, m.IDsReturned, m.Errors,
+		m.FaultsInjected, m.DistanceComputations, m.NodesVisited, m.LeavesChecked,
 	} {
 		dst = binary.AppendUvarint(dst, uint64(v))
 	}

@@ -8,6 +8,10 @@
 # With SMOKE_DEBUG=1 (make debug-smoke), shard 0 also binds its HTTP debug
 # endpoint; after the queries run, /debug/obs is fetched and must report a
 # non-empty request-latency histogram and nonzero request/fault counters.
+#
+# With SMOKE_LSM=1 (make lsm-smoke), the snapshots are additionally served
+# by mutable (LSM) shards, and insert -> seal -> compact -> upsert -> delete
+# are driven through haquery with searches verifying every step.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -77,6 +81,62 @@ if [ "$SMOKE_DEBUG" = "1" ]; then
     [ -n "$FAULTS" ] && [ "$FAULTS" -gt 0 ] || {
         echo "smoke: debug snapshot reports no injected faults" >&2; exit 1; }
     echo "smoke: debug endpoint OK ($REQS requests, $FAULTS faults injected)"
+fi
+
+SMOKE_LSM=${SMOKE_LSM:-0}
+if [ "$SMOKE_LSM" = "1" ]; then
+    echo "smoke: starting two mutable (LSM) shard servers from the same snapshots"
+    "$WORK/bin/haserve" -snapshot "$WORK/shards/shard-00000.hasn" -addr 127.0.0.1:0 \
+        -port-file "$WORK/m0.addr" -mutable -memtable-max 64 &
+    PIDS="$PIDS $!"
+    "$WORK/bin/haserve" -snapshot "$WORK/shards/shard-00001.hasn" -addr 127.0.0.1:0 \
+        -port-file "$WORK/m1.addr" -mutable -memtable-max 64 &
+    PIDS="$PIDS $!"
+    for f in m0.addr m1.addr; do
+        tries=0
+        while [ ! -s "$WORK/$f" ]; do
+            tries=$((tries + 1))
+            [ "$tries" -gt 100 ] && { echo "smoke: $f never appeared" >&2; exit 1; }
+            sleep 0.1
+        done
+    done
+    MADDR="$(cat "$WORK/m0.addr"),$(cat "$WORK/m1.addr")"
+
+    echo "smoke: mutable tier must still match the oracle before any mutation"
+    "$WORK/bin/haquery" -shards "$MADDR" \
+        -codes-file "$WORK/shards/codes.txt" -rows 0-49 -h 3 -topk 5 \
+        -oracle "$WORK/shards"
+
+    # Two distinct codes from the dataset: the insert target and the upsert
+    # destination (which may live in a different Gray partition).
+    C0=$(sed -n '1p' "$WORK/shards/codes.txt")
+    C1=$(grep -v -x "$C0" "$WORK/shards/codes.txt" | sed -n '1p')
+    [ -n "$C1" ] || { echo "smoke: dataset has only one distinct code" >&2; exit 1; }
+
+    echo "smoke: insert a fresh tuple, verify it is searchable"
+    "$WORK/bin/haquery" -shards "$MADDR" -insert "90001:$C0"
+    "$WORK/bin/haquery" -shards "$MADDR" -codes "$C0" -h 0 -v | grep -q 90001 || {
+        echo "smoke: inserted tuple 90001 not found" >&2; exit 1; }
+
+    echo "smoke: seal + compact, tuple must survive the frozen segments"
+    "$WORK/bin/haquery" -shards "$MADDR" -seal-compact
+    "$WORK/bin/haquery" -shards "$MADDR" -codes "$C0" -h 0 -v | grep -q 90001 || {
+        echo "smoke: tuple 90001 lost across seal+compact" >&2; exit 1; }
+
+    echo "smoke: upsert moves the tuple to a new code"
+    "$WORK/bin/haquery" -shards "$MADDR" -insert "90001:$C1"
+    "$WORK/bin/haquery" -shards "$MADDR" -codes "$C1" -h 0 -v | grep -q 90001 || {
+        echo "smoke: upserted tuple 90001 not at its new code" >&2; exit 1; }
+    if "$WORK/bin/haquery" -shards "$MADDR" -codes "$C0" -h 0 -v | grep -q 90001; then
+        echo "smoke: upsert left a stale copy of tuple 90001 at the old code" >&2; exit 1
+    fi
+
+    echo "smoke: delete the tuple, verify it is gone"
+    "$WORK/bin/haquery" -shards "$MADDR" -delete 90001
+    if "$WORK/bin/haquery" -shards "$MADDR" -codes "$C1" -h 0 -v | grep -q 90001; then
+        echo "smoke: deleted tuple 90001 still searchable" >&2; exit 1
+    fi
+    echo "smoke: LSM mutable tier OK"
 fi
 
 echo "smoke: OK"
