@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build test race test-race bench bench-query bench-frozen bench-serve vet fmt-check fuzz fuzz-wire smoke debug-smoke lsm-smoke experiments examples clean
+.PHONY: all check build test race test-race bench bench-query bench-frozen bench-serve bench-planner vet fmt-check fuzz fuzz-wire fuzz-mih smoke debug-smoke lsm-smoke experiments examples clean
 
 all: build vet test
 
-check: build vet fmt-check test test-race fuzz-wire
+check: build vet fmt-check test test-race fuzz-wire fuzz-mih
 
 build:
 	$(GO) build ./...
@@ -51,17 +51,28 @@ bench-frozen:
 bench-serve:
 	$(GO) run ./cmd/habench -exp serve
 
+# Planner experiment: threshold sweep across the HA walk, MIH, and the brute
+# scan at 64-bit codes, the engine crossovers, the planner's hit rate, and
+# the auto-vs-forced-ha comparison; writes BENCH_planner.json.
+bench-planner:
+	$(GO) run ./cmd/habench -exp planner
+
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeDynamic -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeIndex -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeFrozen -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzFromString -fuzztime=15s ./internal/bitvec/
 	$(GO) test -fuzz=FuzzParseMutationFrames -fuzztime=30s ./internal/wire/
+	$(GO) test -fuzz=FuzzDecodeMIH -fuzztime=30s ./internal/mih/
 
 # Short fuzz smoke of the protocol-v3 mutation-frame decoders — cheap enough
 # to run on every check.
 fuzz-wire:
 	$(GO) test -run=NONE -fuzz=FuzzParseMutationFrames -fuzztime=5s ./internal/wire/
+
+# Short fuzz smoke of the MIH (HADX v3) codec's hostile-input hardening.
+fuzz-mih:
+	$(GO) test -run=NONE -fuzz=FuzzDecodeMIH -fuzztime=5s ./internal/mih/
 
 # End-to-end smoke of the serving stack: build the CLIs, generate a tiny
 # dataset, shard it, start two haserve processes (one fault-injected), query

@@ -57,6 +57,7 @@ func main() {
 		oracle    = flag.String("oracle", "", "snapshot directory to rebuild an in-process oracle from; diff and exit nonzero on mismatch")
 		verbose   = flag.Bool("v", false, "print every id list")
 		trace     = flag.Bool("trace", false, "print the span tree of the slowest batch and per-attempt latency percentiles")
+		engine    = flag.String("engine", "auto", "access path forced on every shard: auto|ha|mih|scan (non-auto needs protocol v4 shards with the engine enabled)")
 
 		insert      = flag.String("insert", "", "comma-separated id:bit-string upserts applied before querying (mutable shards)")
 		deleteIDs   = flag.String("delete", "", "comma-separated tuple ids deleted before querying (mutable shards)")
@@ -80,7 +81,7 @@ func main() {
 		}
 	}
 
-	r, err := client.Dial(addrs, client.Options{HedgeAfter: *hedge})
+	r, err := client.Dial(addrs, client.Options{HedgeAfter: *hedge, Engine: *engine})
 	if err != nil {
 		fatalf("%v", err)
 	}

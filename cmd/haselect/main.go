@@ -23,6 +23,7 @@ import (
 	"haindex/internal/core"
 	"haindex/internal/dataset"
 	"haindex/internal/hash"
+	"haindex/internal/mih"
 	"haindex/internal/planner"
 	"haindex/internal/radix"
 )
@@ -30,7 +31,8 @@ import (
 func main() {
 	var (
 		data    = flag.String("data", "", "CSV dataset (from hagen); required")
-		method  = flag.String("method", "dha", "index: dha|sha|radix|nl|mh4|mh10|hengine|hmsearch|planner")
+		method  = flag.String("method", "dha", "index: dha|sha|radix|nl|mh4|mh10|hengine|hmsearch|mih|planner")
+		engine  = flag.String("engine", "auto", "with -method planner: auto|ha|mih|scan — force one access path or let the measured cost model choose")
 		h       = flag.Int("h", 3, "Hamming distance threshold")
 		bits    = flag.Int("bits", 32, "binary code length")
 		rows    = flag.String("query-rows", "0", "comma-separated dataset row ids used as queries")
@@ -54,7 +56,7 @@ func main() {
 	codes := hash.HashAll(hf, vecs)
 
 	t0 := time.Now()
-	search, stats, size, batchIdx := buildIndex(*method, codes, *h)
+	search, stats, size, batchIdx := buildIndex(*method, *engine, codes, *h, *seed)
 	fmt.Printf("built %s over %d tuples in %v (%.1f MB)\n",
 		*method, len(codes), time.Since(t0).Round(time.Millisecond), float64(size())/1e6)
 
@@ -71,7 +73,7 @@ func main() {
 		// Batch path: drain every query row through a worker pool of
 		// Searchers over the shared index.
 		if batchIdx == nil {
-			fatalf("-workers requires -method dha or sha")
+			fatalf("-workers requires -method dha, sha, or mih")
 		}
 		queries := make([]bitvec.Code, len(rowIDs))
 		for i, row := range rowIDs {
@@ -109,9 +111,9 @@ func main() {
 }
 
 // buildIndex wires up the requested method behind a common search closure.
-// batchIdx is non-nil for the HA-Index methods, which support the batched
-// Searcher engine.
-func buildIndex(method string, codes []bitvec.Code, h int) (search func(bitvec.Code, int) []int, stats func() string, size func() int, batchIdx core.Index) {
+// batchIdx is non-nil for the methods that support the batched Searcher
+// engine (dha, sha, mih).
+func buildIndex(method, engine string, codes []bitvec.Code, h int, seed int64) (search func(bitvec.Code, int) []int, stats func() string, size func() int, batchIdx core.Index) {
 	noStats := func() string { return "" }
 	switch method {
 	case "dha":
@@ -157,17 +159,56 @@ func buildIndex(method string, codes []bitvec.Code, h int) (search func(bitvec.C
 			fatalf("%v", err)
 		}
 		return idx.Search, noStats, idx.SizeBytes, nil
+	case "mih":
+		m, err := mih.Build(codes, nil, mih.Options{})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		idx := core.AsIndex(m)
+		sr := core.NewSearcher(idx)
+		return func(q bitvec.Code, h int) []int { return sr.SearchAppend(nil, q, h) }, func() string {
+			return fmt.Sprintf(" [%d probes, %d candidates verified]",
+				sr.Stats.NodesVisited, sr.Stats.DistanceComputations)
+		}, m.SizeBytes, idx
 	case "planner":
-		pl := planner.New(codes, nil, core.Options{}, 1)
+		pl, err := planner.Auto(codes, nil, planner.Options{Seed: seed})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		forced, haveForced := planner.Strategy(0), false
+		if engine != "auto" {
+			if forced, err = planner.ParseStrategy(engine); err != nil {
+				fatalf("%v", err)
+			}
+			haveForced = true
+		}
 		var last planner.Plan
 		search := func(q bitvec.Code, h int) []int {
+			if haveForced {
+				out, _ := pl.SelectWith(forced, q, h)
+				last = planner.Plan{Strategy: forced, Reason: "forced by -engine"}
+				return out
+			}
 			var out []int
-			out, last = pl.Select(q, h)
+			out, _, last = pl.Select(q, h)
 			return out
+		}
+		size := func() int {
+			sz := 0
+			eng := pl.Engines()
+			if f, ok := eng.HA.(*core.FrozenIndex); ok {
+				sz += f.SizeBytes()
+			}
+			if eng.MIH != nil {
+				if m, ok := eng.MIH.Engine().(*mih.Index); ok {
+					sz += m.SizeBytes()
+				}
+			}
+			return sz
 		}
 		return search, func() string {
 			return fmt.Sprintf(" [path=%s: %s]", last.Strategy, last.Reason)
-		}, pl.Index().SizeBytes, nil
+		}, size, nil
 	}
 	fatalf("unknown method %q", method)
 	return nil, nil, nil, nil

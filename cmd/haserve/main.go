@@ -15,6 +15,12 @@
 // loopback HTTP endpoint exposing the shard's latency histograms
 // (/debug/obs), recent request traces (/debug/traces), and pprof.
 //
+// -engine picks the search access path for immutable serving: the default
+// "auto" builds the full engine set (HA walk, multi-index hashing, brute
+// scan) and routes each request through the measured cost-based planner;
+// "ha", "mih", or "scan" pin one engine. Clients can override per request
+// with their own -engine hint (protocol v4).
+//
 // With -mutable the snapshot seeds an LSM shard (internal/lsm) instead of
 // an immutable index: the server then also accepts protocol-v3 insert,
 // delete, and seal frames (haquery -insert/-delete/-seal), sealing the
@@ -49,6 +55,7 @@ func main() {
 		idleTO    = flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = 30s, negative disables)")
 		writeTO   = flag.Duration("write-timeout", 0, "per-response write deadline (0 = 30s, negative disables)")
 		frozen    = flag.Bool("frozen", true, "serve the compiled (frozen) index; -frozen=false walks the pointer hierarchy")
+		engine    = flag.String("engine", "auto", "access path for immutable serving: auto (measured cost-based planner), ha, mih, or scan; -mutable always serves the LSM engine")
 
 		mutable     = flag.Bool("mutable", false, "serve a mutable LSM shard seeded from the snapshot; accepts insert/delete/seal")
 		memtableMax = flag.Int("memtable-max", 0, "memtable entries before a background seal (0 = 4096, negative disables)")
@@ -84,6 +91,15 @@ func main() {
 		IdleTimeout:  *idleTO,
 		WriteTimeout: *writeTO,
 		PointerWalk:  !*frozen,
+		Engine:       *engine,
+	}
+	if *mutable {
+		// The LSM shard is its own engine; only the default auto (or an
+		// explicit ha) makes sense here.
+		if *engine != "auto" && *engine != "ha" {
+			fatalf("-engine %s is incompatible with -mutable", *engine)
+		}
+		opts.Engine = ""
 	}
 	var s *server.Server
 	var shard *lsm.Shard

@@ -113,10 +113,16 @@ func ExampleNewPlanner() {
 			codes[i].SetBit(b, v>>uint(7-b)&1 == 1)
 		}
 	}
-	p := haindex.NewPlanner(codes, nil, haindex.IndexOptions{}, 1)
-	// h = L: everything matches, pruning is impossible — after one probe
-	// the planner routes to the scan.
-	p.Select(codes[0], 8)
+	p, err := haindex.NewPlanner(codes, nil, haindex.PlannerOptions{CalibProbes: -1})
+	if err != nil {
+		panic(err)
+	}
+	// Price the engines by hand (calibration was disabled above): at h = L
+	// everything matches and pruning is impossible, so the walk has
+	// collapsed and the scan is cheapest — the planner routes accordingly.
+	p.Observe(haindex.UseHA, 8, 90000)
+	p.Observe(haindex.UseMIH, 8, 40000)
+	p.Observe(haindex.UseScan, 8, 5000)
 	fmt.Println(p.Plan(8).Strategy)
 	// Output: scan
 }

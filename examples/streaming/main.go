@@ -113,7 +113,10 @@ func main() {
 	for _, c := range shadow {
 		finalCodes = append(finalCodes, c)
 	}
-	pl := haindex.NewPlanner(finalCodes, nil, haindex.IndexOptions{}, 1)
+	pl, err := haindex.NewPlanner(finalCodes, nil, haindex.PlannerOptions{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
 	q := finalCodes[0]
 	pl.Select(q, 3)
 	pl.Select(q, 28)

@@ -41,6 +41,7 @@ import (
 	"haindex/internal/hash"
 	"haindex/internal/histo"
 	"haindex/internal/knn"
+	"haindex/internal/mih"
 	"haindex/internal/mrjoin"
 	"haindex/internal/planner"
 	"haindex/internal/radix"
@@ -367,8 +368,8 @@ func PGBJ(r, s []Vec, k int, opt JoinOptions) (*PGBJResult, error) {
 // broadcast in.
 func DecodeIndex(r io.Reader) (*DynamicIndex, error) { return core.DecodeDynamic(r) }
 
-// DecodeAnyIndex reads either index wire format — v1 pointer (DynamicIndex)
-// or v2 frozen (FrozenIndex) — dispatching on the header version.
+// DecodeAnyIndex reads any index wire format — v1 pointer (DynamicIndex),
+// v2 frozen (FrozenIndex), or v3 MIH — dispatching on the header version.
 func DecodeAnyIndex(r io.Reader) (SearchIndex, error) { return core.DecodeIndex(r) }
 
 // DecodeFrozenIndex reads a frozen index previously written with
@@ -435,17 +436,55 @@ func KNNJoinRecall(approx, exact KNNJoinResult) float64 { return knn.JoinRecall(
 
 // ---- Cost-based access-path planning ----
 
-// Planner chooses between H-Search and the linear scan per query based on
-// estimated selectivity and measured per-threshold index cost.
+// Planner routes each query to the cheapest of the HA-Index walk,
+// multi-index hashing, and the linear scan, using a measured per-threshold
+// cost model calibrated at build time and refined online.
 type Planner = planner.Planner
 
 // PlannerPlan is one routing decision with its EXPLAIN fields.
 type PlannerPlan = planner.Plan
 
-// NewPlanner builds a planner (and its HA-Index) over the codes.
-func NewPlanner(codes []Code, ids []int, opts IndexOptions, seed int64) *Planner {
-	return planner.New(codes, ids, opts, seed)
+// PlannerOptions tunes planner calibration and adaptation.
+type PlannerOptions = planner.Options
+
+// PlannerStrategy names a planner access path.
+type PlannerStrategy = planner.Strategy
+
+// The planner's access paths.
+const (
+	UseHA   = planner.UseHA
+	UseMIH  = planner.UseMIH
+	UseScan = planner.UseScan
+)
+
+// NewPlanner builds the full engine set (frozen HA-Index, MIH, scan) over
+// the codes and returns a calibrated planner.
+func NewPlanner(codes []Code, ids []int, opts PlannerOptions) (*Planner, error) {
+	return planner.Auto(codes, ids, opts)
 }
+
+// ---- Multi-index hashing engine ----
+
+// MIHIndex is the frozen multi-index-hashing engine: Norouzi et al.'s exact
+// pigeonhole search in flat-arena form, the co-equal alternative to the
+// HA-Index walk at loose thresholds. Adapt it with MIHSearchIndex to run it
+// under Searcher, SearchBatch, and TopK.
+type MIHIndex = mih.Index
+
+// MIHOptions configures NewMIH; the zero value auto-sizes the blocks.
+type MIHOptions = mih.Options
+
+// NewMIH builds the frozen MIH engine over the codes.
+func NewMIH(codes []Code, ids []int, opts MIHOptions) (*MIHIndex, error) {
+	return mih.Build(codes, ids, opts)
+}
+
+// MIHSearchIndex adapts an MIH engine to the read-only index surface.
+func MIHSearchIndex(m *MIHIndex) SearchIndex { return core.AsIndex(m) }
+
+// DecodeMIH reads an MIH engine previously written with (*MIHIndex).Encode
+// (wire format v3), rejecting other payloads.
+func DecodeMIH(r io.Reader) (*MIHIndex, error) { return mih.Decode(r) }
 
 // ---- Distributed filesystem simulation ----
 

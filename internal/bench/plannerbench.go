@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/core"
+	"haindex/internal/dataset"
+	"haindex/internal/planner"
+)
+
+// PlannerBenchFile is where PlannerBench writes its machine-readable results.
+const PlannerBenchFile = "BENCH_planner.json"
+
+type plannerBenchJSON struct {
+	N       int               `json:"n"`
+	Bits    int               `json:"bits"`
+	Queries int               `json:"queries_per_point"`
+	Rows    []plannerBenchRow `json:"rows"`
+	// CrossoverHAToMIH is the first threshold where MIH beats the HA walk;
+	// CrossoverToScan the first where the brute scan beats both. -1 = never.
+	CrossoverHAToMIH int `json:"crossover_ha_to_mih"`
+	CrossoverToScan  int `json:"crossover_to_scan"`
+	// PlannerHitRate is the fraction of thresholds where the planner picked
+	// the measured-fastest engine or one within 10% of it.
+	PlannerHitRate float64 `json:"planner_hit_rate"`
+	// The acceptance comparison: total time of planner-routed queries vs
+	// the same queries forced through the HA walk, over thresholds >= 8.
+	AutoNsHighH  int64   `json:"auto_ns_high_h"`
+	HANsHighH    int64   `json:"ha_ns_high_h"`
+	SpeedupHighH float64 `json:"auto_vs_ha_speedup_high_h"`
+}
+
+type plannerBenchRow struct {
+	H       int    `json:"h"`
+	HANs    int64  `json:"ha_ns_per_query"`
+	MIHNs   int64  `json:"mih_ns_per_query"`
+	ScanNs  int64  `json:"scan_ns_per_query"`
+	AutoNs  int64  `json:"auto_ns_per_query"`
+	Planned string `json:"planned"`
+	Fastest string `json:"fastest"`
+	Hit     bool   `json:"hit"`
+}
+
+// PlannerBench sweeps the Hamming threshold across the three engines — the
+// HA-Index walk, multi-index hashing, and the brute scan — at 64-bit codes,
+// locating the crossovers the measured cost model must learn, and then runs
+// the same workload through the planner's auto routing. Three claims are
+// checked: the per-threshold winner changes (so no static choice is right),
+// the planner's decision tracks the measured winner, and auto routing beats
+// any-single-engine at the thresholds past the walk's pruning cliff.
+// Results are printed as tables and written to BENCH_planner.json.
+func PlannerBench(sc Scale) ([]Table, error) {
+	return plannerBench(sc, true)
+}
+
+func plannerBench(sc Scale, writeFile bool) ([]Table, error) {
+	// 64-bit codes stretch the threshold axis far enough that all three
+	// regimes (walk, MIH, scan) appear; 32-bit codes hit the scan regime
+	// almost immediately.
+	const bits = 64
+	env, err := NewEnv(dataset.NUSWide, sc.SelectN, bits, sc.Queries, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(sc.Seed + 17))
+	nq := sc.Queries
+	if nq < 5 {
+		nq = 5
+	}
+	queries := make([]bitvec.Code, nq)
+	for i := range queries {
+		c := env.Codes[rng.Intn(len(env.Codes))].Clone()
+		for f := 0; f < 2; f++ {
+			c.FlipBit(rng.Intn(bits))
+		}
+		queries[i] = c
+	}
+
+	pl, err := planner.Auto(env.Codes, nil, planner.Options{Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	// Dedicated searchers for the forced sweeps, so the engine baselines
+	// are measured outside the planner's observation loop.
+	srHA := core.NewSearcher(pl.Engines().HA)
+	srMIH := core.NewSearcher(pl.Engines().MIH)
+	scanCodes := pl.Engines().Codes
+
+	var thresholds []int
+	for _, h := range []int{0, 1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 32} {
+		if h <= bits {
+			thresholds = append(thresholds, h)
+		}
+	}
+
+	rec := plannerBenchJSON{
+		N:                len(env.Codes),
+		Bits:             bits,
+		Queries:          nq,
+		CrossoverHAToMIH: -1,
+		CrossoverToScan:  -1,
+	}
+	names := map[planner.Strategy]string{
+		planner.UseHA:   "ha",
+		planner.UseMIH:  "mih",
+		planner.UseScan: "scan",
+	}
+	hits := 0
+	for _, h := range thresholds {
+		haNs := timeQueries(queries, func(q bitvec.Code) { srHA.Search(q, h) }).Nanoseconds()
+		mihNs := timeQueries(queries, func(q bitvec.Code) { srMIH.Search(q, h) }).Nanoseconds()
+		scanNs := timeQueries(queries, func(q bitvec.Code) {
+			for _, c := range scanCodes {
+				q.DistanceWithin(c, h)
+			}
+		}).Nanoseconds()
+
+		// The planner's decision for this threshold, before the auto run.
+		plan := pl.Plan(h)
+		planned := names[plan.Strategy]
+
+		// The same workload through auto routing: every query planned,
+		// executed, and observed back into the cost model.
+		autoNs := timeQueries(queries, func(q bitvec.Code) { pl.Select(q, h) }).Nanoseconds()
+
+		fastest, fastestNs := "ha", haNs
+		if mihNs < fastestNs {
+			fastest, fastestNs = "mih", mihNs
+		}
+		if scanNs < fastestNs {
+			fastest, fastestNs = "scan", scanNs
+		}
+		byName := map[string]int64{"ha": haNs, "mih": mihNs, "scan": scanNs}
+		hit := float64(byName[planned]) <= 1.1*float64(fastestNs)
+		if hit {
+			hits++
+		}
+		if rec.CrossoverHAToMIH < 0 && mihNs < haNs {
+			rec.CrossoverHAToMIH = h
+		}
+		if rec.CrossoverToScan < 0 && scanNs < haNs && scanNs < mihNs {
+			rec.CrossoverToScan = h
+		}
+		if h >= 8 {
+			rec.AutoNsHighH += autoNs * int64(nq)
+			rec.HANsHighH += haNs * int64(nq)
+		}
+		rec.Rows = append(rec.Rows, plannerBenchRow{
+			H: h, HANs: haNs, MIHNs: mihNs, ScanNs: scanNs, AutoNs: autoNs,
+			Planned: planned, Fastest: fastest, Hit: hit,
+		})
+	}
+	rec.PlannerHitRate = float64(hits) / float64(len(thresholds))
+	if rec.AutoNsHighH > 0 {
+		rec.SpeedupHighH = float64(rec.HANsHighH) / float64(rec.AutoNsHighH)
+	}
+
+	t := Table{
+		Title: "Planner: threshold sweep across engines, and auto routing",
+		Note: fmt.Sprintf("%s, n=%d, L=%d bits, %d queries per point; cells are µs/query; hit = planner pick within 10%% of fastest",
+			env.Profile.Name, len(env.Codes), bits, nq),
+		Header: []string{"h", "ha (walk)", "mih", "scan", "auto", "planned", "fastest", "hit"},
+	}
+	us := func(ns int64) string { return fmt.Sprintf("%.1f", float64(ns)/1e3) }
+	for _, r := range rec.Rows {
+		hit := "no"
+		if r.Hit {
+			hit = "yes"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.H), us(r.HANs), us(r.MIHNs), us(r.ScanNs), us(r.AutoNs),
+			r.Planned, r.Fastest, hit,
+		})
+	}
+	st := Table{
+		Title:  "Planner: crossovers and routing quality",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"crossover ha->mih (h)", crossStr(rec.CrossoverHAToMIH)},
+			{"crossover ->scan (h)", crossStr(rec.CrossoverToScan)},
+			{"planner hit rate", fmt.Sprintf("%.0f%%", 100*rec.PlannerHitRate)},
+			{"auto vs forced-ha speedup (h>=8)", fmt.Sprintf("%.2fx", rec.SpeedupHighH)},
+		},
+	}
+
+	if writeFile {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("bench: encoding %s: %w", PlannerBenchFile, err)
+		}
+		if err := os.WriteFile(PlannerBenchFile, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("bench: writing %s: %w", PlannerBenchFile, err)
+		}
+	}
+	return []Table{t, st}, nil
+}
+
+func crossStr(h int) string {
+	if h < 0 {
+		return "never"
+	}
+	return fmt.Sprintf("%d", h)
+}

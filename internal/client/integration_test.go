@@ -38,6 +38,13 @@ type deployment struct {
 // replica 0 of shard 0 gets faults[0] etc.
 func buildDeployment(t *testing.T, rng *rand.Rand, n, bits, parts int, replicas map[int][]*server.FaultPlan) *deployment {
 	t.Helper()
+	return buildDeploymentEngine(t, rng, n, bits, parts, replicas, "")
+}
+
+// buildDeploymentEngine is buildDeployment with the servers' Options.Engine
+// set, for the multi-engine serving tests.
+func buildDeploymentEngine(t *testing.T, rng *rand.Rand, n, bits, parts int, replicas map[int][]*server.FaultPlan, engine string) *deployment {
+	t.Helper()
 	// All codes share the base's first 8 bits, so the dataset occupies one
 	// narrow Gray region: interior partitions then share long rank
 	// prefixes and far-off queries are provably prunable.
@@ -89,7 +96,7 @@ func buildDeployment(t *testing.T, rng *rand.Rand, n, bits, parts int, replicas 
 			if rep < len(plans) {
 				plan = plans[rep]
 			}
-			s, err := server.LoadSnapshotFile(path, server.Options{Searchers: 2, Faults: plan})
+			s, err := server.LoadSnapshotFile(path, server.Options{Searchers: 2, Faults: plan, Engine: engine})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -382,4 +389,69 @@ func equalInts(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+// TestRouterEnginesMatchOracle is the multi-engine acceptance test: one
+// deployment with every shard serving -engine auto, queried through the
+// planner's choice and through each forced engine in turn — every routing
+// must return exactly the single-index oracle's ids. The per-engine
+// decision counters and latency histograms must surface at /debug/obs.
+func TestRouterEnginesMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	const bits, parts, h = 32, 3, 4
+	d := buildDeploymentEngine(t, rng, 1500, bits, parts, nil, "auto")
+	queries := d.queries(rng, 40, bits, h)
+	want := make([][]int, len(queries))
+	for i, q := range queries {
+		want[i] = append([]int(nil), d.oracle.Search(q, h)...)
+		sort.Ints(want[i])
+		if len(want[i]) == 0 {
+			want[i] = nil
+		}
+	}
+	for _, engine := range []string{"auto", "ha", "mih", "scan"} {
+		r, err := Dial(d.addrs, Options{Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.SearchBatch(queries, h)
+		r.Close()
+		if err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		for i := range queries {
+			if !equalInts(got[i], want[i]) {
+				t.Fatalf("engine %s query %d: router %v, oracle %v", engine, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Unknown engine names are rejected at Dial.
+	if _, err := Dial(d.addrs, Options{Engine: "warp"}); err == nil {
+		t.Fatal("bad engine name accepted")
+	}
+
+	// Every server routed requests; the strategy counters and per-engine
+	// latency histograms must be populated across the deployment.
+	var routed int64
+	engineSamples := map[string]int64{}
+	for _, s := range d.servers {
+		a, err := s.StartDebug("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := fetchObs(t, a)
+		for _, name := range []string{"ha", "mih", "scan"} {
+			routed += snap.Counters["planner."+name]
+			engineSamples[name] += snap.Histograms["engine."+name+"_ns"].Count
+		}
+	}
+	if routed == 0 {
+		t.Fatal("no planner decisions counted across the deployment")
+	}
+	for _, name := range []string{"ha", "mih", "scan"} {
+		if engineSamples[name] == 0 {
+			t.Fatalf("engine.%s_ns histograms empty across the deployment", name)
+		}
+	}
 }

@@ -50,6 +50,14 @@ type Options struct {
 	// (0 = 30s).
 	Timeout time.Duration
 
+	// Engine is the access-path hint attached to every search request: ""
+	// or "auto" lets each shard route (its planner or configured mode);
+	// "ha", "mih", or "scan" forces that engine on every shard. Forcing
+	// requires every shard to speak protocol version 4, and the named
+	// engine to be enabled server-side — Dial and the shards enforce the
+	// two halves respectively.
+	Engine string
+
 	// Obs, when set, is the registry the router hangs its counters and
 	// per-attempt latency histograms on; nil gives the router a private one
 	// (reachable via Router.Obs).
@@ -120,6 +128,7 @@ type Snapshot struct {
 // concurrent use.
 type Router struct {
 	opts   Options
+	engine int // wire engine hint attached to every SearchReq
 	length int
 	pivots []bitvec.Code
 	ranges *histo.Ranges
@@ -183,8 +192,13 @@ func Dial(shardAddrs [][]string, opts Options) (*Router, error) {
 	if len(shardAddrs) == 0 {
 		return nil, fmt.Errorf("client: no shards")
 	}
+	engine, err := wire.ParseEngine(opts.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
 	r := &Router{
 		opts:       opts,
+		engine:     engine,
 		shards:     make([]*shard, len(shardAddrs)),
 		reg:        opts.Obs,
 		tracer:     obs.NewTracer(opts.TraceCapacity),
@@ -223,6 +237,10 @@ func Dial(shardAddrs [][]string, opts Options) (*Router, error) {
 		}
 		if err != nil {
 			return nil, fmt.Errorf("client: shard %d unreachable: %w", i, err)
+		}
+		if engine != wire.EngineAuto && hello.Version < 4 {
+			return nil, fmt.Errorf("client: engine %s needs protocol version 4, shard %d negotiated %d",
+				wire.EngineName(engine), i, hello.Version)
 		}
 		if hello.Parts != len(shardAddrs) {
 			return nil, fmt.Errorf("client: shard %d says the deployment has %d partitions, but %d shards were given",
@@ -365,7 +383,7 @@ func (r *Router) SearchBatch(queries []bitvec.Code, h int) ([][]int, error) {
 			}
 			shardSpan := tr.Start(fmt.Sprintf("shard%02d (%d queries)", sh.part, len(sub)), 0)
 			defer tr.End(shardSpan)
-			respType, payload, err := r.do(sh, wire.MsgSearch, wire.SearchReq{H: h, Queries: sub}.Append(nil), tr, shardSpan)
+			respType, payload, err := r.do(sh, wire.MsgSearch, wire.SearchReq{H: h, Engine: r.engine, Queries: sub}.Append(nil), tr, shardSpan)
 			if err == nil && respType != wire.MsgSearchOK {
 				err = fmt.Errorf("client: shard %d answered %s", sh.part, respType)
 			}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"haindex/internal/bitvec"
+)
+
+// Engine is the surface an external search engine implements to plug into
+// the core query machinery. The Index interface itself is sealed (its
+// searchWith method is unexported so the walk internals stay private), so
+// engines living outside this package — multi-index hashing, future
+// LSH-style backends — implement Engine instead and are adapted with
+// AsIndex. The adapted index runs under Searcher, SearchBatch,
+// SearchCodesBatch, and the generic radius-escalating TopK unchanged.
+type Engine interface {
+	// Length returns the code length L in bits.
+	Length() int
+	// Len returns the number of indexed tuples.
+	Len() int
+	// NewScratch returns a fresh per-searcher scratch. Each Searcher bound
+	// to the adapted index creates exactly one scratch lazily and reuses it,
+	// mirroring the Searcher-as-unit-of-concurrency contract: scratches are
+	// never shared across goroutines, the engine itself is read-only.
+	NewScratch() EngineScratch
+}
+
+// EngineScratch is one searcher's mutable state over an Engine.
+type EngineScratch interface {
+	// Search runs one Hamming-select: emit receives every qualifying
+	// distinct code once, with its tuple ids. The slices passed to emit may
+	// alias the engine's arenas and must not be retained or mutated. Work
+	// done is accumulated into stats.
+	Search(q bitvec.Code, h int, stats *SearchStats, emit func(ids []int, code bitvec.Code))
+}
+
+// EngineIndex adapts an Engine to the sealed Index interface. Create with
+// AsIndex. The wrapper routes the engine's emit callback through per-Searcher
+// persistent state, so steady-state search over an adapted engine stays
+// allocation-free when the engine's own scratch is.
+type EngineIndex struct {
+	eng Engine
+}
+
+// AsIndex wraps an external engine as a core.Index.
+func AsIndex(e Engine) *EngineIndex { return &EngineIndex{eng: e} }
+
+// Engine returns the wrapped engine (e.g. for codec type switches).
+func (x *EngineIndex) Engine() Engine { return x.eng }
+
+// Length returns the code length L in bits.
+func (x *EngineIndex) Length() int { return x.eng.Length() }
+
+// Len returns the number of indexed tuples.
+func (x *EngineIndex) Len() int { return x.eng.Len() }
+
+// searchWith implements Index: the engine's qualifying groups are forwarded
+// through the searcher's reusable leafGroup shim, so the existing emit
+// closures (ids and codes alike) work unchanged. emitOne is never invoked —
+// an engine has no unflushed insert buffer.
+func (x *EngineIndex) searchWith(sr *Searcher, q bitvec.Code, h int, emitGroup func(*leafGroup), emitOne func(int, bitvec.Code)) {
+	if sr.xscratch == nil {
+		sr.xscratch = x.eng.NewScratch()
+	}
+	sr.xtarget = emitGroup
+	sr.xscratch.Search(q, h, &sr.Stats, sr.xemit)
+	sr.xtarget = nil
+}

@@ -79,6 +79,15 @@ type Searcher struct {
 	emitOneID  func(int, bitvec.Code)
 	emitGCode  func(*leafGroup)
 	emitOneCod func(int, bitvec.Code)
+
+	// External-engine scratch (EngineIndex): the engine's per-searcher state,
+	// a reusable leafGroup shim, and the persistent emit bridge that forwards
+	// the engine's (ids, code) pairs to whichever group sink the current call
+	// installed in xtarget.
+	xscratch EngineScratch
+	xgroup   leafGroup
+	xtarget  func(*leafGroup)
+	xemit    func(ids []int, code bitvec.Code)
 }
 
 // sframe is one frame of the Static index's iterative depth-first walk: the
@@ -97,6 +106,11 @@ func NewSearcher(idx Index) *Searcher {
 	sr.emitOneID = func(id int, c bitvec.Code) { sr.ids = append(sr.ids, id) }
 	sr.emitGCode = func(g *leafGroup) { sr.codes = append(sr.codes, g.code) }
 	sr.emitOneCod = func(id int, c bitvec.Code) { sr.codes = append(sr.codes, c) }
+	sr.xemit = func(ids []int, c bitvec.Code) {
+		sr.xgroup.code = c
+		sr.xgroup.ids = ids
+		sr.xtarget(&sr.xgroup)
+	}
 	return sr
 }
 

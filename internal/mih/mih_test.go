@@ -1,0 +1,296 @@
+package mih
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/core"
+)
+
+// clusteredCodes produces codes with heavy sharing, like hashed real data.
+func clusteredCodes(rng *rand.Rand, n, bitsLen, clusters, flips int) []bitvec.Code {
+	out := make([]bitvec.Code, 0, n)
+	for len(out) < n {
+		center := bitvec.Rand(rng, bitsLen)
+		for i := 0; i < n/clusters+1 && len(out) < n; i++ {
+			c := center.Clone()
+			for f := 0; f < flips; f++ {
+				c.FlipBit(rng.Intn(bitsLen))
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func uniformCodes(rng *rand.Rand, n, bitsLen int) []bitvec.Code {
+	out := make([]bitvec.Code, n)
+	for i := range out {
+		out[i] = bitvec.Rand(rng, bitsLen)
+	}
+	return out
+}
+
+// oracle is the nested-loop scan every engine must agree with.
+func oracle(codes []bitvec.Code, q bitvec.Code, h int) []int {
+	var out []int
+	for i, c := range codes {
+		if _, ok := q.DistanceWithin(c, h); ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sortedCopy(s []int) []int {
+	out := append([]int(nil), s...)
+	sort.Ints(out)
+	return out
+}
+
+func equalIDs(a, b []int) bool {
+	a, b = sortedCopy(a), sortedCopy(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSearchMatchesOracle is the exactness property test: frozen MIH search
+// equals the brute-force scan across code widths, thresholds 0..10, both
+// code distributions, and several block/matched configurations. Run under
+// -race by make test-race.
+func TestSearchMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, bitsLen := range []int{32, 64, 128} {
+		for _, clustered := range []bool{true, false} {
+			var codes []bitvec.Code
+			if clustered {
+				codes = clusteredCodes(rng, 250, bitsLen, 8, 3)
+			} else {
+				codes = uniformCodes(rng, 250, bitsLen)
+			}
+			for _, opts := range []Options{{}, {Blocks: 4}, {Blocks: 5, Matched: 2}} {
+				m, err := Build(codes, nil, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sr := core.NewSearcher(core.AsIndex(m))
+				for qi := 0; qi < 15; qi++ {
+					q := codes[rng.Intn(len(codes))].Clone()
+					for f := 0; f < rng.Intn(5); f++ {
+						q.FlipBit(rng.Intn(bitsLen))
+					}
+					for h := 0; h <= 10; h++ {
+						want := oracle(codes, q, h)
+						if got := sortedCopy(sr.Search(q, h)); !equalIDs(got, want) {
+							t.Fatalf("bits=%d clustered=%v opts=%+v h=%d: got %d ids, want %d",
+								bitsLen, clustered, opts, h, len(got), len(want))
+						}
+						if got := sortedCopy(m.Search(q, h)); !equalIDs(got, want) {
+							t.Fatalf("bits=%d direct search h=%d: got %d ids, want %d", bitsLen, h, len(got), len(want))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearchZeroAlloc pins the steady-state allocation-free property: after
+// the first search warms the scratch, neither tight nor loose thresholds
+// may allocate (the hoisted combination enumerator and epoch table at work).
+func TestSearchZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	codes := clusteredCodes(rng, 800, 64, 10, 3)
+	m, err := Build(codes, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := core.NewSearcher(core.AsIndex(m))
+	q := codes[17]
+	for _, h := range []int{2, 10, 24} {
+		sr.Search(q, h) // warm the scratch and result buffers
+		if allocs := testing.AllocsPerRun(200, func() { sr.Search(q, h) }); allocs != 0 {
+			t.Fatalf("h=%d: %.1f allocs per search, want 0", h, allocs)
+		}
+	}
+}
+
+// TestTopKThroughAdapter: the generic radius-escalating TopK must work over
+// the adapted engine and agree with distances computed by hand.
+func TestTopKThroughAdapter(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	codes := uniformCodes(rng, 300, 64)
+	m, err := Build(codes, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := core.NewSearcher(core.AsIndex(m))
+	q := bitvec.Rand(rng, 64)
+	ids, gotDists := sr.TopK(q, 10)
+	if len(ids) != 10 || len(gotDists) != 10 {
+		t.Fatalf("TopK returned %d ids, %d dists, want 10", len(ids), len(gotDists))
+	}
+	dists := make([]int, len(codes))
+	for i, c := range codes {
+		dists[i] = q.Distance(c)
+	}
+	sort.Ints(dists)
+	for i := range ids {
+		if gotDists[i] != dists[i] {
+			t.Fatalf("TopK[%d] distance %d, want %d", i, gotDists[i], dists[i])
+		}
+		if d := q.Distance(codes[ids[i]]); d != gotDists[i] {
+			t.Fatalf("TopK[%d] id %d is at distance %d, reported %d", i, ids[i], d, gotDists[i])
+		}
+	}
+}
+
+// TestSearchBatchConcurrent: the engine must serve concurrent batch searches
+// through the adapter (exercised under -race by make test-race).
+func TestSearchBatchConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	codes := clusteredCodes(rng, 600, 64, 8, 3)
+	m, err := Build(codes, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]bitvec.Code, 40)
+	for i := range queries {
+		queries[i] = codes[rng.Intn(len(codes))]
+	}
+	got, _ := core.SearchBatch(core.AsIndex(m), queries, 6, 4)
+	for i, q := range queries {
+		if want := oracle(codes, q, 6); !equalIDs(got[i], want) {
+			t.Fatalf("query %d: batch got %d ids, want %d", i, len(got[i]), len(want))
+		}
+	}
+}
+
+// TestDuplicateCodesShareGroup: repeated codes collapse into one group whose
+// id table carries every tuple.
+func TestDuplicateCodesShareGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := bitvec.Rand(rng, 32)
+	codes := []bitvec.Code{base, base.Clone(), bitvec.Rand(rng, 32), base.Clone()}
+	ids := []int{10, 20, 30, 40}
+	m, err := Build(codes, ids, Options{Blocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GroupCount() > 3 {
+		t.Fatalf("GroupCount=%d, duplicates not collapsed", m.GroupCount())
+	}
+	if got := sortedCopy(m.Search(base, 0)); !equalIDs(got, []int{10, 20, 40}) {
+		t.Fatalf("exact search over duplicates returned %v", got)
+	}
+}
+
+// TestFromTuples builds from a frozen HA-Index's tuple stream and must agree
+// with building from the raw codes.
+func TestFromTuples(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	codes := clusteredCodes(rng, 400, 64, 6, 3)
+	ids := make([]int, len(codes))
+	for i := range ids {
+		ids[i] = i * 3
+	}
+	frozen := core.Freeze(core.BuildDynamic(codes, ids, core.Options{}))
+	m, err := FromTuples(frozen, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != len(codes) || m.Length() != 64 {
+		t.Fatalf("FromTuples: n=%d length=%d", m.Len(), m.Length())
+	}
+	q := codes[7]
+	want := make([]int, 0)
+	for i, c := range codes {
+		if _, ok := q.DistanceWithin(c, 5); ok {
+			want = append(want, ids[i])
+		}
+	}
+	if got := sortedCopy(m.Search(q, 5)); !equalIDs(got, want) {
+		t.Fatalf("FromTuples search: got %v want %v", got, want)
+	}
+}
+
+// TestBuildValidation: the constructor rejects inconsistent inputs and
+// overwide keys.
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	codes := uniformCodes(rng, 10, 128)
+	if _, err := Build(nil, nil, Options{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	if _, err := Build(codes, []int{1}, Options{}); err == nil {
+		t.Fatal("mismatched id count accepted")
+	}
+	if _, err := Build(codes, nil, Options{Blocks: 1}); err == nil {
+		t.Fatal("128-bit single-block key accepted (exceeds 64-bit keys)")
+	}
+	if _, err := Build(codes, nil, Options{Blocks: 2, Matched: 3}); err == nil {
+		t.Fatal("matched > blocks accepted")
+	}
+	mixed := []bitvec.Code{bitvec.Rand(rng, 32), bitvec.Rand(rng, 64)}
+	if _, err := Build(mixed, nil, Options{Blocks: 4}); err == nil {
+		t.Fatal("mixed code lengths accepted")
+	}
+}
+
+// TestAutoBlocks: the default configuration keeps key widths near log2(n)
+// and always within a uint64.
+func TestAutoBlocks(t *testing.T) {
+	for _, tc := range []struct{ length, n int }{
+		{32, 100}, {64, 1000}, {64, 100000}, {128, 20000}, {256, 500}, {16, 10},
+	} {
+		b := autoBlocks(tc.length, tc.n, 1)
+		m, err := newIndex(tc.length, b, 1)
+		if err != nil {
+			t.Fatalf("L=%d n=%d: auto blocks %d rejected: %v", tc.length, tc.n, b, err)
+		}
+		for _, w := range m.widths {
+			if w > 64 {
+				t.Fatalf("L=%d n=%d blocks=%d: table width %d", tc.length, tc.n, b, w)
+			}
+		}
+	}
+}
+
+// TestRadius: the pigeonhole probe radius matches floor(matched·h/blocks).
+func TestRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, err := Build(uniformCodes(rng, 50, 64), nil, Options{Blocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h, want := range map[int]int{0: 0, 3: 0, 4: 1, 7: 1, 8: 2, 16: 4} {
+		if got := m.Radius(h); got != want {
+			t.Fatalf("Radius(%d)=%d, want %d", h, got, want)
+		}
+	}
+}
+
+// TestSizeBytes grows with the dataset; sanity for the bench size row.
+func TestSizeBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	small, err := Build(uniformCodes(rng, 100, 64), nil, Options{Blocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Build(uniformCodes(rng, 2000, 64), nil, Options{Blocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.SizeBytes() <= 0 || large.SizeBytes() <= small.SizeBytes() {
+		t.Fatalf("SizeBytes: small=%d large=%d", small.SizeBytes(), large.SizeBytes())
+	}
+}

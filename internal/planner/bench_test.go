@@ -3,14 +3,15 @@ package planner
 import (
 	"math/rand"
 	"testing"
-
-	"haindex/internal/core"
 )
 
 func BenchmarkPlannedSelect(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	codes := clustered(rng, 20000, 32, 16, 3)
-	p := New(codes, nil, core.Options{}, 1)
+	p, err := Auto(codes, nil, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, h := range []int{3, 28} {
 		b.Run(map[int]string{3: "tight", 28: "loose"}[h], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -39,77 +40,205 @@ func equalIDs(a, b []int) bool {
 	return true
 }
 
-// TestCorrectEitherPath: whatever path the planner picks, results match the
-// oracle.
-func TestCorrectEitherPath(t *testing.T) {
+func autoPlanner(t testing.TB, codes []bitvec.Code, opts Options) *Planner {
+	t.Helper()
+	p, err := Auto(codes, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCorrectEveryPath: whatever path the planner picks — and each path when
+// forced — results match the oracle.
+func TestCorrectEveryPath(t *testing.T) {
 	rng := rand.New(rand.NewSource(201))
 	codes := clustered(rng, 1000, 32, 8, 3)
-	p := New(codes, nil, core.Options{}, 1)
+	p := autoPlanner(t, codes, Options{Seed: 1})
 	for trial := 0; trial < 40; trial++ {
 		q := codes[rng.Intn(len(codes))].Clone()
 		q.FlipBit(rng.Intn(32))
 		h := []int{1, 3, 8, 16, 31}[trial%5]
-		got, _ := p.Select(q, h)
 		var want []int
 		for i, c := range codes {
 			if q.Distance(c) <= h {
 				want = append(want, i)
 			}
 		}
+		got, _, pl := p.Select(q, h)
 		if !equalIDs(got, want) {
-			t.Fatalf("h=%d mismatch", h)
+			t.Fatalf("h=%d strategy=%s mismatch", h, pl.Strategy)
+		}
+		for s := Strategy(0); s < numStrategies; s++ {
+			forced, stats := p.SelectWith(s, q, h)
+			if !equalIDs(forced, want) {
+				t.Fatalf("h=%d forced %s mismatch", h, s)
+			}
+			if stats.DistanceComputations == 0 && len(want) > 0 {
+				t.Fatalf("h=%d forced %s reported no work", h, s)
+			}
 		}
 	}
 }
 
-// TestRegimeSwitch: tight thresholds stay on the index; loose thresholds
-// converge to the scan.
-func TestRegimeSwitch(t *testing.T) {
+// TestCalibrationFillsModel: after New every cell of every available engine
+// is measured, so the first real query at any threshold has a full model.
+func TestCalibrationFillsModel(t *testing.T) {
 	rng := rand.New(rand.NewSource(202))
-	codes := clustered(rng, 3000, 32, 12, 3)
-	p := New(codes, nil, core.Options{}, 1)
-	q := codes[0]
-	// Warm both thresholds.
-	for i := 0; i < 5; i++ {
-		p.Select(q, 2)
-		p.Select(q, 30)
-	}
-	if pl := p.Plan(2); pl.Strategy != UseIndex {
-		t.Errorf("tight threshold should use the index: %+v", pl)
-	}
-	if pl := p.Plan(30); pl.Strategy != UseScan {
-		t.Errorf("loose threshold should use the scan: %+v", pl)
+	codes := clustered(rng, 600, 32, 8, 3)
+	p := autoPlanner(t, codes, Options{Seed: 2})
+	for s := Strategy(0); s < numStrategies; s++ {
+		if !p.Available(s) {
+			t.Fatalf("%s unavailable in Auto planner", s)
+		}
+		for h := 0; h <= 32; h++ {
+			if p.CostNs(s, h) <= 0 {
+				t.Fatalf("%s cost unmeasured at h=%d after calibration", s, h)
+			}
+		}
 	}
 }
 
-// TestReprobe: after enough scan-routed queries the planner probes the
-// index again.
-func TestReprobe(t *testing.T) {
+// TestObserveRefinesCell: the EWMA pulls a cell toward new observations.
+func TestObserveRefinesCell(t *testing.T) {
 	rng := rand.New(rand.NewSource(203))
-	codes := clustered(rng, 800, 32, 6, 3)
-	p := New(codes, nil, core.Options{}, 1)
-	h := 30
-	p.Select(codes[0], h) // measure once: expensive -> scan from now on
-	if p.Plan(h).Strategy != UseScan {
-		t.Skip("index unexpectedly cheap at loose threshold")
+	codes := clustered(rng, 300, 32, 4, 2)
+	p := autoPlanner(t, codes, Options{Seed: 3})
+	before := p.CostNs(UseHA, 5)
+	target := before * 100
+	for i := 0; i < 50; i++ {
+		p.Observe(UseHA, 5, target)
 	}
-	probes := 0
-	for i := 0; i < 3*reprobeEvery+3; i++ {
-		pl := p.Plan(h)
-		if pl.Strategy == UseIndex {
-			probes++
+	after := p.CostNs(UseHA, 5)
+	if math.Abs(after-target) > target/10 {
+		t.Fatalf("EWMA did not converge: before=%.0f after=%.0f target=%.0f", before, after, target)
+	}
+	// Unrelated cells stay put.
+	if p.CostNs(UseHA, 20) <= 0 {
+		t.Fatal("neighboring cell lost its measurement")
+	}
+}
+
+// TestPlanFollowsCosts: with the model pinned by hand, Plan picks the
+// cheapest engine and explores the runner-up on schedule.
+func TestPlanFollowsCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	codes := clustered(rng, 300, 32, 4, 2)
+	p := autoPlanner(t, codes, Options{Seed: 4, ExploreEvery: 8, Alpha: 0.9})
+	// Hammer the cells until mih is clearly cheapest at h=6, with the
+	// runner-up (ha) close enough to stay worth exploring.
+	for i := 0; i < 40; i++ {
+		p.Observe(UseHA, 6, 500)
+		p.Observe(UseMIH, 6, 100)
+		p.Observe(UseScan, 6, 9000)
+	}
+	counts := map[Strategy]int{}
+	explores := 0
+	for i := 0; i < 64; i++ {
+		pl := p.Plan(6)
+		counts[pl.Strategy]++
+		if pl.Explore {
+			explores++
+			if pl.Strategy == UseMIH {
+				t.Fatal("exploration picked the best engine, not the runner-up")
+			}
 		}
-		p.Select(codes[i%len(codes)], h)
 	}
-	if probes == 0 {
-		t.Fatal("planner never re-probed the index")
+	if counts[UseMIH] < 48 {
+		t.Fatalf("cheapest engine chosen only %d/64 times", counts[UseMIH])
+	}
+	if explores == 0 {
+		t.Fatal("planner never explored the runner-up")
+	}
+}
+
+// TestExploreCostCap: a runner-up modeled far beyond the winner is never
+// probed — exploration must not charge a pathological engine's full cost
+// to a live query.
+func TestExploreCostCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(208))
+	codes := clustered(rng, 300, 32, 4, 2)
+	p := autoPlanner(t, codes, Options{Seed: 7, ExploreEvery: 4, Alpha: 0.9})
+	for i := 0; i < 40; i++ {
+		p.Observe(UseHA, 8, 100)
+		p.Observe(UseMIH, 8, 100*exploreCostCap*10) // hopeless runner-up
+		p.Observe(UseScan, 8, 100*exploreCostCap*20)
+	}
+	for i := 0; i < 64; i++ {
+		if pl := p.Plan(8); pl.Strategy != UseHA {
+			t.Fatalf("decision %d routed to %s (explore=%v) despite a %.0fx cost gap",
+				i, pl.Strategy, pl.Explore, exploreCostCap*10)
+		}
+	}
+}
+
+// TestRegimeSwitch: on clustered data the measured model keeps tight
+// thresholds off the scan, and at the full code width the walk has
+// collapsed, so the planner should have moved off it — the crossover the
+// multi-engine design exists to exploit.
+func TestRegimeSwitch(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	codes := clustered(rng, 3000, 32, 12, 3)
+	p := autoPlanner(t, codes, Options{Seed: 5, CalibProbes: 4})
+	// Refine with real executions at both extremes.
+	for i := 0; i < 12; i++ {
+		q := codes[rng.Intn(len(codes))]
+		for _, h := range []int{2, 30} {
+			pl := p.Plan(h)
+			p.SelectWith(pl.Strategy, q, h)
+		}
+	}
+	if pl := p.Plan(2); pl.Strategy == UseScan && !pl.Explore {
+		t.Errorf("tight threshold routed to the scan: %+v", pl)
+	}
+}
+
+// TestUncalibratedProbesFirst: with calibration disabled, unmeasured cells
+// are probed before any cost comparison.
+func TestUncalibratedProbesFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(206))
+	codes := clustered(rng, 200, 32, 4, 2)
+	p := autoPlanner(t, codes, Options{Seed: 6, CalibProbes: -1})
+	pl := p.Plan(4)
+	if pl.CostNs[pl.Strategy] != 0 {
+		t.Fatalf("uncalibrated planner claims a measured cost: %+v", pl)
+	}
+	if !strings.Contains(pl.Reason, "unmeasured") {
+		t.Fatalf("reason should mention the unmeasured probe: %q", pl.Reason)
+	}
+	// Pricing every engine once ends the probing phase.
+	q := codes[0]
+	for s := Strategy(0); s < numStrategies; s++ {
+		p.SelectWith(s, q, 4)
+	}
+	if pl := p.Plan(4); pl.CostNs[pl.Strategy] == 0 {
+		t.Fatal("cells still unmeasured after forced probes")
+	}
+}
+
+// TestHAOnlyPlanner: with no MIH and no codes, every plan stays on HA.
+func TestHAOnlyPlanner(t *testing.T) {
+	rng := rand.New(rand.NewSource(207))
+	codes := clustered(rng, 200, 32, 4, 2)
+	idx := core.Freeze(core.BuildDynamic(codes, nil, core.Options{}))
+	p, err := New(Engines{HA: idx}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Available(UseMIH) || p.Available(UseScan) {
+		t.Fatal("engines available without backing state")
+	}
+	for _, h := range []int{0, 4, 31} {
+		if pl := p.Plan(h); pl.Strategy != UseHA {
+			t.Fatalf("h=%d routed to %s without the engine", h, pl.Strategy)
+		}
 	}
 }
 
 func TestSelectivityMonotone(t *testing.T) {
-	rng := rand.New(rand.NewSource(204))
+	rng := rand.New(rand.NewSource(208))
 	codes := clustered(rng, 500, 24, 4, 2)
-	p := New(codes, nil, core.Options{}, 1)
+	p := autoPlanner(t, codes, Options{Seed: 7})
 	prev := 0.0
 	for h := 0; h <= 24; h++ {
 		s := p.Selectivity(h)
@@ -128,30 +257,52 @@ func TestSelectivityMonotone(t *testing.T) {
 }
 
 func TestExplain(t *testing.T) {
-	rng := rand.New(rand.NewSource(205))
+	rng := rand.New(rand.NewSource(209))
 	codes := clustered(rng, 300, 32, 4, 2)
-	p := New(codes, nil, core.Options{}, 1)
+	p := autoPlanner(t, codes, Options{Seed: 8})
 	out := p.Explain(3)
-	for _, want := range []string{"h=3", "scan cost", "index cost", "->"} {
+	for _, want := range []string{"h=3", "ha", "mih", "scan", "measured EWMA", "->"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("explain missing %q:\n%s", want, out)
 		}
 	}
-	p.Select(codes[0], 3)
-	out = p.Explain(3)
-	if !strings.Contains(out, "measured EWMA") {
-		t.Errorf("explain after probe should show measured cost:\n%s", out)
+}
+
+func TestParseStrategy(t *testing.T) {
+	for name, want := range map[string]Strategy{"ha": UseHA, "ha-index": UseHA, "mih": UseMIH, "scan": UseScan} {
+		got, err := ParseStrategy(name)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseStrategy("warp"); err == nil {
+		t.Error("unknown engine accepted")
 	}
 }
 
 func TestPlanBounds(t *testing.T) {
-	rng := rand.New(rand.NewSource(206))
+	rng := rand.New(rand.NewSource(210))
 	codes := clustered(rng, 100, 16, 2, 1)
-	p := New(codes, nil, core.Options{}, 1)
-	if pl := p.Plan(-5); pl.Strategy != UseIndex {
+	p := autoPlanner(t, codes, Options{Seed: 9})
+	if pl := p.Plan(-5); !p.Available(pl.Strategy) {
 		t.Error("negative h should clamp and plan")
 	}
 	if pl := p.Plan(99); pl.EstimatedResults < float64(len(codes))-1 {
 		t.Error("h > L should estimate full selectivity")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Engines{}, Options{}); err == nil {
+		t.Error("missing HA engine accepted")
+	}
+	if _, err := Auto(nil, nil, Options{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	rng := rand.New(rand.NewSource(211))
+	codes := clustered(rng, 50, 32, 2, 1)
+	idx := core.Freeze(core.BuildDynamic(codes, nil, core.Options{}))
+	if _, err := New(Engines{HA: idx, Codes: codes, IDs: []int{1}}, Options{}); err == nil {
+		t.Error("mismatched id count accepted")
 	}
 }

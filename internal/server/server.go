@@ -21,9 +21,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"haindex/internal/bitvec"
 	"haindex/internal/core"
 	"haindex/internal/lsm"
+	"haindex/internal/mih"
 	"haindex/internal/obs"
+	"haindex/internal/planner"
 	"haindex/internal/wire"
 )
 
@@ -43,6 +46,15 @@ type Options struct {
 	// serve the decoded pointer hierarchy as-is (the haserve -frozen=false
 	// escape hatch). Frozen (v2) snapshots are already flat and ignore it.
 	PointerWalk bool
+
+	// Engine selects the access path for search requests on an immutable
+	// server. "ha" (or empty) serves the loaded index directly and is the
+	// only mode a mutable server accepts. Anything else builds the full
+	// engine set (MIH, scan arrays, measured-cost planner) from the loaded
+	// index at construction: "auto" routes each request through the planner,
+	// "mih" and "scan" pin one engine. A per-request wire hint (protocol v4)
+	// overrides the mode, but may only name engines this option enabled.
+	Engine string
 
 	// IdleTimeout bounds how long a connection may sit between frames (and
 	// how long a half-written request may stall) before the server reaps it.
@@ -76,11 +88,21 @@ type Server struct {
 	// the LSM layering and the v3 mutation frames are accepted.
 	shard *lsm.Shard
 
-	// pool holds the idle Searchers; its capacity is the admission limit. A
-	// mutable server has no fixed index to bind searchers to (the shard pools
-	// its own per-segment searchers), so the channel holds nil admission
-	// tickets instead.
-	pool chan *core.Searcher
+	// pool holds the idle per-engine searcher bundles; its capacity is the
+	// admission limit. A mutable server has no fixed index to bind searchers
+	// to (the shard pools its own per-segment searchers), so the channel
+	// holds nil admission tickets instead.
+	pool chan *searcherSet
+
+	// Multi-engine serving state (immutable servers with Options.Engine other
+	// than "ha"): the planner owns the cost model and the shared MIH engine;
+	// fixedStrategy pins the decision for the "mih"/"scan" modes; scanCodes
+	// and scanIDs drive the server's own concurrent brute-scan path.
+	pl            *planner.Planner
+	planned       bool // Engine == "auto": ask the planner per request
+	fixedStrategy planner.Strategy
+	scanCodes     []bitvec.Code
+	scanIDs       []int
 
 	// reqSeq numbers search/top-k requests across all connections — the
 	// coordinate system of the fault plan.
@@ -113,6 +135,11 @@ type Server struct {
 	histNodes     *obs.Histogram // search.nodes_visited
 	histLeaves    *obs.Histogram // search.leaves_checked
 	poolIdle      *obs.Gauge
+	// Per-engine routing observability: ctrStrategy counts search requests
+	// routed to each access path (planner.ha / planner.mih / planner.scan),
+	// histEngine records per-query latency by engine (engine.<name>_ns).
+	ctrStrategy [3]*obs.Counter
+	histEngine  [3]*obs.Histogram
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -122,9 +149,19 @@ type Server struct {
 	wg      sync.WaitGroup
 }
 
-// New builds a server over a decoded snapshot, either the pointer
-// *core.DynamicIndex or the compiled *core.FrozenIndex. The index must not
-// be mutated once serving starts — the searcher pool shares it read-only.
+// searcherSet is one admission ticket's bundle of per-engine searchers. ha
+// is always present on an immutable server; mih only when Options.Engine
+// enabled the multi-engine set. Mutable servers pool nil sets (the shard
+// brings its own per-segment searchers).
+type searcherSet struct {
+	ha  *core.Searcher
+	mih *core.Searcher
+}
+
+// New builds a server over a decoded snapshot — the pointer
+// *core.DynamicIndex, the compiled *core.FrozenIndex, or an adapted engine
+// such as MIH. The index must not be mutated once serving starts — the
+// searcher pool shares it read-only.
 func New(meta wire.SnapshotMeta, idx core.Index, opts Options) (*Server, error) {
 	if idx.Length() != meta.Length {
 		return nil, fmt.Errorf("server: index is %d-bit, snapshot header says %d", idx.Length(), meta.Length)
@@ -134,10 +171,73 @@ func New(meta wire.SnapshotMeta, idx core.Index, opts Options) (*Server, error) 
 	}
 	s := newServer(meta, opts)
 	s.idx = idx
+	switch s.opts.Engine {
+	case "ha":
+		// Single-engine serving; no planner, no auxiliary structures.
+	case "auto", "mih", "scan":
+		codes, ids, err := indexTuples(idx)
+		if err != nil {
+			return nil, fmt.Errorf("server: -engine %s: %w", s.opts.Engine, err)
+		}
+		m, err := mih.Build(codes, ids, mih.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("server: building MIH engine: %w", err)
+		}
+		pl, err := planner.New(planner.Engines{
+			HA:    idx,
+			MIH:   core.AsIndex(m),
+			Codes: codes,
+			IDs:   ids,
+		}, planner.Options{Seed: 1})
+		if err != nil {
+			return nil, fmt.Errorf("server: building planner: %w", err)
+		}
+		s.pl = pl
+		s.scanCodes, s.scanIDs = codes, ids
+		switch s.opts.Engine {
+		case "auto":
+			s.planned = true
+		case "mih":
+			s.fixedStrategy = planner.UseMIH
+		case "scan":
+			s.fixedStrategy = planner.UseScan
+		}
+	default:
+		return nil, fmt.Errorf("server: unknown engine %q (want ha, auto, mih, or scan)", s.opts.Engine)
+	}
 	for i := 0; i < cap(s.pool); i++ {
-		s.pool <- core.NewSearcher(idx)
+		set := &searcherSet{ha: core.NewSearcher(idx)}
+		if s.pl != nil {
+			set.mih = core.NewSearcher(s.pl.Engines().MIH)
+		}
+		s.pool <- set
 	}
 	return s, nil
+}
+
+// indexTuples extracts the (id, code) pairs backing an index so the server
+// can build the auxiliary engines. Every servable index — dynamic, frozen,
+// or an adapted engine like MIH — enumerates its tuples.
+func indexTuples(idx core.Index) ([]bitvec.Code, []int, error) {
+	type tupler interface {
+		Tuples(func(id int, code bitvec.Code))
+	}
+	src, ok := idx.(tupler)
+	if !ok {
+		if ei, isEng := idx.(*core.EngineIndex); isEng {
+			src, ok = ei.Engine().(tupler)
+		}
+	}
+	if !ok {
+		return nil, nil, fmt.Errorf("index type %T cannot enumerate tuples", idx)
+	}
+	codes := make([]bitvec.Code, 0, idx.Len())
+	ids := make([]int, 0, idx.Len())
+	src.Tuples(func(id int, code bitvec.Code) {
+		ids = append(ids, id)
+		codes = append(codes, code)
+	})
+	return codes, ids, nil
 }
 
 // NewMutable builds a server over a mutable LSM shard. The caller keeps
@@ -147,6 +247,9 @@ func New(meta wire.SnapshotMeta, idx core.Index, opts Options) (*Server, error) 
 func NewMutable(meta wire.SnapshotMeta, sh *lsm.Shard, opts Options) (*Server, error) {
 	if sh.Length() != meta.Length {
 		return nil, fmt.Errorf("server: shard is %d-bit, snapshot header says %d", sh.Length(), meta.Length)
+	}
+	if opts.Engine != "" && opts.Engine != "ha" {
+		return nil, fmt.Errorf("server: mutable shards serve the LSM engine only (engine %q unsupported)", opts.Engine)
 	}
 	s := newServer(meta, opts)
 	s.shard = sh
@@ -174,10 +277,13 @@ func newServer(meta wire.SnapshotMeta, opts Options) *Server {
 	if opts.TraceCapacity <= 0 {
 		opts.TraceCapacity = 64
 	}
+	if opts.Engine == "" {
+		opts.Engine = "ha"
+	}
 	s := &Server{
 		meta:   meta,
 		opts:   opts,
-		pool:   make(chan *core.Searcher, opts.Searchers),
+		pool:   make(chan *searcherSet, opts.Searchers),
 		conns:  make(map[net.Conn]struct{}),
 		reg:    opts.Obs,
 		tracer: obs.NewTracer(opts.TraceCapacity),
@@ -195,6 +301,10 @@ func newServer(meta wire.SnapshotMeta, opts Options) *Server {
 	s.histLeaves = s.reg.Histogram("search.leaves_checked")
 	s.poolIdle = s.reg.Gauge("pool.idle")
 	s.poolIdle.Set(int64(opts.Searchers))
+	for st, name := range [3]string{"ha", "mih", "scan"} {
+		s.ctrStrategy[st] = s.reg.Counter("planner." + name)
+		s.histEngine[st] = s.reg.Histogram("engine." + name + "_ns")
+	}
 	return s
 }
 
@@ -510,6 +620,53 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// pickStrategy resolves the access path for one search request: a forced
+// wire hint wins (if the engine is enabled on this shard), else the planner
+// decides in "auto" mode, else the configured fixed mode applies.
+func (s *Server) pickStrategy(req wire.SearchReq) (planner.Strategy, error) {
+	if req.Engine != wire.EngineAuto {
+		if s.shard != nil {
+			return 0, fmt.Errorf("mutable shard serves the LSM engine: hint %s refused", wire.EngineName(req.Engine))
+		}
+		var st planner.Strategy
+		switch req.Engine {
+		case wire.EngineHA:
+			return planner.UseHA, nil
+		case wire.EngineMIH:
+			st = planner.UseMIH
+		case wire.EngineScan:
+			st = planner.UseScan
+		default:
+			return 0, fmt.Errorf("unknown engine hint %d", req.Engine)
+		}
+		if s.pl == nil || !s.pl.Available(st) {
+			return 0, fmt.Errorf("engine %s not enabled on this shard (serving -engine %s)", st, s.opts.Engine)
+		}
+		return st, nil
+	}
+	if s.shard != nil || s.pl == nil {
+		return planner.UseHA, nil
+	}
+	if s.planned {
+		return s.pl.Plan(req.H).Strategy, nil
+	}
+	return s.fixedStrategy, nil
+}
+
+// scan is the server's brute-force path; unlike the planner's convenience
+// scan it is stateless and safe to run from many batch workers at once.
+func (s *Server) scan(q bitvec.Code, h int, stats *core.SearchStats) []int {
+	var out []int
+	for i, c := range s.scanCodes {
+		if _, ok := q.DistanceWithin(c, h); ok {
+			out = append(out, s.scanIDs[i])
+		}
+	}
+	stats.DistanceComputations += len(s.scanCodes)
+	stats.LeavesChecked += len(s.scanCodes)
+	return out
+}
+
 func (s *Server) answerSearch(payload []byte, tr *obs.Trace) (wire.MsgType, []byte) {
 	req, err := wire.ParseSearchReq(payload, s.meta.Length)
 	if err != nil {
@@ -518,17 +675,38 @@ func (s *Server) answerSearch(payload []byte, tr *obs.Trace) (wire.MsgType, []by
 	if req.H < 0 || req.H > s.meta.Length {
 		return wire.MsgError, wire.ErrorMsg{Msg: fmt.Sprintf("threshold %d out of range", req.H)}.Append(nil)
 	}
+	st, err := s.pickStrategy(req)
+	if err != nil {
+		return wire.MsgError, wire.ErrorMsg{Msg: err.Error()}.Append(nil)
+	}
+	s.ctrStrategy[st].Inc()
 	s.queries.Add(int64(len(req.Queries)))
 	resp := wire.SearchResp{IDs: make([][]int, len(req.Queries))}
 	returned := int64(0)
-	s.runBatch(len(req.Queries), tr, func(sr *core.Searcher, i int) core.SearchStats {
+	s.runBatch(len(req.Queries), tr, func(set *searcherSet, i int) core.SearchStats {
 		var ids []int
 		var stats core.SearchStats
+		t0 := time.Now()
 		if s.shard != nil {
 			ids = s.shard.SearchInto(req.Queries[i], req.H, &stats)
 		} else {
-			ids = sr.Search(req.Queries[i], req.H)
-			stats = sr.Stats
+			switch st {
+			case planner.UseMIH:
+				ids = set.mih.Search(req.Queries[i], req.H)
+				stats = set.mih.Stats
+			case planner.UseScan:
+				ids = s.scan(req.Queries[i], req.H, &stats)
+			default:
+				ids = set.ha.Search(req.Queries[i], req.H)
+				stats = set.ha.Stats
+			}
+		}
+		ns := time.Since(t0).Nanoseconds()
+		s.histEngine[st].Record(ns)
+		if s.pl != nil {
+			// Close the loop: serving latencies refine the planner's EWMA
+			// cost cells, so the model tracks the live workload.
+			s.pl.Observe(st, req.H, float64(ns))
 		}
 		if len(ids) > 0 {
 			out := append([]int(nil), ids...)
@@ -553,14 +731,16 @@ func (s *Server) answerTopK(payload []byte, tr *obs.Trace) (wire.MsgType, []byte
 	s.topkQueries.Add(int64(len(req.Queries)))
 	resp := wire.TopKResp{IDs: make([][]int, len(req.Queries)), Dists: make([][]int, len(req.Queries))}
 	returned := int64(0)
-	s.runBatch(len(req.Queries), tr, func(sr *core.Searcher, i int) core.SearchStats {
+	s.runBatch(len(req.Queries), tr, func(set *searcherSet, i int) core.SearchStats {
 		var ids, dists []int
 		var stats core.SearchStats
 		if s.shard != nil {
 			ids, dists = s.shard.TopKInto(req.Queries[i], req.K, &stats)
 		} else {
-			ids, dists = sr.TopK(req.Queries[i], req.K)
-			stats = sr.Stats
+			// Top-k always runs on the primary index: the radius-escalating
+			// search has no MIH/scan analogue worth routing to.
+			ids, dists = set.ha.TopK(req.Queries[i], req.K)
+			stats = set.ha.Stats
 		}
 		resp.IDs[i], resp.Dists[i] = ids, dists
 		atomic.AddInt64(&returned, int64(len(ids)))
@@ -633,9 +813,9 @@ func (s *Server) answerSeal(payload []byte) (wire.MsgType, []byte) {
 // to parallelize the batch, so a lone large batch uses the whole pool while
 // concurrent small requests are not starved. Queries are claimed off an
 // atomic cursor, mirroring core.SearchBatch. run returns the index work one
-// query did; in mutable mode the pooled searcher is a nil admission ticket
-// and the shard supplies its own per-segment searchers.
-func (s *Server) runBatch(n int, tr *obs.Trace, run func(sr *core.Searcher, i int) core.SearchStats) {
+// query did; in mutable mode the pooled set is a nil admission ticket and
+// the shard supplies its own per-segment searchers.
+func (s *Server) runBatch(n int, tr *obs.Trace, run func(set *searcherSet, i int) core.SearchStats) {
 	if n == 0 {
 		return
 	}
@@ -644,7 +824,7 @@ func (s *Server) runBatch(n int, tr *obs.Trace, run func(sr *core.Searcher, i in
 	// shows up first.
 	t0 := time.Now()
 	adm := tr.Start("admission", 0)
-	searchers := []*core.Searcher{<-s.pool}
+	searchers := []*searcherSet{<-s.pool}
 	tr.End(adm)
 	s.histAdmission.RecordSince(t0)
 	for len(searchers) < n {
@@ -662,7 +842,7 @@ acquired:
 	var wg sync.WaitGroup
 	for _, sr := range searchers {
 		wg.Add(1)
-		go func(sr *core.Searcher) {
+		go func(sr *searcherSet) {
 			defer wg.Done()
 			var agg core.SearchStats
 			for {

@@ -17,6 +17,7 @@ import (
 	"haindex/internal/bitvec"
 	"haindex/internal/core"
 	"haindex/internal/histo"
+	"haindex/internal/lsm"
 	"haindex/internal/obs"
 	"haindex/internal/wire"
 )
@@ -438,5 +439,155 @@ func TestServerDebugEndpoint(t *testing.T) {
 	}
 	if traces.Total != 4 || string(traces.Slowest) == "null" {
 		t.Fatalf("trace dump: total=%d slowest=%s", traces.Total, traces.Slowest)
+	}
+}
+
+// TestServerEngineRouting starts an -engine auto server and checks that
+// every access path — the planner's choice and all three forced hints —
+// returns exactly the local oracle's answer, and that the routing shows up
+// in the per-engine counters and latency histograms.
+func TestServerEngineRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	meta, idx, codes := testShard(t, rng, 600, 32, 2, 0)
+	s := startTestServer(t, meta, idx, Options{Searchers: 3, Engine: "auto"})
+	c := dialTest(t, s)
+	c.hello()
+
+	queries := make([]bitvec.Code, 20)
+	for i := range queries {
+		q := codes[rng.Intn(len(codes))].Clone()
+		q.FlipBit(rng.Intn(32))
+		queries[i] = q
+	}
+	oracle := core.NewSearcher(idx)
+	want := make([][]int, len(queries))
+	for i, q := range queries {
+		want[i] = append([]int(nil), oracle.Search(q, 4)...)
+		sort.Ints(want[i])
+	}
+	check := func(engine int) {
+		t.Helper()
+		req := wire.SearchReq{H: 4, Engine: engine, Queries: queries}.Append(nil)
+		rt, resp := c.roundTrip(wire.MsgSearch, req)
+		if rt != wire.MsgSearchOK {
+			t.Fatalf("engine %s answered %s", wire.EngineName(engine), rt)
+		}
+		parsed, err := wire.ParseSearchResp(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range queries {
+			got := parsed.IDs[i]
+			if len(got) != len(want[i]) {
+				t.Fatalf("engine %s query %d: %d ids, want %d", wire.EngineName(engine), i, len(got), len(want[i]))
+			}
+			for j := range got {
+				if got[j] != want[i][j] {
+					t.Fatalf("engine %s query %d id %d: %d vs %d", wire.EngineName(engine), i, j, got[j], want[i][j])
+				}
+			}
+		}
+	}
+	for _, engine := range []int{wire.EngineAuto, wire.EngineHA, wire.EngineMIH, wire.EngineScan} {
+		check(engine)
+	}
+
+	snap := s.Obs().Snapshot()
+	var routed int64
+	for _, name := range []string{"planner.ha", "planner.mih", "planner.scan"} {
+		routed += snap.Counters[name]
+	}
+	if routed != 4 {
+		t.Fatalf("strategy counters sum to %d, want 4 (one per request)", routed)
+	}
+	// The three forced requests guarantee at least one sample per engine.
+	for _, name := range []string{"engine.ha_ns", "engine.mih_ns", "engine.scan_ns"} {
+		if snap.Histograms[name].Count == 0 {
+			t.Fatalf("histogram %s empty", name)
+		}
+	}
+}
+
+// TestServerFixedEngineModes pins -engine mih and -engine scan servers to
+// their engines and checks results still match the HA oracle.
+func TestServerFixedEngineModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	meta, idx, codes := testShard(t, rng, 400, 32, 2, 1)
+	oracle := core.NewSearcher(idx)
+	q := codes[rng.Intn(len(codes))].Clone()
+	q.FlipBit(3)
+	want := append([]int(nil), oracle.Search(q, 5)...)
+	sort.Ints(want)
+	for _, mode := range []string{"mih", "scan"} {
+		s := startTestServer(t, meta, idx, Options{Engine: mode})
+		c := dialTest(t, s)
+		c.hello()
+		rt, resp := c.roundTrip(wire.MsgSearch, wire.SearchReq{H: 5, Queries: []bitvec.Code{q}}.Append(nil))
+		if rt != wire.MsgSearchOK {
+			t.Fatalf("mode %s answered %s", mode, rt)
+		}
+		parsed, err := wire.ParseSearchResp(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := parsed.IDs[0]
+		if len(got) != len(want) {
+			t.Fatalf("mode %s: %d ids, want %d", mode, len(got), len(want))
+		}
+		snap := s.Obs().Snapshot()
+		if snap.Counters["planner."+mode] != 1 {
+			t.Fatalf("mode %s: counter planner.%s = %d, want 1", mode, mode, snap.Counters["planner."+mode])
+		}
+	}
+}
+
+// TestServerEngineValidation covers the refusal paths: hints for engines
+// the server did not enable, hints on mutable shards, and bad Engine
+// options at construction.
+func TestServerEngineValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	meta, idx, codes := testShard(t, rng, 200, 16, 2, 0)
+
+	// Unknown Options.Engine is a construction error.
+	if _, err := New(meta, idx, Options{Engine: "warp"}); err == nil {
+		t.Fatal("bad engine option accepted")
+	}
+
+	// A plain "ha" server refuses mih/scan hints (engines not built).
+	s := startTestServer(t, meta, idx, Options{})
+	c := dialTest(t, s)
+	c.hello()
+	req := wire.SearchReq{H: 2, Engine: wire.EngineMIH, Queries: codes[:1]}.Append(nil)
+	if rt, _ := c.roundTrip(wire.MsgSearch, req); rt != wire.MsgError {
+		t.Fatalf("mih hint on ha-only server answered %s", rt)
+	}
+	// An explicit ha hint is always honored.
+	req = wire.SearchReq{H: 2, Engine: wire.EngineHA, Queries: codes[:1]}.Append(nil)
+	if rt, _ := c.roundTrip(wire.MsgSearch, req); rt != wire.MsgSearchOK {
+		t.Fatalf("ha hint answered %s", rt)
+	}
+
+	// Mutable servers only accept Engine "ha" and refuse all hints.
+	sh := lsm.New(16, lsm.Options{})
+	if _, err := NewMutable(meta, sh, Options{Engine: "auto"}); err == nil {
+		t.Fatal("mutable server accepted -engine auto")
+	}
+	ms, err := NewMutable(meta, sh, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ms.Close() })
+	mc := dialTest(t, ms)
+	mc.hello()
+	req = wire.SearchReq{H: 2, Engine: wire.EngineHA, Queries: codes[:1]}.Append(nil)
+	if rt, _ := mc.roundTrip(wire.MsgSearch, req); rt != wire.MsgError {
+		t.Fatalf("engine hint on mutable shard answered %s", rt)
+	}
+	req = wire.SearchReq{H: 2, Queries: codes[:1]}.Append(nil)
+	if rt, _ := mc.roundTrip(wire.MsgSearch, req); rt != wire.MsgSearchOK {
+		t.Fatalf("hintless search on mutable shard answered %s", rt)
 	}
 }

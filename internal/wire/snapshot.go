@@ -9,6 +9,7 @@ import (
 
 	"haindex/internal/bitvec"
 	"haindex/internal/core"
+	"haindex/internal/mih"
 )
 
 // Shard snapshot format: the unit haidx emits per Gray partition and haserve
@@ -26,6 +27,7 @@ const (
 	snapshotMagic         = "HASN"
 	snapshotVersion       = 1 // embedded index is the v1 pointer encoding
 	snapshotVersionFrozen = 2 // embedded index is the v2 frozen arena encoding
+	snapshotVersionMIH    = 3 // embedded index is the v3 MIH arena encoding
 )
 
 // SnapshotMeta is the shard header of a snapshot file.
@@ -67,14 +69,25 @@ func WriteSnapshot(w io.Writer, meta SnapshotMeta, idx core.Index) error {
 	}
 	version := uint64(snapshotVersion)
 	var encode func(io.Writer) error
-	switch t := idx.(type) {
-	case *core.DynamicIndex:
-		encode = func(w io.Writer) error { return t.Encode(w, true) }
-	case *core.FrozenIndex:
-		version = snapshotVersionFrozen
-		encode = func(w io.Writer) error { return t.Encode(w, true) }
-	default:
-		return fmt.Errorf("wire: cannot snapshot index type %T", idx)
+	if ei, ok := idx.(*core.EngineIndex); ok {
+		// Unwrap the adapter so the engine's own codec section is embedded.
+		switch t := ei.Engine().(type) {
+		case *mih.Index:
+			version = snapshotVersionMIH
+			encode = func(w io.Writer) error { return t.Encode(w, true) }
+		default:
+			return fmt.Errorf("wire: cannot snapshot engine type %T", ei.Engine())
+		}
+	} else {
+		switch t := idx.(type) {
+		case *core.DynamicIndex:
+			encode = func(w io.Writer) error { return t.Encode(w, true) }
+		case *core.FrozenIndex:
+			version = snapshotVersionFrozen
+			encode = func(w io.Writer) error { return t.Encode(w, true) }
+		default:
+			return fmt.Errorf("wire: cannot snapshot index type %T", idx)
+		}
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
@@ -122,7 +135,7 @@ func ReadSnapshot(r io.Reader) (SnapshotMeta, core.Index, error) {
 	if err != nil {
 		return meta, nil, err
 	}
-	if version != snapshotVersion && version != snapshotVersionFrozen {
+	if version < snapshotVersion || version > snapshotVersionMIH {
 		return meta, nil, fmt.Errorf("wire: unsupported snapshot version %d", version)
 	}
 	var part, parts, length, npiv uint64
@@ -156,7 +169,19 @@ func ReadSnapshot(r io.Reader) (SnapshotMeta, core.Index, error) {
 	if err != nil {
 		return meta, nil, fmt.Errorf("wire: snapshot index: %w", err)
 	}
-	if _, frozen := idx.(*core.FrozenIndex); frozen != (version == snapshotVersionFrozen) {
+	// The header version must agree with the embedded index's actual type, so
+	// a spliced snapshot cannot masquerade as a different layout.
+	ok := false
+	switch t := idx.(type) {
+	case *core.DynamicIndex:
+		ok = version == snapshotVersion
+	case *core.FrozenIndex:
+		ok = version == snapshotVersionFrozen
+	case *core.EngineIndex:
+		_, isMIH := t.Engine().(*mih.Index)
+		ok = isMIH && version == snapshotVersionMIH
+	}
+	if !ok {
 		return meta, nil, fmt.Errorf("wire: snapshot version %d embeds index type %T", version, idx)
 	}
 	if idx.Length() != meta.Length {

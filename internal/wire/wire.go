@@ -32,8 +32,51 @@ import (
 // percentiles; ParseStatsResp still accepts the shorter v1 payload, so the
 // field is version-gated at the handshake, not the parser. Version 3 added
 // the mutation frames (Insert/Delete/Seal) for the LSM serving tier and the
-// downward-negotiating handshake.
-const Version = 3
+// downward-negotiating handshake. Version 4 added the optional engine hint
+// trailing SearchReq — a client's escape hatch to pin one query batch to a
+// specific search engine instead of the server's planner choice.
+const Version = 4
+
+// Engine hints a SearchReq can carry since protocol version 4. EngineAuto
+// (the zero value) is never put on the wire — Append omits the field — so
+// default traffic stays byte-identical to version 3 and parses on old
+// servers, whose strict trailing-bytes check would otherwise reject it.
+const (
+	EngineAuto = iota // let the server's planner choose per request
+	EngineHA          // force the HA-Index walk
+	EngineMIH         // force multi-index hashing
+	EngineScan        // force the brute-force scan
+)
+
+// ParseEngine maps an -engine flag spelling to its wire hint.
+func ParseEngine(name string) (int, error) {
+	switch name {
+	case "", "auto":
+		return EngineAuto, nil
+	case "ha", "ha-index":
+		return EngineHA, nil
+	case "mih":
+		return EngineMIH, nil
+	case "scan":
+		return EngineScan, nil
+	}
+	return 0, fmt.Errorf("wire: unknown engine %q (want auto, ha, mih, or scan)", name)
+}
+
+// EngineName renders an engine hint for errors and logs.
+func EngineName(e int) string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineHA:
+		return "ha"
+	case EngineMIH:
+		return "mih"
+	case EngineScan:
+		return "scan"
+	}
+	return fmt.Sprintf("engine(%d)", e)
+}
 
 // MaxFrame bounds a frame's payload so a corrupt or hostile length prefix
 // cannot make a reader allocate unboundedly.
@@ -263,10 +306,13 @@ func ParseHelloOK(payload []byte) (HelloOK, error) {
 	return m, p.done()
 }
 
-// SearchReq is a batch of Hamming-select queries at threshold H.
+// SearchReq is a batch of Hamming-select queries at threshold H. Engine is
+// the version-4 per-batch engine hint; EngineAuto leaves the choice to the
+// server's planner and is what every client before version 4 implies.
 type SearchReq struct {
 	H       int
 	Length  int
+	Engine  int
 	Queries []bitvec.Code
 }
 
@@ -275,6 +321,11 @@ func (m SearchReq) Append(dst []byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(m.Queries)))
 	for _, q := range m.Queries {
 		dst = q.AppendBytes(dst)
+	}
+	// The engine hint trails the codes and is omitted when auto, keeping the
+	// default encoding identical to version 3.
+	if m.Engine != EngineAuto {
+		dst = binary.AppendUvarint(dst, uint64(m.Engine))
 	}
 	return dst
 }
@@ -286,6 +337,14 @@ func ParseSearchReq(payload []byte, length int) (SearchReq, error) {
 	n := p.count(bitvec.EncodedLen(length))
 	for i := 0; i < n && p.err == nil; i++ {
 		m.Queries = append(m.Queries, p.code(length))
+	}
+	// Version-4 extension: trailing engine hint, optional so a v3 peer's
+	// shorter payload still parses.
+	if p.err == nil && len(p.b) != 0 {
+		m.Engine = p.intv()
+		if p.err == nil && (m.Engine < EngineAuto || m.Engine > EngineScan) {
+			return m, fmt.Errorf("wire: unknown engine hint %d", m.Engine)
+		}
 	}
 	return m, p.done()
 }

@@ -10,6 +10,7 @@ import (
 	"haindex/internal/bitvec"
 	"haindex/internal/core"
 	"haindex/internal/histo"
+	"haindex/internal/mih"
 )
 
 func randCodes(rng *rand.Rand, n, bits int) []bitvec.Code {
@@ -269,4 +270,86 @@ func idxLen(t *testing.T, data []byte) int {
 		t.Fatal("no embedded index magic")
 	}
 	return len(data) - i
+}
+
+// TestSearchReqEngineHint: the v4 trailing engine field round-trips, the
+// auto default stays off the wire (byte-identical to v3), and unknown hints
+// are rejected.
+func TestSearchReqEngineHint(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	queries := randCodes(rng, 3, 64)
+	base := SearchReq{H: 4, Queries: queries}.Append(nil)
+	for _, engine := range []int{EngineAuto, EngineHA, EngineMIH, EngineScan} {
+		payload := SearchReq{H: 4, Engine: engine, Queries: queries}.Append(nil)
+		if engine == EngineAuto && !bytes.Equal(payload, base) {
+			t.Fatal("auto engine changed the encoding")
+		}
+		got, err := ParseSearchReq(payload, 64)
+		if err != nil {
+			t.Fatalf("engine %s: %v", EngineName(engine), err)
+		}
+		if got.Engine != engine || got.H != 4 || len(got.Queries) != 3 {
+			t.Fatalf("engine %s round trip: %+v", EngineName(engine), got)
+		}
+	}
+	// An out-of-range hint and garbage after the hint must both fail.
+	if _, err := ParseSearchReq(append(append([]byte(nil), base...), 9), 64); err == nil {
+		t.Error("unknown engine hint accepted")
+	}
+	withHint := SearchReq{H: 4, Engine: EngineMIH, Queries: queries}.Append(nil)
+	if _, err := ParseSearchReq(append(withHint, 1), 64); err == nil {
+		t.Error("trailing bytes after engine hint accepted")
+	}
+}
+
+// TestMIHSnapshotRoundTrip: a v3 snapshot embeds the MIH arena encoding and
+// decodes back to the engine behind the core.Index adapter.
+func TestMIHSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	meta, idx, _ := buildSnapshot(t, rng, 32, 4)
+	m, err := mih.FromTuples(core.Freeze(idx), mih.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, meta, core.AsIndex(m)); err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, gotIdx, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei, ok := gotIdx.(*core.EngineIndex)
+	if !ok {
+		t.Fatalf("MIH snapshot decoded as %T", gotIdx)
+	}
+	if _, ok := ei.Engine().(*mih.Index); !ok {
+		t.Fatalf("decoded adapter wraps %T", ei.Engine())
+	}
+	if gotMeta.Parts != meta.Parts || gotIdx.Len() != idx.Len() {
+		t.Fatalf("meta/tuples mismatch: %+v len=%d want %d", gotMeta, gotIdx.Len(), idx.Len())
+	}
+	sr := core.NewSearcher(gotIdx)
+	oracle := core.NewSearcher(idx)
+	for _, q := range idx.Codes()[:10] {
+		got := append([]int(nil), sr.Search(q, 3)...)
+		want := append([]int(nil), oracle.Search(q, 3)...)
+		sort.Ints(got)
+		sort.Ints(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("MIH snapshot answers differently: %v vs %v", got, want)
+		}
+	}
+	// A version-3 header spliced onto a frozen index body must be rejected.
+	frozen := core.Freeze(idx)
+	var fbuf bytes.Buffer
+	if err := WriteSnapshot(&fbuf, meta, frozen); err != nil {
+		t.Fatal(err)
+	}
+	spliced := append([]byte(nil), buf.Bytes()[:bytes.Index(buf.Bytes(), []byte("HADX"))]...)
+	fb := fbuf.Bytes()
+	spliced = append(spliced, fb[bytes.Index(fb, []byte("HADX")):]...)
+	if _, _, err := ReadSnapshot(bytes.NewReader(spliced)); err == nil {
+		t.Error("snapshot with mismatched header/index versions accepted")
+	}
 }

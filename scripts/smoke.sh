@@ -7,7 +7,9 @@
 #
 # With SMOKE_DEBUG=1 (make debug-smoke), shard 0 also binds its HTTP debug
 # endpoint; after the queries run, /debug/obs is fetched and must report a
-# non-empty request-latency histogram and nonzero request/fault counters.
+# non-empty request-latency histogram, nonzero request/fault counters, and —
+# since haserve defaults to -engine auto — nonzero planner strategy counters
+# plus per-engine latency samples.
 #
 # With SMOKE_LSM=1 (make lsm-smoke), the snapshots are additionally served
 # by mutable (LSM) shards, and insert -> seal -> compact -> upsert -> delete
@@ -80,7 +82,17 @@ if [ "$SMOKE_DEBUG" = "1" ]; then
     FAULTS=$(sed -n 's/^ *"faults_injected": \([0-9]*\).*/\1/p' "$WORK/obs.json" | head -n 1)
     [ -n "$FAULTS" ] && [ "$FAULTS" -gt 0 ] || {
         echo "smoke: debug snapshot reports no injected faults" >&2; exit 1; }
-    echo "smoke: debug endpoint OK ($REQS requests, $FAULTS faults injected)"
+    # haserve defaults to -engine auto, so every search must leave a planner
+    # decision counter and a per-engine latency histogram behind.
+    PLANNED=$(grep -o '"planner\.[a-z]*": [0-9]*' "$WORK/obs.json" \
+        | awk -F': ' '{s+=$2} END{print s+0}')
+    [ "$PLANNED" -gt 0 ] || {
+        echo "smoke: debug snapshot has no planner strategy counters" >&2; exit 1; }
+    ENGINE=$(awk '/"engine\./{f=1} f && /"count":/{gsub(/[^0-9]/,""); s+=$0; f=0} END{print s+0}' \
+        "$WORK/obs.json")
+    [ "$ENGINE" -gt 0 ] || {
+        echo "smoke: debug snapshot has no per-engine latency samples" >&2; exit 1; }
+    echo "smoke: debug endpoint OK ($REQS requests, $FAULTS faults, $PLANNED planned, $ENGINE engine samples)"
 fi
 
 SMOKE_LSM=${SMOKE_LSM:-0}
