@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build test race test-race bench bench-query bench-frozen bench-serve bench-planner vet fmt-check fuzz fuzz-wire fuzz-mih smoke debug-smoke lsm-smoke experiments examples clean
+.PHONY: all check build test race test-race bench bench-query bench-frozen bench-serve bench-planner bench-load vet fmt-check fuzz fuzz-wire fuzz-mih fuzz-qcache smoke debug-smoke lsm-smoke experiments examples clean
 
 all: build vet test
 
-check: build vet fmt-check test test-race fuzz-wire fuzz-mih
+check: build vet fmt-check test test-race fuzz-wire fuzz-mih fuzz-qcache
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,13 @@ bench-serve:
 bench-planner:
 	$(GO) run ./cmd/habench -exp planner
 
+# Traffic-shaped serving experiment: open-loop zipfian load against a real
+# loopback deployment — result-cache hit rate and tail latency at 0.75x
+# capacity, and the goodput collapse/survival sweep past saturation with
+# admission shedding off and on; writes BENCH_load.json.
+bench-load:
+	$(GO) run ./cmd/habench -exp load
+
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeDynamic -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeIndex -fuzztime=30s ./internal/core/
@@ -73,6 +80,11 @@ fuzz-wire:
 # Short fuzz smoke of the MIH (HADX v3) codec's hostile-input hardening.
 fuzz-mih:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeMIH -fuzztime=5s ./internal/mih/
+
+# Short fuzz smoke of the result-cache key packing: distinct (code,
+# threshold, engine, shard, epoch) tuples must never collide to one key.
+fuzz-qcache:
+	$(GO) test -run=NONE -fuzz=FuzzKeyPacking -fuzztime=5s ./internal/qcache/
 
 # End-to-end smoke of the serving stack: build the CLIs, generate a tiny
 # dataset, shard it, start two haserve processes (one fault-injected), query

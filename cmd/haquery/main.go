@@ -58,6 +58,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print every id list")
 		trace     = flag.Bool("trace", false, "print the span tree of the slowest batch and per-attempt latency percentiles")
 		engine    = flag.String("engine", "auto", "access path forced on every shard: auto|ha|mih|scan (non-auto needs protocol v4 shards with the engine enabled)")
+		priority  = flag.String("priority", "", "admission class under server load shedding: normal|interactive|batch (rides protocol v5; older shards ignore it)")
 
 		insert      = flag.String("insert", "", "comma-separated id:bit-string upserts applied before querying (mutable shards)")
 		deleteIDs   = flag.String("delete", "", "comma-separated tuple ids deleted before querying (mutable shards)")
@@ -81,7 +82,7 @@ func main() {
 		}
 	}
 
-	r, err := client.Dial(addrs, client.Options{HedgeAfter: *hedge, Engine: *engine})
+	r, err := client.Dial(addrs, client.Options{HedgeAfter: *hedge, Engine: *engine, Priority: *priority})
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -9,11 +9,19 @@
 //	haserve -snapshot shards/shard-00001.hasn -addr 127.0.0.1:0 -port-file s1.addr
 //
 // With -addr ending in :0 the kernel picks a free port; -port-file writes
-// the bound address for scripts to pick up. The -fail-requests and
-// -drop-requests flags inject deterministic faults (by server-wide request
-// number) for smoke tests of client retry and failover. -debug-addr binds a
-// loopback HTTP endpoint exposing the shard's latency histograms
-// (/debug/obs), recent request traces (/debug/traces), and pprof.
+// the bound address for scripts to pick up. The -fail-requests,
+// -drop-requests, and -shed-requests flags inject deterministic faults (by
+// server-wide request number) for smoke tests of client retry, failover,
+// and shed backoff. -debug-addr binds a loopback HTTP endpoint exposing the
+// shard's latency histograms (/debug/obs), recent request traces
+// (/debug/traces), and pprof.
+//
+// -cache N gives the shard a bounded result cache keyed on (query,
+// threshold, engine, index epoch) — repeat queries under zipfian traffic
+// are answered without consuming an admission ticket. -shed-after DUR
+// bounds how long a request may wait for admission before the shard sheds
+// it with a polite overload frame that v5 clients retry with backoff
+// instead of counting as a replica failure.
 //
 // -engine picks the search access path for immutable serving: the default
 // "auto" builds the full engine set (HA walk, multi-index hashing, brute
@@ -52,6 +60,9 @@ func main() {
 		dropReqs  = flag.String("drop-requests", "", "comma-separated request numbers whose connection is dropped")
 		debugAddr = flag.String("debug-addr", "", "also serve /debug/obs, /debug/traces, /debug/pprof on this HTTP address (e.g. 127.0.0.1:7071; bind loopback only)")
 		debugFile = flag.String("debug-port-file", "", "write the bound debug address to this file")
+		cacheN    = flag.Int("cache", 0, "result-cache entries keyed on (query, threshold, engine, epoch); 0 disables")
+		shedAfter = flag.Duration("shed-after", 0, "admission-wait budget before a request is shed with a polite overload frame (0 disables; v5 clients retry with backoff)")
+		shedReqs  = flag.String("shed-requests", "", "comma-separated request numbers answered with a shed frame (v5 sessions)")
 		idleTO    = flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = 30s, negative disables)")
 		writeTO   = flag.Duration("write-timeout", 0, "per-response write deadline (0 = 30s, negative disables)")
 		frozen    = flag.Bool("frozen", true, "serve the compiled (frozen) index; -frozen=false walks the pointer hierarchy")
@@ -84,10 +95,13 @@ func main() {
 	}
 	addFaults(*failReqs, func(p *server.FaultPlan, r int64) { p.FailRequest(r) })
 	addFaults(*dropReqs, func(p *server.FaultPlan, r int64) { p.DropRequest(r) })
+	addFaults(*shedReqs, func(p *server.FaultPlan, r int64) { p.ShedRequest(r) })
 
 	opts := server.Options{
 		Searchers:    *searchers,
 		Faults:       faults,
+		CacheEntries: *cacheN,
+		ShedAfter:    *shedAfter,
 		IdleTimeout:  *idleTO,
 		WriteTimeout: *writeTO,
 		PointerWalk:  !*frozen,

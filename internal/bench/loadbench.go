@@ -1,0 +1,442 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/client"
+	"haindex/internal/core"
+	"haindex/internal/dataset"
+	"haindex/internal/histo"
+	"haindex/internal/loadgen"
+	"haindex/internal/server"
+	"haindex/internal/wire"
+)
+
+// LoadBenchFile is where LoadBench writes its machine-readable results.
+const LoadBenchFile = "BENCH_load.json"
+
+type loadBenchJSON struct {
+	N           int     `json:"n"`
+	Bits        int     `json:"bits"`
+	Threshold   int     `json:"threshold"`
+	Shards      int     `json:"shards"`
+	Searchers   int     `json:"searchers_per_shard"`
+	Routers     int     `json:"routers"`
+	Batch       int     `json:"queries_per_request"`
+	PoolSize    int     `json:"distinct_requests"`
+	ZipfSkew    float64 `json:"zipf_skew"`
+	ServiceNs   int64   `json:"unloaded_request_ns"`
+	CapacityRPS float64 `json:"capacity_rps"`
+	SLONs       int64   `json:"slo_ns"`
+	ShedAfterNs int64   `json:"shed_after_ns"`
+	DeadlineNs  int64   `json:"client_deadline_ns"`
+
+	Sweep []loadRunJSON  `json:"sweep"`
+	Cache []cacheRunJSON `json:"cache"`
+}
+
+type loadRunJSON struct {
+	RateMultiple float64 `json:"rate_multiple"`
+	Shedding     bool    `json:"shedding"`
+	OfferedRPS   float64 `json:"offered_rps"`
+	Offered      int64   `json:"offered"`
+	Done         int64   `json:"done"`
+	Good         int64   `json:"good"`
+	Shed         int64   `json:"shed"`
+	ServerSheds  int64   `json:"server_sheds"`
+	Failed       int64   `json:"failed"`
+	Dropped      int64   `json:"dropped"`
+	Throughput   float64 `json:"throughput_rps"`
+	Goodput      float64 `json:"goodput_rps"`
+	P50Ns        int64   `json:"p50_ns"`
+	P95Ns        int64   `json:"p95_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	MaxNs        int64   `json:"max_ns"`
+}
+
+type cacheRunJSON struct {
+	CacheOn bool    `json:"cache_on"`
+	HitRate float64 `json:"hit_rate"`
+	loadRunJSON
+}
+
+// LoadBench probes the serving tier under traffic instead of back-to-back
+// measurement loops: an open-loop zipfian workload is offered to a real
+// loopback deployment at controlled fractions of its measured capacity,
+// through a pool of routers so client-side connection serialization does
+// not mask server-side queueing. Two questions are answered. (a) Does the
+// server-side result cache convert popularity skew into latency headroom —
+// hit rate and tail latency with the cache on versus off at the same
+// offered rate? (b) Past saturation, does admission-budget shedding keep
+// goodput (completions within the SLO) from collapsing the way an
+// unprotected queue does? Results go to BENCH_load.json.
+func LoadBench(sc Scale) ([]Table, error) {
+	quick := sc.SelectN <= 4000
+	bits := 64 // fixed: the load experiment pins the 20k x 64-bit shape
+	env, err := NewEnv(dataset.NUSWide, sc.SelectN, bits, sc.Queries, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	const (
+		parts     = 2
+		searchers = 2
+		zipfSkew  = 1.1
+	)
+	routers, batch, poolBatches := 64, 16, 400
+	calibDur, runDur := 700*time.Millisecond, 1200*time.Millisecond
+	if quick {
+		routers, batch, poolBatches = 16, 8, 120
+		calibDur, runDur = 300*time.Millisecond, 350*time.Millisecond
+	}
+
+	// The request pool: poolBatches distinct requests of batch queries each,
+	// every query a near-duplicate of a stored code. Popularity is zipfian
+	// over whole requests, so the cache sees the head of the distribution
+	// again and again.
+	rng := rand.New(rand.NewSource(sc.Seed + 17))
+	queries := make([]bitvec.Code, poolBatches*batch)
+	for i := range queries {
+		c := env.Codes[rng.Intn(len(env.Codes))].Clone()
+		for f := 0; f < 2; f++ {
+			c.FlipBit(rng.Intn(bits))
+		}
+		queries[i] = c
+	}
+	pick := loadgen.NewPicker(dataset.ZipfWeights(poolBatches, zipfSkew))
+	batchOf := func(qi int) []bitvec.Code { return queries[qi*batch : (qi+1)*batch] }
+
+	rec := loadBenchJSON{
+		N:         len(env.Codes),
+		Bits:      bits,
+		Shards:    parts,
+		Searchers: searchers,
+		Routers:   routers,
+		Batch:     batch,
+		PoolSize:  poolBatches,
+		ZipfSkew:  zipfSkew,
+	}
+
+	// Base deployment: no cache, no shedding. Used for calibration, the
+	// shedding-off sweep arm, and the cache-off run.
+	base, err := startLoadServers(env.Codes, bits, parts,
+		server.Options{Searchers: searchers})
+	if err != nil {
+		return nil, err
+	}
+	defer base.close()
+
+	// Calibration routers get a generous deadline: nothing here is
+	// overloaded yet, and the measured numbers size every knob below.
+	calibWorkers := 4 * parts * searchers
+	if err := base.dial(client.Options{Timeout: time.Second}, calibWorkers); err != nil {
+		return nil, err
+	}
+
+	// Calibrate the threshold so one request costs enough that admission
+	// queueing — not framing overhead — dominates under load: raise h until
+	// the unloaded request takes at least 300µs (or give up at bits/4).
+	h := 2
+	var service time.Duration
+	for ; ; h += 2 {
+		if _, err := base.routers[0].SearchBatch(batchOf(0), h); err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		const probes = 16
+		for i := 1; i <= probes; i++ {
+			if _, err := base.routers[0].SearchBatch(batchOf(i%poolBatches), h); err != nil {
+				return nil, err
+			}
+		}
+		service = time.Since(t0) / probes
+		if service >= 300*time.Microsecond || h >= bits/4 {
+			break
+		}
+	}
+	rec.Threshold = h
+	rec.ServiceNs = service.Nanoseconds()
+
+	do := func(d *loadDeployment) func(int) error {
+		return func(qi int) error {
+			r := <-d.free
+			defer func() { d.free <- r }()
+			_, err := r.SearchBatch(batchOf(qi), h)
+			return err
+		}
+	}
+	isShed := func(err error) bool { return errors.Is(err, client.ErrShed) }
+
+	// Capacity: a closed loop with enough workers to keep every searcher
+	// busy measures the sustainable completion rate.
+	calib := loadgen.Run(loadgen.Config{
+		Do:       do(base),
+		Pick:     pick,
+		Workers:  calibWorkers,
+		Duration: calibDur,
+		Seed:     sc.Seed + 23,
+	})
+	if calib.Done == 0 {
+		return nil, fmt.Errorf("bench: load calibration completed no requests")
+	}
+	capacity := calib.Throughput
+	rec.CapacityRPS = capacity
+
+	// Every knob below derives from the measured unloaded request time. The
+	// SLO is the client's deadline: past it the caller has abandoned the
+	// request, so a later completion is worthless and goodput counts only
+	// answers the caller was still around to read. That coupling is what
+	// makes overload collapse measurable — an unprotected server keeps
+	// burning searcher time on requests whose clients already hung up,
+	// while a shedding server refuses them before any work is sunk. The
+	// shed budget is a couple of service times: an admission wait that long
+	// already forfeits the deadline's useful margin.
+	slo := 50 * service
+	if slo < 10*time.Millisecond {
+		slo = 10 * time.Millisecond
+	}
+	shedAfter := 2 * service
+	deadline := slo
+	rec.SLONs = slo.Nanoseconds()
+	rec.ShedAfterNs = shedAfter.Nanoseconds()
+	rec.DeadlineNs = deadline.Nanoseconds()
+
+	// Both sweep arms get identical clients: deadline-bounded, polite
+	// backoff on shed. Only the server policy differs.
+	ropts := client.Options{Timeout: deadline, Backoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond}
+	if err := base.dial(ropts, routers); err != nil {
+		return nil, err
+	}
+
+	// Shedding deployment: same shape, admission budget set.
+	shedDep, err := startLoadServers(env.Codes, bits, parts,
+		server.Options{Searchers: searchers, ShedAfter: shedAfter})
+	if err != nil {
+		return nil, err
+	}
+	defer shedDep.close()
+	if err := shedDep.dial(ropts, routers); err != nil {
+		return nil, err
+	}
+
+	toRun := func(mult float64, shedding bool, res loadgen.Result) loadRunJSON {
+		return loadRunJSON{
+			RateMultiple: mult,
+			Shedding:     shedding,
+			OfferedRPS:   mult * capacity,
+			Offered:      res.Offered,
+			Done:         res.Done,
+			Good:         res.Good,
+			Shed:         res.Shed,
+			Failed:       res.Failed,
+			Dropped:      res.Dropped,
+			Throughput:   res.Throughput,
+			Goodput:      res.Goodput,
+			P50Ns:        res.Latency.P50.Nanoseconds(),
+			P95Ns:        res.Latency.P95.Nanoseconds(),
+			P99Ns:        res.Latency.P99.Nanoseconds(),
+			MaxNs:        res.Latency.Max.Nanoseconds(),
+		}
+	}
+
+	sweepTable := Table{
+		Title: "Traffic-shaped serving: goodput vs offered load, shedding off/on",
+		Note: fmt.Sprintf("%s, n=%d, L=%d bits, h=%d, %d shards x %d searchers, %d routers, %d queries/request; capacity %.0f req/s, SLO %v, shed budget %v",
+			env.Profile.Name, len(env.Codes), bits, h, parts, searchers, routers, batch, capacity, slo.Round(time.Microsecond), shedAfter.Round(time.Microsecond)),
+		Header: []string{"offered (xcap)", "shedding", "goodput req/s", "throughput", "sheds", "dropped", "p50 ms", "p99 ms"},
+	}
+	for _, mult := range []float64{0.5, 1, 2, 4} {
+		for _, arm := range []struct {
+			dep      *loadDeployment
+			shedding bool
+		}{{base, false}, {shedDep, true}} {
+			shedsBefore := serverSheds(arm.dep)
+			res := loadgen.Run(loadgen.Config{
+				Do:          do(arm.dep),
+				Pick:        pick,
+				Rate:        mult * capacity,
+				MaxInFlight: routers,
+				Duration:    runDur,
+				SLO:         slo,
+				IsShed:      isShed,
+				Seed:        sc.Seed + 31,
+			})
+			run := toRun(mult, arm.shedding, res)
+			run.ServerSheds = serverSheds(arm.dep) - shedsBefore
+			rec.Sweep = append(rec.Sweep, run)
+			sweepTable.Rows = append(sweepTable.Rows, []string{
+				fmt.Sprintf("%.1fx", mult),
+				onOff(arm.shedding),
+				fmt.Sprintf("%.0f", run.Goodput),
+				fmt.Sprintf("%.0f", run.Throughput),
+				fmt.Sprintf("%d", run.ServerSheds),
+				fmt.Sprintf("%d", run.Dropped),
+				fmt.Sprintf("%.2f", float64(run.P50Ns)/1e6),
+				fmt.Sprintf("%.2f", float64(run.P99Ns)/1e6),
+			})
+		}
+	}
+
+	// Cache arm: a third deployment with the server-side result cache on,
+	// offered the same zipfian traffic at 75% of capacity as the cache-off
+	// baseline. Hit rate comes from the servers' own qcache counters.
+	cacheDep, err := startLoadServers(env.Codes, bits, parts,
+		server.Options{Searchers: searchers, CacheEntries: 4 * poolBatches * batch})
+	if err != nil {
+		return nil, err
+	}
+	defer cacheDep.close()
+	if err := cacheDep.dial(ropts, routers); err != nil {
+		return nil, err
+	}
+
+	cacheTable := Table{
+		Title: "Traffic-shaped serving: result cache under zipfian traffic",
+		Note: fmt.Sprintf("open loop at %.0f req/s (0.75x capacity), zipf skew %.1f over %d distinct requests",
+			0.75*capacity, zipfSkew, poolBatches),
+		Header: []string{"cache", "hit rate", "goodput req/s", "p50 ms", "p95 ms", "p99 ms"},
+	}
+	for _, arm := range []struct {
+		dep *loadDeployment
+		on  bool
+	}{{base, false}, {cacheDep, true}} {
+		res := loadgen.Run(loadgen.Config{
+			Do:          do(arm.dep),
+			Pick:        pick,
+			Rate:        0.75 * capacity,
+			MaxInFlight: routers,
+			Duration:    2 * runDur,
+			SLO:         slo,
+			IsShed:      isShed,
+			Seed:        sc.Seed + 41,
+		})
+		run := cacheRunJSON{CacheOn: arm.on, loadRunJSON: toRun(0.75, false, res)}
+		if arm.on {
+			var hits, misses int64
+			for _, s := range arm.dep.servers {
+				hits += s.Obs().Counter("qcache.hits").Value()
+				misses += s.Obs().Counter("qcache.misses").Value()
+			}
+			if hits+misses > 0 {
+				run.HitRate = float64(hits) / float64(hits+misses)
+			}
+		}
+		rec.Cache = append(rec.Cache, run)
+		cacheTable.Rows = append(cacheTable.Rows, []string{
+			onOff(arm.on),
+			fmt.Sprintf("%.2f", run.HitRate),
+			fmt.Sprintf("%.0f", run.Goodput),
+			fmt.Sprintf("%.2f", float64(run.P50Ns)/1e6),
+			fmt.Sprintf("%.2f", float64(run.P95Ns)/1e6),
+			fmt.Sprintf("%.2f", float64(run.P99Ns)/1e6),
+		})
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: encoding %s: %w", LoadBenchFile, err)
+	}
+	if err := os.WriteFile(LoadBenchFile, append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("bench: writing %s: %w", LoadBenchFile, err)
+	}
+	return []Table{sweepTable, cacheTable}, nil
+}
+
+// serverSheds sums the deployment's server-side shed counters — the polite
+// refusals the servers issued, whether or not the client's retry-with-backoff
+// later turned them into completions.
+func serverSheds(d *loadDeployment) int64 {
+	var n int64
+	for _, s := range d.servers {
+		n += s.Obs().Counter("sheds").Value()
+	}
+	return n
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// loadDeployment is a loopback deployment plus a free list of routers. One
+// router serializes one connection per shard, so offering real concurrency
+// requires a pool: an issuer takes a router from free, runs one request,
+// and returns it.
+type loadDeployment struct {
+	servers []*server.Server
+	addrs   [][]string
+	routers []*client.Router
+	free    chan *client.Router
+}
+
+func (d *loadDeployment) close() {
+	for _, r := range d.routers {
+		r.Close()
+	}
+	d.routers = nil
+	for _, s := range d.servers {
+		s.Close()
+	}
+}
+
+// dial (re)builds the deployment's router pool: any existing routers are
+// closed and nRouters fresh ones are dialed with the given options.
+func (d *loadDeployment) dial(ropts client.Options, nRouters int) error {
+	for _, r := range d.routers {
+		r.Close()
+	}
+	d.routers = nil
+	d.free = make(chan *client.Router, nRouters)
+	for i := 0; i < nRouters; i++ {
+		r, err := client.Dial(d.addrs, ropts)
+		if err != nil {
+			return err
+		}
+		d.routers = append(d.routers, r)
+		d.free <- r
+	}
+	return nil
+}
+
+// startLoadServers partitions codes into parts Gray ranges and starts one
+// shard server per partition with the given options; dial the router pool
+// separately.
+func startLoadServers(codes []bitvec.Code, bits, parts int, sopts server.Options) (*loadDeployment, error) {
+	sample := codes
+	if len(sample) > 2000 {
+		sample = codes[:2000]
+	}
+	pivots := histo.Pivots(sample, parts)
+	byPart := make([][]bitvec.Code, parts)
+	idsByPart := make([][]int, parts)
+	for i, c := range codes {
+		m := histo.PartitionID(pivots, c)
+		byPart[m] = append(byPart[m], c)
+		idsByPart[m] = append(idsByPart[m], i)
+	}
+	d := &loadDeployment{}
+	for m := 0; m < parts; m++ {
+		meta := wire.SnapshotMeta{Part: m, Parts: parts, Length: bits, Pivots: pivots}
+		idx := core.BuildDynamic(byPart[m], idsByPart[m], core.Options{})
+		s, err := server.New(meta, idx, sopts)
+		if err != nil {
+			d.close()
+			return nil, err
+		}
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			d.close()
+			return nil, err
+		}
+		d.servers = append(d.servers, s)
+		d.addrs = append(d.addrs, []string{s.Addr().String()})
+	}
+	return d, nil
+}

@@ -26,6 +26,11 @@ type mutableDeployment struct {
 
 func buildMutableDeployment(t *testing.T, rng *rand.Rand, bits, parts int, seed map[int]bitvec.Code, memtableMax int) *mutableDeployment {
 	t.Helper()
+	return buildMutableDeploymentOpts(t, rng, bits, parts, seed, memtableMax, server.Options{Searchers: 2}, Options{})
+}
+
+func buildMutableDeploymentOpts(t *testing.T, rng *rand.Rand, bits, parts int, seed map[int]bitvec.Code, memtableMax int, sopts server.Options, ropts Options) *mutableDeployment {
+	t.Helper()
 	sample := make([]bitvec.Code, 0, len(seed))
 	for _, c := range seed {
 		sample = append(sample, c)
@@ -53,7 +58,7 @@ func buildMutableDeployment(t *testing.T, rng *rand.Rand, bits, parts int, seed 
 			}
 		}
 		meta := wire.SnapshotMeta{Part: m, Parts: parts, Length: bits, Pivots: pivots}
-		s, err := server.NewMutable(meta, sh, server.Options{Searchers: 2})
+		s, err := server.NewMutable(meta, sh, sopts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -65,7 +70,7 @@ func buildMutableDeployment(t *testing.T, rng *rand.Rand, bits, parts int, seed 
 		d.servers = append(d.servers, s)
 		addrs = append(addrs, []string{s.Addr().String()})
 	}
-	r, err := Dial(addrs, Options{})
+	r, err := Dial(addrs, ropts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,6 +265,18 @@ func deploymentLen(d *mutableDeployment) int {
 // never mutated and must appear in every search whose radius demands them;
 // after quiescing, answers must match the oracle exactly. Run under -race.
 func TestMutableDeploymentConcurrentChurn(t *testing.T) {
+	runConcurrentChurn(t, false)
+}
+
+// TestMutableDeploymentConcurrentChurnCached is the same churn oracle with
+// both result-cache tiers enabled — the server's qcache keyed on the LSM
+// mutation version and the router's keyed on its mutation generations. The
+// invariants do not weaken: cached answers must never be stale.
+func TestMutableDeploymentConcurrentChurnCached(t *testing.T) {
+	runConcurrentChurn(t, true)
+}
+
+func runConcurrentChurn(t *testing.T, cached bool) {
 	rng := rand.New(rand.NewSource(707))
 	const bits, parts, h = 32, 2, 3
 	base := bitvec.Rand(rng, bits)
@@ -269,7 +286,14 @@ func TestMutableDeploymentConcurrentChurn(t *testing.T) {
 		stable[id] = clusteredAround(rng, base, bits, 9)
 		o[id] = stable[id]
 	}
-	d := buildMutableDeployment(t, rng, bits, parts, o, 32)
+	sopts := server.Options{Searchers: 2}
+	ropts := Options{}
+	if cached {
+		sopts.CacheEntries = 4096
+		ropts.CacheEntries = 4096
+		ropts.CachePartials = true
+	}
+	d := buildMutableDeploymentOpts(t, rng, bits, parts, o, 32, sopts, ropts)
 
 	var oMu sync.Mutex
 	done := make(chan struct{})
@@ -370,6 +394,17 @@ func TestMutableDeploymentConcurrentChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkDeployment(t, d, o, rng, bits, h, 25)
+	if cached {
+		// The oracle holding is only meaningful if the caches actually
+		// served traffic during the churn.
+		hits := d.router.Obs().Counter("qcache.hits").Value()
+		for _, s := range d.servers {
+			hits += s.Obs().Counter("qcache.hits").Value()
+		}
+		if hits == 0 {
+			t.Fatal("cached churn run never hit a cache — the test is vacuous")
+		}
+	}
 }
 
 // TestMutableServerRefusesMutationsWhenImmutable pins the failure mode: an

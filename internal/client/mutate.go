@@ -15,6 +15,28 @@ import (
 // protocol version 3; against older or immutable shards the server's error
 // frame surfaces through the normal retry path.
 
+// invalidateCaches bumps the deployment-wide mutation generation after a
+// mutation was issued, making every merged result-cache entry filled before
+// it unreachable. It is called whether or not the mutation fully succeeded —
+// some shards may have applied their part, and over-invalidation only costs
+// misses. Bumping after (not before) issuing keeps racing lookups
+// linearizable: a fill at the old generation can only be read by a lookup
+// that also started before the mutation completed.
+func (r *Router) invalidateCaches() {
+	r.depGen.Add(1)
+}
+
+// bumpShard invalidates one shard's partial-result entries. Mutations call
+// it only for shards whose result set actually changed — a broadcast delete
+// that found nothing to delete leaves the shard's partials valid, which is
+// what makes CachePartials worth having: an insert landing on shard 1
+// does not evict the partials of shard 0.
+func (r *Router) bumpShard(m int) {
+	if m < len(r.shardGens) {
+		r.shardGens[m].Add(1)
+	}
+}
+
 // Insert applies a batch of upserts across the deployment. Each (id, code)
 // pair is routed to the shard owning the code's Gray partition — the same
 // pivot routing the build used, so mutations land where a future search
@@ -68,8 +90,12 @@ func (r *Router) Insert(ids []int, codes []bitvec.Code) (int, error) {
 			if len(foreign) > 0 {
 				resp, err := r.deleteOn(sh, foreign)
 				if err != nil {
+					r.bumpShard(m) // state unknown; over-invalidate
 					fail(err)
 					return
+				}
+				if resp.Deleted > 0 {
+					r.bumpShard(m)
 				}
 				mu.Lock()
 				replaced += resp.Deleted
@@ -78,8 +104,11 @@ func (r *Router) Insert(ids []int, codes []bitvec.Code) (int, error) {
 			if len(ownIDs[m]) == 0 {
 				return
 			}
+			// The insert lands here whatever the outcome reports; the
+			// shard's partials are stale either way.
+			defer r.bumpShard(m)
 			req := wire.InsertReq{Length: r.length, IDs: ownIDs[m], Codes: ownCodes[m]}
-			respType, body, err := r.do(sh, wire.MsgInsert, req.Append(nil), nil, obs.NoSpan)
+			respType, body, err := r.do(sh, wire.MsgInsert, fixedPayload(req.Append(nil)), nil, obs.NoSpan)
 			if err == nil && respType != wire.MsgInsertOK {
 				err = fmt.Errorf("client: shard %d answered %s", m, respType)
 			}
@@ -97,6 +126,7 @@ func (r *Router) Insert(ids []int, codes []bitvec.Code) (int, error) {
 		}(m, foreign)
 	}
 	wg.Wait()
+	r.invalidateCaches()
 	if firstErr != nil {
 		return 0, firstErr
 	}
@@ -120,6 +150,9 @@ func (r *Router) Delete(ids []int) (int, error) {
 		go func(m int) {
 			defer wg.Done()
 			resp, err := r.deleteOn(r.shards[m], ids)
+			if err != nil || resp.Deleted > 0 {
+				r.bumpShard(m)
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -132,6 +165,7 @@ func (r *Router) Delete(ids []int) (int, error) {
 		}(m)
 	}
 	wg.Wait()
+	r.invalidateCaches()
 	if firstErr != nil {
 		return 0, firstErr
 	}
@@ -139,7 +173,7 @@ func (r *Router) Delete(ids []int) (int, error) {
 }
 
 func (r *Router) deleteOn(sh *shard, ids []int) (wire.DeleteResp, error) {
-	respType, body, err := r.do(sh, wire.MsgDelete, wire.DeleteReq{IDs: ids}.Append(nil), nil, obs.NoSpan)
+	respType, body, err := r.do(sh, wire.MsgDelete, fixedPayload(wire.DeleteReq{IDs: ids}.Append(nil)), nil, obs.NoSpan)
 	if err == nil && respType != wire.MsgDeleteOK {
 		err = fmt.Errorf("client: shard %d answered %s", sh.part, respType)
 	}
@@ -159,7 +193,7 @@ func (r *Router) Seal(compact bool) ([]wire.SealOK, error) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
-	payload := wire.SealReq{Compact: compact}.Append(nil)
+	payload := fixedPayload(wire.SealReq{Compact: compact}.Append(nil))
 	for m := range r.shards {
 		wg.Add(1)
 		go func(m int) {

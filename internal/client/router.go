@@ -11,6 +11,7 @@ package client
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -22,8 +23,15 @@ import (
 	"haindex/internal/bitvec"
 	"haindex/internal/histo"
 	"haindex/internal/obs"
+	"haindex/internal/qcache"
 	"haindex/internal/wire"
 )
+
+// ErrShed marks a shard request abandoned because the shard kept answering
+// MsgShed (it is overloaded) until the request's deadline ran out. Load
+// generators match it with errors.Is to count shed traffic apart from
+// failures — a shed is the server working as designed, not a fault.
+var ErrShed = errors.New("client: request shed by overloaded shard")
 
 // Options configures a Router.
 type Options struct {
@@ -57,6 +65,25 @@ type Options struct {
 	// engine to be enabled server-side — Dial and the shards enforce the
 	// two halves respectively.
 	Engine string
+	// Priority is the admission class attached to every search request:
+	// "" or "normal", "interactive" (2x the server's shed budget), or
+	// "batch" (half). It rides protocol version 5; sessions negotiated
+	// lower simply omit it from the wire (the server treats them as
+	// normal).
+	Priority string
+
+	// CacheEntries, when positive, gives the router a client-side result
+	// cache (internal/qcache) of merged whole-deployment answers, bounded
+	// to that many entries. Entries are keyed on a router-local mutation
+	// generation bumped by Insert/Delete, so the cache is only coherent
+	// when every mutation to the deployment flows through this router —
+	// the single-writer setup the load harness uses. 0 disables.
+	CacheEntries int
+	// CachePartials additionally caches per-shard partial results (keyed
+	// per shard on its own generation), so a query that misses the merged
+	// cache can still skip the shards it has fresh partials for. Only
+	// meaningful with CacheEntries > 0.
+	CachePartials bool
 
 	// Obs, when set, is the registry the router hangs its counters and
 	// per-attempt latency histograms on; nil gives the router a private one
@@ -101,6 +128,10 @@ type Stats struct {
 	// Retries counts failed attempts that were retried on another replica
 	// (or the same one, for single-replica shards).
 	Retries int64
+	// Sheds counts MsgShed answers received. A shed is retried on the same
+	// replica after a backoff and does not count as a failed attempt or a
+	// retry — the shard is healthy, just saturated.
+	Sheds int64
 	// Hedges counts speculative duplicates launched; HedgeWins how many
 	// answered before the primary; HedgeLosses how many legs lost the race
 	// and were drained/closed (their work is the serving-layer analogue of
@@ -127,17 +158,28 @@ type Snapshot struct {
 // Router fans queries across the shards of one deployment. Safe for
 // concurrent use.
 type Router struct {
-	opts   Options
-	engine int // wire engine hint attached to every SearchReq
-	length int
-	pivots []bitvec.Code
-	ranges *histo.Ranges
-	shards []*shard // indexed by partition id
+	opts     Options
+	engine   int // wire engine hint attached to every SearchReq
+	priority int // wire admission class attached to every SearchReq
+	length   int
+	pivots   []bitvec.Code
+	ranges   *histo.Ranges
+	shards   []*shard // indexed by partition id
+
+	// cache, when non-nil, holds merged (and optionally per-shard partial)
+	// search results. depGen is the deployment-wide mutation generation the
+	// merged entries are keyed on; shardGens (indexed by partition) key the
+	// partials. Insert and Delete bump them after the mutation is
+	// acknowledged, making every pre-mutation entry unreachable.
+	cache     *qcache.Cache
+	depGen    atomic.Uint64
+	shardGens []atomic.Uint64
 
 	shardRequests atomic.Int64
 	queriesRouted atomic.Int64
 	queriesPruned atomic.Int64
 	retries       atomic.Int64
+	sheds         atomic.Int64
 	hedges        atomic.Int64
 	hedgeWins     atomic.Int64
 	hedgeLosses   atomic.Int64
@@ -152,6 +194,7 @@ type Router struct {
 	histShard      []*obs.Histogram // indexed by partition id
 	cntRequests    *obs.Counter
 	cntRetries     *obs.Counter
+	cntSheds       *obs.Counter
 	cntHedges      *obs.Counter
 	cntHedgeWins   *obs.Counter
 	cntHedgeLosses *obs.Counter
@@ -196,10 +239,16 @@ func Dial(shardAddrs [][]string, opts Options) (*Router, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
+	priority, err := wire.ParsePriority(opts.Priority)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
 	r := &Router{
 		opts:       opts,
 		engine:     engine,
+		priority:   priority,
 		shards:     make([]*shard, len(shardAddrs)),
+		shardGens:  make([]atomic.Uint64, len(shardAddrs)),
 		reg:        opts.Obs,
 		tracer:     obs.NewTracer(opts.TraceCapacity),
 		now:        time.Now,
@@ -209,6 +258,9 @@ func Dial(shardAddrs [][]string, opts Options) (*Router, error) {
 	if r.reg == nil {
 		r.reg = obs.NewRegistry()
 	}
+	if opts.CacheEntries > 0 {
+		r.cache = qcache.New(qcache.Options{MaxEntries: opts.CacheEntries, Obs: r.reg})
+	}
 	r.histAttempt = r.reg.Histogram("attempt_ns")
 	r.histShard = make([]*obs.Histogram, len(shardAddrs))
 	for m := range r.histShard {
@@ -216,6 +268,7 @@ func Dial(shardAddrs [][]string, opts Options) (*Router, error) {
 	}
 	r.cntRequests = r.reg.Counter("shard_requests")
 	r.cntRetries = r.reg.Counter("retries")
+	r.cntSheds = r.reg.Counter("sheds")
 	r.cntHedges = r.reg.Counter("hedges")
 	r.cntHedgeWins = r.reg.Counter("hedge_wins")
 	r.cntHedgeLosses = r.reg.Counter("hedge_losses")
@@ -291,6 +344,7 @@ func (r *Router) Stats() Stats {
 		QueriesRouted: r.queriesRouted.Load(),
 		QueriesPruned: r.queriesPruned.Load(),
 		Retries:       r.retries.Load(),
+		Sheds:         r.sheds.Load(),
 		Hedges:        r.hedges.Load(),
 		HedgeWins:     r.hedgeWins.Load(),
 		HedgeLosses:   r.hedgeLosses.Load(),
@@ -352,21 +406,77 @@ func (r *Router) SearchBatch(queries []bitvec.Code, h int) ([][]int, error) {
 	tr := obs.NewTrace("search-batch")
 	defer r.tracer.Add(tr)
 
-	// Route each query to the shards whose Gray range can hold a match.
-	routeSpan := tr.Start("route", 0)
-	perShard := make([][]int, len(r.shards)) // query indexes per shard
-	var parts []int
-	for i, q := range queries {
-		parts = r.ranges.Route(parts[:0], q, h)
-		for _, m := range parts {
-			perShard[m] = append(perShard[m], i)
+	results := make([][]int, len(queries))
+
+	// Cache phase: the merged-answer cache finishes whole queries before
+	// routing sees them. Generations are read once, before any shard is
+	// contacted — a racing mutation then either bumps them (this fill
+	// becomes unreachable) or was already acknowledged (the answer is
+	// current); see the qcache package docs for the ordering argument.
+	var (
+		gen      uint64
+		sgens    []uint64 // per-shard generations, when partials are on
+		fullKeys [][]byte // packed merged-cache key per missed query
+		cached   []bool
+	)
+	if r.cache != nil {
+		span := tr.Start("cache", 0)
+		gen = r.depGen.Load()
+		fullKeys = make([][]byte, len(queries))
+		cached = make([]bool, len(queries))
+		var kb []byte
+		for i, q := range queries {
+			kb = qcache.Key{Code: q, H: h, Engine: r.engine, Shard: -1, Epoch: gen}.Append(kb[:0])
+			if ids, ok := r.cache.Get(kb); ok {
+				if len(ids) > 0 {
+					// Copy: callers own the result slices they get back.
+					results[i] = append([]int(nil), ids...)
+				}
+				cached[i] = true
+				continue
+			}
+			fullKeys[i] = append([]byte(nil), kb...)
 		}
-		r.queriesRouted.Add(int64(len(parts)))
+		if r.opts.CachePartials {
+			sgens = make([]uint64, len(r.shards))
+			for m := range sgens {
+				sgens[m] = r.shardGens[m].Load()
+			}
+		}
+		tr.End(span)
+	}
+
+	// Route each remaining query to the shards whose Gray range can hold a
+	// match; with partials on, a fresh per-shard entry answers its
+	// (query, shard) pair on the spot and that shard is skipped.
+	routeSpan := tr.Start("route", 0)
+	perShard := make([][]int, len(r.shards))    // query indexes per shard
+	partKeys := make([][][]byte, len(r.shards)) // packed partial keys, aligned
+	var parts []int
+	var kb []byte
+	for i, q := range queries {
+		if cached != nil && cached[i] {
+			continue
+		}
+		parts = r.ranges.Route(parts[:0], q, h)
+		routed := 0
+		for _, m := range parts {
+			if sgens != nil {
+				kb = qcache.Key{Code: q, H: h, Engine: r.engine, Shard: m, Epoch: sgens[m]}.Append(kb[:0])
+				if ids, ok := r.cache.Get(kb); ok {
+					results[i] = append(results[i], ids...)
+					continue
+				}
+				partKeys[m] = append(partKeys[m], append([]byte(nil), kb...))
+			}
+			perShard[m] = append(perShard[m], i)
+			routed++
+		}
+		r.queriesRouted.Add(int64(routed))
 		r.queriesPruned.Add(int64(len(r.shards) - len(parts)))
 	}
 	tr.End(routeSpan)
 
-	results := make([][]int, len(queries))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var firstErr error
@@ -375,7 +485,7 @@ func (r *Router) SearchBatch(queries []bitvec.Code, h int) ([][]int, error) {
 			continue
 		}
 		wg.Add(1)
-		go func(sh *shard, qidx []int) {
+		go func(sh *shard, qidx []int, pkeys [][]byte) {
 			defer wg.Done()
 			sub := make([]bitvec.Code, len(qidx))
 			for j, i := range qidx {
@@ -383,7 +493,13 @@ func (r *Router) SearchBatch(queries []bitvec.Code, h int) ([][]int, error) {
 			}
 			shardSpan := tr.Start(fmt.Sprintf("shard%02d (%d queries)", sh.part, len(sub)), 0)
 			defer tr.End(shardSpan)
-			respType, payload, err := r.do(sh, wire.MsgSearch, wire.SearchReq{H: h, Engine: r.engine, Queries: sub}.Append(nil), tr, shardSpan)
+			// The request is encoded per attempt for the replica's
+			// negotiated version: engine and priority are trailing varints
+			// that older sessions must not see.
+			pf := func(version int) []byte {
+				return wire.SearchReq{H: h, Engine: r.engine, Priority: r.priority, Queries: sub}.AppendVersion(nil, version)
+			}
+			respType, payload, err := r.do(sh, wire.MsgSearch, pf, tr, shardSpan)
 			if err == nil && respType != wire.MsgSearchOK {
 				err = fmt.Errorf("client: shard %d answered %s", sh.part, respType)
 			}
@@ -406,8 +522,13 @@ func (r *Router) SearchBatch(queries []bitvec.Code, h int) ([][]int, error) {
 				// Partitions are disjoint, so ids from different shards
 				// never collide; merging is concatenation.
 				results[i] = append(results[i], resp.IDs[j]...)
+				if pkeys != nil {
+					// The parsed slice is response-owned and read-only from
+					// here on; the cache can keep it without a copy.
+					r.cache.Put(pkeys[j], resp.IDs[j])
+				}
 			}
-		}(r.shards[m], qidx)
+		}(r.shards[m], qidx, partKeys[m])
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -415,6 +536,20 @@ func (r *Router) SearchBatch(queries []bitvec.Code, h int) ([][]int, error) {
 	}
 	for i := range results {
 		sort.Ints(results[i])
+	}
+	// Fill the merged cache for the queries that missed it, at the
+	// generation read before fan-out. Copies: the caller owns results.
+	if r.cache != nil {
+		for i, fk := range fullKeys {
+			if fk == nil {
+				continue
+			}
+			var cp []int
+			if len(results[i]) > 0 {
+				cp = append([]int(nil), results[i]...)
+			}
+			r.cache.Put(fk, cp)
+		}
 	}
 	return results, nil
 }
@@ -434,7 +569,7 @@ func (r *Router) TopK(queries []bitvec.Code, k int) ([][]int, [][]int, error) {
 		err  error
 	}
 	resps := make([]shardResp, len(r.shards))
-	payload := wire.TopKReq{K: k, Queries: queries}.Append(nil)
+	payload := fixedPayload(wire.TopKReq{K: k, Queries: queries}.Append(nil))
 	var wg sync.WaitGroup
 	for m := range r.shards {
 		r.queriesRouted.Add(int64(len(queries)))
@@ -518,12 +653,26 @@ func (r *Router) checkQueries(queries []bitvec.Code) error {
 	return nil
 }
 
+// payloadFn encodes one request for the protocol version a replica
+// negotiated — resolved per attempt, because the version is only known
+// after the replica's lazy dial. fixedPayload adapts version-independent
+// messages.
+type payloadFn func(version int) []byte
+
+func fixedPayload(p []byte) payloadFn { return func(int) []byte { return p } }
+
 // do performs one shard request with retry, backoff, and hedging. Attempt n
 // goes to replica n mod len(replicas); a server-reported error frame counts
 // as a failed attempt just like a transport error. The whole retry loop —
 // attempts plus backoff sleeps — is bounded by Opts.Timeout of wall time, so
 // a run of failures cannot sleep far past the per-request budget.
-func (r *Router) do(sh *shard, t wire.MsgType, payload []byte, tr *obs.Trace, parent obs.SpanID) (wire.MsgType, []byte, error) {
+//
+// A MsgShed answer is not a failure: the shard is healthy but saturated, and
+// failing over would stampede the next replica with the same load. The
+// request instead backs off (doubling, jittered, capped at MaxBackoff) and
+// retries the same replica, without consuming a retry attempt, until the
+// request deadline runs out — at which point the error wraps ErrShed.
+func (r *Router) do(sh *shard, t wire.MsgType, pf payloadFn, tr *obs.Trace, parent obs.SpanID) (wire.MsgType, []byte, error) {
 	r.shardRequests.Add(1)
 	r.cntRequests.Inc()
 	deadline := r.now().Add(r.opts.Timeout)
@@ -552,16 +701,38 @@ func (r *Router) do(sh *shard, t wire.MsgType, payload []byte, tr *obs.Trace, pa
 			backoff *= 2
 		}
 		rp := sh.replicas[attempt%len(sh.replicas)]
-		sp := tr.Start(fmt.Sprintf("attempt %d → %s", attempt, rp.addr), parent)
 		var respType wire.MsgType
 		var resp []byte
 		var err error
-		if attempt == 0 && r.opts.HedgeAfter > 0 && len(sh.replicas) > 1 {
-			respType, resp, err = r.hedged(sh, t, payload)
-		} else {
-			respType, resp, err = r.attempt(sh, rp, t, payload, nil)
+		shedBackoff := r.opts.Backoff
+		for {
+			sp := tr.Start(fmt.Sprintf("attempt %d → %s", attempt, rp.addr), parent)
+			if attempt == 0 && r.opts.HedgeAfter > 0 && len(sh.replicas) > 1 {
+				respType, resp, err = r.hedged(sh, t, pf)
+			} else {
+				respType, resp, err = r.attempt(sh, rp, t, pf, nil)
+			}
+			tr.End(sp)
+			if err != nil || respType != wire.MsgShed {
+				break
+			}
+			r.sheds.Add(1)
+			r.cntSheds.Inc()
+			b := shedBackoff
+			if b > r.opts.MaxBackoff {
+				b = r.opts.MaxBackoff
+			}
+			d := b/2 + time.Duration(r.randInt63n(int64(b/2)+1))
+			if remain := deadline.Sub(r.now()); d > remain {
+				return 0, nil, fmt.Errorf("client: shard %d: %w (deadline %v exhausted)",
+					sh.part, ErrShed, r.opts.Timeout)
+			}
+			bsp := tr.Start(fmt.Sprintf("shed backoff → %s", rp.addr), parent)
+			r.sleep(d)
+			tr.End(bsp)
+			r.backoffWait.Add(int64(d))
+			shedBackoff *= 2
 		}
-		tr.End(sp)
 		if err == nil && respType == wire.MsgError {
 			em, perr := wire.ParseErrorMsg(resp)
 			if perr != nil {
@@ -581,9 +752,9 @@ func (r *Router) do(sh *shard, t wire.MsgType, payload []byte, tr *obs.Trace, pa
 // attempt performs one round trip on rp and records its latency in the
 // per-attempt histograms (overall and per shard), win or lose — failed and
 // hedged attempts cost real time too, and the distribution should show it.
-func (r *Router) attempt(sh *shard, rp *replica, t wire.MsgType, payload []byte, cancel *connCancel) (wire.MsgType, []byte, error) {
+func (r *Router) attempt(sh *shard, rp *replica, t wire.MsgType, pf payloadFn, cancel *connCancel) (wire.MsgType, []byte, error) {
 	t0 := time.Now()
-	respType, resp, err := rp.roundTrip(t, payload, cancel)
+	respType, resp, err := rp.roundTrip(t, pf, cancel)
 	r.histAttempt.RecordSince(t0)
 	r.histShard[sh.part].RecordSince(t0)
 	return respType, resp, err
@@ -640,7 +811,7 @@ func (c *connCancel) abort() {
 // on the next one. The first answer wins; losing legs are aborted promptly
 // (their connections closed, their results drained in the background) so
 // they do not hold pooled connections for the rest of the request timeout.
-func (r *Router) hedged(sh *shard, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+func (r *Router) hedged(sh *shard, t wire.MsgType, pf payloadFn) (wire.MsgType, []byte, error) {
 	type result struct {
 		respType wire.MsgType
 		resp     []byte
@@ -650,7 +821,7 @@ func (r *Router) hedged(sh *shard, t wire.MsgType, payload []byte) (wire.MsgType
 	}
 	ch := make(chan result, 2)
 	launch := func(rp *replica, cancel *connCancel, hedge bool) {
-		respType, resp, err := r.attempt(sh, rp, t, payload, cancel)
+		respType, resp, err := r.attempt(sh, rp, t, pf, cancel)
 		ch <- result{respType: respType, resp: resp, err: err, cancel: cancel, hedge: hedge}
 	}
 	cancels := []*connCancel{new(connCancel)}
@@ -717,8 +888,9 @@ func (rp *replica) handshake() (wire.HelloOK, error) {
 // if the connection was lost. Any error poisons the connection so the next
 // attempt starts fresh. A non-nil cancel makes the round trip abortable: the
 // connection is registered with it before use, so a hedge winner can close
-// it out from under the blocked read.
-func (rp *replica) roundTrip(t wire.MsgType, payload []byte, cancel *connCancel) (wire.MsgType, []byte, error) {
+// it out from under the blocked read. The payload is resolved here, after
+// the dial, because it may depend on the session's negotiated version.
+func (rp *replica) roundTrip(t wire.MsgType, pf payloadFn, cancel *connCancel) (wire.MsgType, []byte, error) {
 	rp.mu.Lock()
 	defer rp.mu.Unlock()
 	if rp.conn == nil {
@@ -730,6 +902,10 @@ func (rp *replica) roundTrip(t wire.MsgType, payload []byte, cancel *connCancel)
 		// The race was decided before this leg reached the connection;
 		// nothing was written, so the pooled conn stays healthy.
 		return 0, nil, errHedgeAborted
+	}
+	var payload []byte
+	if pf != nil {
+		payload = pf(rp.hello.Version)
 	}
 	rp.conn.SetDeadline(time.Now().Add(rp.opts.Timeout))
 	if err := wire.WriteFrame(rp.conn, t, payload); err != nil {

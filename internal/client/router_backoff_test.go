@@ -60,6 +60,7 @@ func newBackoffRouter(t *testing.T, opts Options, clk *fakeClock, jitter func(in
 	r.histShard = []*obs.Histogram{reg.Histogram("shard00.attempt_ns")}
 	r.cntRequests = reg.Counter("shard_requests")
 	r.cntRetries = reg.Counter("retries")
+	r.cntSheds = reg.Counter("sheds")
 	r.cntHedges = reg.Counter("hedges")
 	r.cntHedgeWins = reg.Counter("hedge_wins")
 	r.cntHedgeLosses = reg.Counter("hedge_losses")

@@ -1,0 +1,117 @@
+package client
+
+import (
+	"math/rand"
+	"testing"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/histo"
+)
+
+// TestRouterResultCache: with CacheEntries set, a repeated batch is served
+// without contacting any shard; a mutation through the router invalidates
+// every merged entry; and with CachePartials on, a mutation that only
+// touched shard 1 lets the repeat query skip shard 0 via its still-valid
+// partial.
+func TestRouterResultCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	const bits, parts, h = 16, 2, 16 // h = bits: every query routes to (and matches) everything
+	o := map[int]bitvec.Code{}
+	for id := 0; id < 40; id++ {
+		o[id] = bitvec.Rand(rng, bits)
+	}
+	d := buildMutableDeployment(t, rng, bits, parts, o, -1)
+	r, err := Dial(addrsOf(d), Options{CacheEntries: 1024, CachePartials: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+
+	q := bitvec.Rand(rng, bits)
+	cold, err := r.SearchBatch([]bitvec.Code{q}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteSearch(o, q, h)
+	if !equalInts(cold[0], want) {
+		t.Fatalf("cold: got %v want %v", cold[0], want)
+	}
+
+	// Warm repeat: answered from the merged cache, zero shard round trips.
+	before := r.Stats().ShardRequests
+	warm, err := r.SearchBatch([]bitvec.Code{q}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(warm[0], want) {
+		t.Fatalf("warm: got %v want %v", warm[0], want)
+	}
+	if delta := r.Stats().ShardRequests - before; delta != 0 {
+		t.Fatalf("warm batch issued %d shard requests, want 0", delta)
+	}
+	if r.Obs().Counter("qcache.hits").Value() == 0 {
+		t.Fatal("qcache.hits did not move")
+	}
+	// The cached result must be a private copy: mutating it cannot poison
+	// later hits.
+	if len(warm[0]) > 0 {
+		warm[0][0] = -999
+		again, err := r.SearchBatch([]bitvec.Code{q}, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(again[0], want) {
+			t.Fatal("caller mutation leaked into the cache")
+		}
+	}
+
+	// Insert a fresh id whose code lives on shard 1: the merged entry is
+	// invalidated (the repeat sees the new id), but shard 0's partials
+	// survive — the foreign-delete broadcast found nothing to delete there —
+	// so the repeat contacts exactly one shard.
+	var c bitvec.Code
+	for {
+		c = bitvec.Rand(rng, bits)
+		if histo.PartitionID(d.pivots, c) == 1 {
+			break
+		}
+	}
+	if _, err := r.Insert([]int{100}, []bitvec.Code{c}); err != nil {
+		t.Fatal(err)
+	}
+	o[100] = c
+	want = bruteSearch(o, q, h)
+	before = r.Stats().ShardRequests
+	fresh, err := r.SearchBatch([]bitvec.Code{q}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(fresh[0], want) {
+		t.Fatalf("post-insert: got %v want %v — stale cache served", fresh[0], want)
+	}
+	if delta := r.Stats().ShardRequests - before; delta != 1 {
+		t.Fatalf("post-insert batch issued %d shard requests, want 1 (shard 0 partial still valid)", delta)
+	}
+
+	// A delete that hits shard 1 invalidates it again; results stay exact.
+	if _, err := r.Delete([]int{100}); err != nil {
+		t.Fatal(err)
+	}
+	delete(o, 100)
+	want = bruteSearch(o, q, h)
+	after, err := r.SearchBatch([]bitvec.Code{q}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(after[0], want) {
+		t.Fatalf("post-delete: got %v want %v — stale cache served", after[0], want)
+	}
+}
+
+func addrsOf(d *mutableDeployment) [][]string {
+	var addrs [][]string
+	for _, s := range d.servers {
+		addrs = append(addrs, []string{s.Addr().String()})
+	}
+	return addrs
+}

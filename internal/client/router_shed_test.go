@@ -1,0 +1,131 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"haindex/internal/obs"
+	"haindex/internal/wire"
+)
+
+// startSheddingServer runs a minimal in-test shard server that handshakes at
+// protocol v5 and answers every subsequent request with MsgShed — a shard
+// that is permanently saturated. It returns its address and a counter of
+// accepted connections.
+func startSheddingServer(t *testing.T) (string, *atomic.Int32) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var dials atomic.Int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			dials.Add(1)
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				typ, _, err := wire.ReadFrame(br)
+				if err != nil || typ != wire.MsgHello {
+					return
+				}
+				ok := wire.HelloOK{Version: 5, Length: 32, Part: 0, Parts: 1}
+				if err := wire.WriteFrame(conn, wire.MsgHelloOK, ok.Append(nil)); err != nil {
+					return
+				}
+				for {
+					if _, _, err := wire.ReadFrame(br); err != nil {
+						return
+					}
+					shed := wire.ShedResp{WaitNs: int64(time.Millisecond)}
+					if err := wire.WriteFrame(conn, wire.MsgShed, shed.Append(nil)); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), &dials
+}
+
+// TestShedBackoffBoundedByDeadline pins the router's overload etiquette with
+// a fake clock: MsgShed answers are retried on the same replica with a
+// doubling, capped backoff; they never fail over to another replica, never
+// count as retries, and the loop gives up with ErrShed once the next sleep
+// would cross the request deadline.
+func TestShedBackoffBoundedByDeadline(t *testing.T) {
+	shedAddr, shedDials := startSheddingServer(t)
+
+	// The second replica must never be contacted: shedding is not failure.
+	spareLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { spareLn.Close() })
+	var spareDials atomic.Int32
+	go func() {
+		for {
+			conn, err := spareLn.Accept()
+			if err != nil {
+				return
+			}
+			spareDials.Add(1)
+			conn.Close()
+		}
+	}()
+
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	maxJitter := func(n int64) int64 { return n - 1 } // top of [0, n): d = b
+	r := newBackoffRouter(t, Options{
+		MaxAttempts: 3,
+		Backoff:     4 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		DialTimeout: time.Second,
+		Timeout:     50 * time.Millisecond,
+	}, clk, maxJitter)
+	r.shards[0].replicas = []*replica{
+		{addr: shedAddr, opts: r.opts},
+		{addr: spareLn.Addr().String(), opts: r.opts},
+	}
+
+	_, _, err = r.do(r.shards[0], wire.MsgStats, nil, nil, obs.NoSpan)
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	// With max jitter each shed sleep is the full (capped) base: 4, 8, 16,
+	// 20ms land at t+48ms; the next 20ms draw would cross the 50ms deadline.
+	want := []time.Duration{4 * time.Millisecond, 8 * time.Millisecond, 16 * time.Millisecond, 20 * time.Millisecond}
+	if len(clk.sleeps) != len(want) {
+		t.Fatalf("sleeps %v, want %v", clk.sleeps, want)
+	}
+	for i, d := range want {
+		if clk.sleeps[i] != d {
+			t.Fatalf("sleep %d = %v, want %v (all %v)", i, clk.sleeps[i], d, clk.sleeps)
+		}
+	}
+	st := r.Stats()
+	if st.Sheds != int64(len(want))+1 {
+		t.Fatalf("Sheds = %d, want %d (one per MsgShed answer)", st.Sheds, len(want)+1)
+	}
+	if st.Retries != 0 {
+		t.Fatalf("Retries = %d: a shed must not count as a failed attempt", st.Retries)
+	}
+	if n := spareDials.Load(); n != 0 {
+		t.Fatalf("replica 1 was dialed %d times: shedding must not fail over", n)
+	}
+	if n := shedDials.Load(); n != 1 {
+		t.Fatalf("shedding replica dialed %d times, want 1 pooled connection", n)
+	}
+	if r.Obs().Counter("sheds").Value() != st.Sheds {
+		t.Fatal("sheds counter not mirrored into the registry")
+	}
+}

@@ -77,7 +77,7 @@ func generateMixture(p Profile, n int, rng *rand.Rand) []vector.Vec {
 		}
 		centers[c] = v
 	}
-	weights := zipfWeights(p.Clusters, p.Skew)
+	weights := ZipfWeights(p.Clusters, p.Skew)
 	out := make([]vector.Vec, n)
 	for i := range out {
 		c := sampleIndex(rng, weights)
@@ -106,7 +106,7 @@ func generateSimplex(p Profile, n int, rng *rand.Rand) []vector.Vec {
 		}
 		clusters[c] = topicCluster{hot: hot}
 	}
-	weights := zipfWeights(p.Clusters, p.Skew)
+	weights := ZipfWeights(p.Clusters, p.Skew)
 	out := make([]vector.Vec, n)
 	for i := range out {
 		cl := clusters[sampleIndex(rng, weights)]
@@ -170,8 +170,12 @@ func gamma(rng *rand.Rand, shape float64) float64 {
 	}
 }
 
-// zipfWeights returns k weights proportional to rank^(-s), normalized.
-func zipfWeights(k int, s float64) []float64 {
+// ZipfWeights returns k weights proportional to rank^(-s), normalized to
+// sum to 1. It shapes the cluster-size skew of every synthetic profile
+// here, and the query-popularity skew of the load harness
+// (internal/loadgen) — the same distribution governs what the data looks
+// like and what traffic asks for.
+func ZipfWeights(k int, s float64) []float64 {
 	w := make([]float64, k)
 	sum := 0.0
 	for i := range w {

@@ -216,3 +216,31 @@ func TestProfileByName(t *testing.T) {
 		t.Fatal("expected error")
 	}
 }
+
+// TestZipfWeightsShape pins the exported popularity distribution: weights
+// are normalized, strictly decreasing for positive skew, uniform at skew 0,
+// and steeper skew concentrates more mass on the head — the properties the
+// load harness's hit-rate math rests on.
+func TestZipfWeightsShape(t *testing.T) {
+	w := ZipfWeights(100, 1.1)
+	sum := 0.0
+	for i, x := range w {
+		sum += x
+		if i > 0 && x >= w[i-1] {
+			t.Fatalf("weight %d = %g not below its predecessor %g", i, x, w[i-1])
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %g, want 1", sum)
+	}
+	u := ZipfWeights(10, 0)
+	for i, x := range u {
+		if math.Abs(x-0.1) > 1e-12 {
+			t.Fatalf("skew 0 weight %d = %g, want uniform 0.1", i, x)
+		}
+	}
+	head := func(w []float64) float64 { return w[0] + w[1] + w[2] }
+	if head(ZipfWeights(100, 1.5)) <= head(ZipfWeights(100, 0.5)) {
+		t.Fatal("steeper skew did not concentrate mass on the head")
+	}
+}

@@ -1,0 +1,271 @@
+// Package loadgen generates query traffic against a serving deployment and
+// measures what came back: an open-loop generator that offers load at a
+// fixed rate whether or not the system keeps up (the only honest way to
+// probe past saturation — a closed loop slows down with the victim and
+// hides the collapse), and a closed-loop generator that holds concurrency
+// constant (the right tool for measuring capacity). Query popularity is
+// skewed by the same Zipf distribution the dataset generators use
+// (dataset.ZipfWeights), so cache behaviour under realistic traffic is
+// measurable.
+//
+// The generator is transport-agnostic: it drives a caller-supplied Do
+// function by query-pool index and classifies the returned errors, so it
+// needs no knowledge of routers or wire formats.
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Picker samples query-pool indexes from a fixed popularity distribution.
+// Index 0 is the most popular. Safe for concurrent use (it is read-only
+// after construction); callers supply their own rng.
+type Picker struct {
+	cum []float64 // cumulative weights, cum[len-1] == 1
+}
+
+// NewPicker builds a sampler over weights (normalized or not; typically
+// dataset.ZipfWeights(poolSize, skew)). Nil or empty weights yield a
+// single-index picker.
+func NewPicker(weights []float64) *Picker {
+	if len(weights) == 0 {
+		return &Picker{cum: []float64{1}}
+	}
+	cum := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		sum += w
+		cum[i] = sum
+	}
+	for i := range cum {
+		cum[i] /= sum
+	}
+	return &Picker{cum: cum}
+}
+
+// Pick draws one index.
+func (p *Picker) Pick(rng *rand.Rand) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(p.cum, u)
+	if i >= len(p.cum) {
+		i = len(p.cum) - 1
+	}
+	return i
+}
+
+// Config drives one load run.
+type Config struct {
+	// Do issues one query identified by its pool index and returns its
+	// outcome. It must be safe for concurrent use.
+	Do func(qi int) error
+	// Pick samples pool indexes; nil picks index 0 always.
+	Pick *Picker
+	// Duration is how long to generate load.
+	Duration time.Duration
+
+	// Workers is the closed-loop concurrency (used when Rate == 0): that
+	// many workers issue queries back-to-back. 0 = 1.
+	Workers int
+	// Rate, when positive, switches to open loop: queries arrive on a fixed
+	// schedule at this many per second, regardless of how the system keeps
+	// up. Arrivals that find MaxInFlight queries already outstanding are
+	// counted Dropped, not issued — offered-but-undeliverable load is what
+	// makes overload collapse visible.
+	Rate float64
+	// MaxInFlight bounds outstanding open-loop queries (0 = 4096).
+	MaxInFlight int
+
+	// SLO, when positive, is the latency bound a completed query must meet
+	// to count toward goodput. 0 counts every success.
+	SLO time.Duration
+	// IsShed classifies an error as a polite shed (counted separately from
+	// failures); nil treats every error as a failure.
+	IsShed func(error) bool
+	// Seed makes the popularity sampling deterministic.
+	Seed int64
+}
+
+// Result is what one load run measured.
+type Result struct {
+	// Offered is how many arrivals the schedule generated (closed loop:
+	// every issued query). Offered = Done + Shed + Failed + Dropped.
+	Offered int64
+	// Done completed successfully; Good additionally met the SLO.
+	Done int64
+	Good int64
+	// Shed were answered with a polite overload signal (per Config.IsShed);
+	// Failed are all other errors; Dropped were never issued because
+	// MaxInFlight was exhausted at arrival time.
+	Shed    int64
+	Failed  int64
+	Dropped int64
+
+	// Elapsed is the measured wall time; Throughput and Goodput are
+	// Done/Elapsed and Good/Elapsed in queries per second.
+	Elapsed    time.Duration
+	Throughput float64
+	Goodput    float64
+
+	// Latency summarizes successful queries only.
+	Latency LatencySummary
+}
+
+// LatencySummary holds order statistics of successful query latencies.
+type LatencySummary struct {
+	Count               int
+	Mean, P50, P95, P99 time.Duration
+	Max                 time.Duration
+}
+
+// collector accumulates outcomes from concurrent issuers.
+type collector struct {
+	offered, done, good, shed, failed, dropped atomic.Int64
+
+	mu   sync.Mutex
+	lats []time.Duration
+}
+
+func (c *collector) record(cfg *Config, lat time.Duration, err error) {
+	if err != nil {
+		if cfg.IsShed != nil && cfg.IsShed(err) {
+			c.shed.Add(1)
+		} else {
+			c.failed.Add(1)
+		}
+		return
+	}
+	c.done.Add(1)
+	if cfg.SLO <= 0 || lat <= cfg.SLO {
+		c.good.Add(1)
+	}
+	c.mu.Lock()
+	c.lats = append(c.lats, lat)
+	c.mu.Unlock()
+}
+
+func (c *collector) result(elapsed time.Duration) Result {
+	r := Result{
+		Offered: c.offered.Load(),
+		Done:    c.done.Load(),
+		Good:    c.good.Load(),
+		Shed:    c.shed.Load(),
+		Failed:  c.failed.Load(),
+		Dropped: c.dropped.Load(),
+		Elapsed: elapsed,
+		Latency: summarize(c.lats),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		r.Throughput = float64(r.Done) / sec
+		r.Goodput = float64(r.Good) / sec
+	}
+	return r
+}
+
+func summarize(lats []time.Duration) LatencySummary {
+	s := LatencySummary{Count: len(lats)}
+	if len(lats) == 0 {
+		return s
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, d := range lats {
+		sum += d
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	s.Mean = sum / time.Duration(len(lats))
+	s.P50 = pct(0.50)
+	s.P95 = pct(0.95)
+	s.P99 = pct(0.99)
+	s.Max = lats[len(lats)-1]
+	return s
+}
+
+// Run executes one load run: open loop when cfg.Rate > 0, closed loop
+// otherwise.
+func Run(cfg Config) Result {
+	if cfg.Pick == nil {
+		cfg.Pick = NewPicker(nil)
+	}
+	if cfg.Rate > 0 {
+		return runOpen(cfg)
+	}
+	return runClosed(cfg)
+}
+
+// runClosed holds Workers queries in flight back-to-back for Duration.
+func runClosed(cfg Config) Result {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	var c collector
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for time.Now().Before(deadline) {
+				qi := cfg.Pick.Pick(rng)
+				c.offered.Add(1)
+				t0 := time.Now()
+				err := cfg.Do(qi)
+				c.record(&cfg, time.Since(t0), err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return c.result(time.Since(start))
+}
+
+// runOpen offers queries on a fixed arrival schedule at cfg.Rate per
+// second. The schedule does not slow down when the system does: arrivals
+// that cannot be issued (MaxInFlight outstanding) are dropped on the spot,
+// which is what makes goodput collapse measurable past saturation.
+func runOpen(cfg Config) Result {
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 4096
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	var c collector
+	sem := make(chan struct{}, maxInFlight)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for next := start; next.Before(deadline); next = next.Add(interval) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		qi := cfg.Pick.Pick(rng)
+		c.offered.Add(1)
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(qi int) {
+				defer wg.Done()
+				t0 := time.Now()
+				err := cfg.Do(qi)
+				c.record(&cfg, time.Since(t0), err)
+				<-sem
+			}(qi)
+		default:
+			c.dropped.Add(1)
+		}
+	}
+	wg.Wait()
+	return c.result(time.Since(start))
+}

@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"haindex/internal/dataset"
+)
+
+// TestPickerDistribution: sampled frequencies must track the weights.
+func TestPickerDistribution(t *testing.T) {
+	w := dataset.ZipfWeights(50, 1.1)
+	p := NewPicker(w)
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	counts := make([]int, len(w))
+	for i := 0; i < n; i++ {
+		counts[p.Pick(rng)]++
+	}
+	for i := 0; i < 5; i++ {
+		got := float64(counts[i]) / n
+		if math.Abs(got-w[i]) > w[i]*0.1 {
+			t.Fatalf("index %d sampled with frequency %.4f, weight %.4f", i, got, w[i])
+		}
+	}
+	if counts[0] <= counts[len(counts)-1] {
+		t.Fatal("head not more popular than tail")
+	}
+}
+
+func TestPickerDegenerate(t *testing.T) {
+	p := NewPicker(nil)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		if p.Pick(rng) != 0 {
+			t.Fatal("nil-weight picker must always pick 0")
+		}
+	}
+}
+
+// TestClosedLoop: counters are consistent and goodput distinguishes
+// SLO-violating completions from fast ones.
+func TestClosedLoop(t *testing.T) {
+	var slow atomic.Int64
+	res := Run(Config{
+		Do: func(qi int) error {
+			if qi == 0 {
+				// The popular query is served slowly: misses the SLO.
+				slow.Add(1)
+				time.Sleep(2 * time.Millisecond)
+			}
+			return nil
+		},
+		Pick:     NewPicker([]float64{0.5, 0.5}),
+		Workers:  4,
+		Duration: 80 * time.Millisecond,
+		SLO:      time.Millisecond,
+		Seed:     3,
+	})
+	if res.Offered == 0 || res.Offered != res.Done {
+		t.Fatalf("offered %d done %d, want equal and nonzero", res.Offered, res.Done)
+	}
+	if res.Good+slow.Load() != res.Done {
+		t.Fatalf("good %d + slow %d != done %d", res.Good, slow.Load(), res.Done)
+	}
+	if res.Good == 0 || res.Good == res.Done {
+		t.Fatalf("SLO split degenerate: good %d of %d", res.Good, res.Done)
+	}
+	if res.Latency.Count != int(res.Done) {
+		t.Fatalf("latency samples %d, done %d", res.Latency.Count, res.Done)
+	}
+	if res.Latency.P99 < res.Latency.P50 || res.Latency.Max < res.Latency.P99 {
+		t.Fatalf("percentiles out of order: %+v", res.Latency)
+	}
+	if res.Throughput <= 0 || res.Goodput <= 0 || res.Goodput >= res.Throughput {
+		t.Fatalf("throughput %.1f goodput %.1f", res.Throughput, res.Goodput)
+	}
+}
+
+// TestOpenLoopOffersAtRate: the arrival schedule tracks Rate and does not
+// slow down with the system; slow service with a tight in-flight bound
+// surfaces as drops, and shed-classified errors are counted apart from
+// failures.
+func TestOpenLoopOffersAtRate(t *testing.T) {
+	errShed := errors.New("shed")
+	var n atomic.Int64
+	res := Run(Config{
+		Do: func(qi int) error {
+			// Every third query is shed; the rest are slow enough to pile
+			// up against MaxInFlight.
+			if n.Add(1)%3 == 0 {
+				return errShed
+			}
+			time.Sleep(20 * time.Millisecond)
+			return nil
+		},
+		Rate:        1000,
+		MaxInFlight: 4,
+		Duration:    100 * time.Millisecond,
+		IsShed:      func(err error) bool { return errors.Is(err, errShed) },
+		Seed:        4,
+	})
+	if res.Offered < 80 || res.Offered > 120 {
+		t.Fatalf("offered %d arrivals at 1000/s over 100ms, want ~100", res.Offered)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("slow service under open loop produced no drops")
+	}
+	if res.Shed == 0 {
+		t.Fatal("shed errors not classified")
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d failures, want 0 (all errors were sheds)", res.Failed)
+	}
+	if got := res.Done + res.Shed + res.Failed + res.Dropped; got != res.Offered {
+		t.Fatalf("outcomes sum to %d, offered %d", got, res.Offered)
+	}
+}

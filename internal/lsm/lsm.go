@@ -121,6 +121,12 @@ type Shard struct {
 	state      atomic.Pointer[state] // immutable segment stack
 	booted     bool
 
+	// ver counts result-changing mutations (bootstrap, insert, delete) —
+	// unlike the structural epoch, which only moves on seal/compact swaps.
+	// It is the invalidation token result caches key on: any acknowledged
+	// change to what a search can return is visible as a new version.
+	ver atomic.Uint64
+
 	// structMu serializes structural background work (seal, compact) so at
 	// most one freeze/merge is in flight.
 	structMu    sync.Mutex
@@ -197,6 +203,7 @@ func (s *Shard) Bootstrap(idx core.Index) error {
 	})
 	st := s.state.Load()
 	s.state.Store(&state{segments: []*segment{seg}, epoch: st.epoch + 1})
+	s.ver.Add(1)
 	s.publishGauges()
 	return nil
 }
@@ -221,6 +228,14 @@ func (s *Shard) Len() int {
 // Epoch returns the current structural epoch; it bumps on every seal and
 // compaction swap, so cached results keyed on it invalidate correctly.
 func (s *Shard) Epoch() uint64 { return s.state.Load().epoch }
+
+// Version returns the mutation version: a monotone counter bumped by every
+// result-changing mutation (bootstrap, insert, delete) and left alone by
+// result-neutral structural work (seal, compact). A result cache keys its
+// entries on the version read before the search; the bump happens before
+// the mutation's lock is released, so once a mutation is acknowledged no
+// later read can use the old version's key space.
+func (s *Shard) Version() uint64 { return s.ver.Load() }
 
 // Stats returns a point-in-time layering summary.
 func (s *Shard) Stats() Stats {
@@ -279,6 +294,7 @@ func (s *Shard) Insert(id int, c bitvec.Code) bool {
 		s.mem.Insert(id, c)
 	}
 	s.cInserts.Inc()
+	s.ver.Add(1)
 	sealNow := s.opts.MemtableMax > 0 && len(s.memIDs) >= s.opts.MemtableMax
 	s.publishGauges()
 	s.mu.Unlock()
@@ -307,6 +323,7 @@ func (s *Shard) Delete(id int) bool {
 		s.mem.Delete(id, c)
 		delete(s.memIDs, id)
 		s.cDeletes.Inc()
+		s.ver.Add(1)
 		s.publishGauges()
 		return true
 	}
@@ -315,6 +332,7 @@ func (s *Shard) Delete(id int) bool {
 		s.seq++
 		s.tomb[id] = s.seq
 		s.cDeletes.Inc()
+		s.ver.Add(1)
 		s.publishGauges()
 		return true
 	}

@@ -1,0 +1,234 @@
+package qcache
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/obs"
+)
+
+func code64(rng *rand.Rand) bitvec.Code {
+	return bitvec.Rand(rng, 64)
+}
+
+// TestGetPut: basic hit/miss/counter behaviour, including the cacheability
+// of an empty (no-match) answer and epoch keying.
+func TestGetPut(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Options{MaxEntries: 64, Obs: reg})
+	rng := rand.New(rand.NewSource(1))
+	q := code64(rng)
+	k := Key{Code: q, H: 3, Engine: 1, Shard: -1, Epoch: 7}
+	var kb []byte
+
+	kb = k.Append(kb[:0])
+	if _, ok := c.Get(kb); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(kb, []int{5, 9})
+	ids, ok := c.Get(kb)
+	if !ok || len(ids) != 2 || ids[0] != 5 {
+		t.Fatalf("after Put: ids=%v ok=%v", ids, ok)
+	}
+	// A no-match answer is a first-class entry.
+	kEmpty := Key{Code: q, H: 0, Shard: -1, Epoch: 7}
+	kb = kEmpty.Append(kb[:0])
+	c.Put(kb, nil)
+	ids, ok = c.Get(kb)
+	if !ok || ids != nil {
+		t.Fatalf("empty result not cached: ids=%v ok=%v", ids, ok)
+	}
+	// A new epoch is a different key: the stale entry is unreachable.
+	k2 := k
+	k2.Epoch = 8
+	if _, ok = c.Get(k2.Append(kb[:0])); ok {
+		t.Fatal("entry survived an epoch bump")
+	}
+	if h := reg.Counter("qcache.hits").Value(); h != 2 {
+		t.Fatalf("hits = %d, want 2", h)
+	}
+	if m := reg.Counter("qcache.misses").Value(); m != 2 {
+		t.Fatalf("misses = %d, want 2", m)
+	}
+	if n := reg.Gauge("qcache.entries").Value(); n != int64(c.Len()) || n != 2 {
+		t.Fatalf("entries gauge %d, Len %d, want 2", n, c.Len())
+	}
+}
+
+// TestBounded: the cache never exceeds MaxEntries no matter how many
+// distinct keys are pushed through it.
+func TestBounded(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Options{MaxEntries: 128, Shards: 4, Obs: reg})
+	rng := rand.New(rand.NewSource(2))
+	var kb []byte
+	for i := 0; i < 5000; i++ {
+		k := Key{Code: code64(rng), H: i % 8, Shard: -1}
+		// Repeat each key a few times so the sketch lets some in.
+		kb = k.Append(kb[:0])
+		for rep := 0; rep < 3; rep++ {
+			c.Get(kb)
+			c.Put(kb, []int{i})
+		}
+	}
+	if n := c.Len(); n > 128 {
+		t.Fatalf("cache grew to %d entries, bound is 128", n)
+	}
+	if ev, by := reg.Counter("qcache.evictions").Value(), reg.Counter("qcache.bypass").Value(); ev+by == 0 {
+		t.Fatal("overflow produced neither evictions nor bypasses")
+	}
+}
+
+// TestAdmissionKeepsHotSet: after the cache is warmed with a hot set that
+// is accessed repeatedly, a storm of one-hit wonders must not wash it out —
+// the TinyLFU sketch denies them admission over the hot entries.
+func TestAdmissionKeepsHotSet(t *testing.T) {
+	c := New(Options{MaxEntries: 64, Shards: 1})
+	rng := rand.New(rand.NewSource(3))
+	hot := make([][]byte, 32)
+	for i := range hot {
+		hot[i] = Key{Code: code64(rng), H: 4, Shard: -1}.Append(nil)
+	}
+	// Warm: each hot key is looked up and filled several times.
+	for round := 0; round < 8; round++ {
+		for i, kb := range hot {
+			if _, ok := c.Get(kb); !ok {
+				c.Put(kb, []int{i})
+			}
+		}
+	}
+	// Storm: 2000 keys seen exactly once each, with the hot set still being
+	// read (that is what makes it hot) — its sketch frequencies must keep
+	// the one-hit wonders from being admitted over it.
+	var kb []byte
+	for i := 0; i < 2000; i++ {
+		k := Key{Code: code64(rng), H: 5, Shard: -1}
+		kb = k.Append(kb[:0])
+		c.Get(kb)
+		c.Put(kb, []int{i})
+		c.Get(hot[i%len(hot)])
+	}
+	kept := 0
+	for _, kb := range hot {
+		if _, ok := c.Get(kb); ok {
+			kept++
+		}
+	}
+	if kept < len(hot)*3/4 {
+		t.Fatalf("one-hit-wonder storm evicted the hot set: %d/%d kept", kept, len(hot))
+	}
+}
+
+// TestMaxIDsBypass: oversized results never enter the cache.
+func TestMaxIDsBypass(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Options{MaxEntries: 16, MaxIDs: 4, Obs: reg})
+	rng := rand.New(rand.NewSource(4))
+	kb := Key{Code: code64(rng), H: 3, Shard: -1}.Append(nil)
+	c.Put(kb, []int{1, 2, 3, 4, 5})
+	if _, ok := c.Get(kb); ok {
+		t.Fatal("oversized result was cached")
+	}
+	if reg.Counter("qcache.bypass").Value() == 0 {
+		t.Fatal("bypass not counted")
+	}
+}
+
+// TestConcurrent hammers one cache from many goroutines under -race.
+func TestConcurrent(t *testing.T) {
+	c := New(Options{MaxEntries: 256})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			keys := make([][]byte, 64)
+			for i := range keys {
+				keys[i] = Key{Code: code64(rng), H: i % 6, Shard: -1, Epoch: uint64(g)}.Append(nil)
+			}
+			for i := 0; i < 3000; i++ {
+				kb := keys[rng.Intn(len(keys))]
+				if _, ok := c.Get(kb); !ok {
+					c.Put(kb, []int{i})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestKeyInjective is the key-packing property test: distinct key tuples
+// pack to distinct bytes, equal tuples to equal bytes.
+func TestKeyInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]Key, 0, 400)
+	for i := 0; i < 100; i++ {
+		base := Key{Code: code64(rng), H: rng.Intn(65), Engine: rng.Intn(4),
+			Shard: rng.Intn(5) - 1, Epoch: rng.Uint64() % 1000}
+		keys = append(keys, base)
+		alt := base
+		alt.Epoch++
+		keys = append(keys, alt)
+		alt = base
+		alt.Shard++
+		keys = append(keys, alt)
+		alt = base
+		alt.H++
+		keys = append(keys, alt)
+	}
+	seen := make(map[string]Key, len(keys))
+	for _, k := range keys {
+		b := string(k.Append(nil))
+		if prev, dup := seen[b]; dup && !sameKey(prev, k) {
+			t.Fatalf("distinct keys packed identically:\n%+v\n%+v", prev, k)
+		}
+		seen[b] = k
+		if !bytes.Equal(k.Append(nil), []byte(b)) {
+			t.Fatal("packing is not deterministic")
+		}
+	}
+}
+
+func sameKey(a, b Key) bool {
+	return a.H == b.H && a.Engine == b.Engine && a.Shard == b.Shard &&
+		a.Epoch == b.Epoch && a.Code.Equal(b.Code)
+}
+
+// FuzzKeyPacking drives the injectivity property from fuzzed field values:
+// two keys derived from the input pack equal iff their fields are equal.
+func FuzzKeyPacking(f *testing.F) {
+	f.Add(uint64(1), uint64(2), 3, 1, 0, uint64(9), uint64(9))
+	f.Add(uint64(0), uint64(0), 0, 0, -1, uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, w1, w2 uint64, h, engine, shard int, e1, e2 uint64) {
+		if h < 0 || h > 1<<20 || engine < 0 || engine > 1<<20 || shard < -1 || shard > 1<<20 {
+			t.Skip()
+		}
+		a := Key{Code: bitvec.FromUint64(w1, 64), H: h, Engine: engine, Shard: shard, Epoch: e1}
+		b := Key{Code: bitvec.FromUint64(w2, 64), H: h, Engine: engine, Shard: shard, Epoch: e2}
+		pa, pb := a.Append(nil), b.Append(nil)
+		if sameKey(a, b) != bytes.Equal(pa, pb) {
+			t.Fatalf("packing not injective: %+v vs %+v", a, b)
+		}
+	})
+}
+
+// BenchmarkGetHit measures the steady-state hit path (and its allocs).
+func BenchmarkGetHit(b *testing.B) {
+	c := New(Options{MaxEntries: 1024})
+	rng := rand.New(rand.NewSource(6))
+	k := Key{Code: code64(rng), H: 4, Shard: -1}
+	kb := k.Append(nil)
+	c.Put(kb, []int{1, 2, 3})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kb = k.Append(kb[:0])
+		if _, ok := c.Get(kb); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -9,6 +9,7 @@ import "time"
 type Fault struct {
 	Fail  bool
 	Drop  bool
+	Shed  bool
 	Delay time.Duration
 }
 
@@ -43,6 +44,14 @@ func (p *FaultPlan) FailRequest(req int64) *FaultPlan {
 // without a response — the failure mode that exercises client reconnects.
 func (p *FaultPlan) DropRequest(req int64) *FaultPlan {
 	return p.upsert(req, func(f *Fault) { f.Drop = true })
+}
+
+// ShedRequest schedules request req to be answered with a MsgShed frame as
+// if its admission-wait budget had expired — the deterministic overload
+// signal smoke tests assert on. Ignored on sessions older than protocol
+// version 5, which cannot parse the frame.
+func (p *FaultPlan) ShedRequest(req int64) *FaultPlan {
+	return p.upsert(req, func(f *Fault) { f.Shed = true })
 }
 
 // DelayRequest schedules request req to stall for d before being served —

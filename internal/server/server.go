@@ -27,6 +27,7 @@ import (
 	"haindex/internal/mih"
 	"haindex/internal/obs"
 	"haindex/internal/planner"
+	"haindex/internal/qcache"
 	"haindex/internal/wire"
 )
 
@@ -55,6 +56,20 @@ type Options struct {
 	// "mih" and "scan" pin one engine. A per-request wire hint (protocol v4)
 	// overrides the mode, but may only name engines this option enabled.
 	Engine string
+
+	// CacheEntries, when positive, puts a result cache (internal/qcache) in
+	// front of batched admission: a search whose every query hits is
+	// answered without consuming an admission ticket. Entries are keyed on
+	// (code, threshold, access path, mutation version), so LSM mutations
+	// invalidate by construction — see lsm.Shard.Version. 0 disables.
+	CacheEntries int
+	// ShedAfter, when positive, is the admission-wait budget: a search or
+	// top-k request still waiting for an admission ticket past it is
+	// answered with a polite MsgShed instead of queueing further. The
+	// budget scales with the request's wire priority class (interactive
+	// 2x, normal 1x, batch 1/2x). Sessions negotiated below protocol
+	// version 5 cannot parse MsgShed and block as before. 0 disables.
+	ShedAfter time.Duration
 
 	// IdleTimeout bounds how long a connection may sit between frames (and
 	// how long a half-written request may stall) before the server reaps it.
@@ -104,6 +119,9 @@ type Server struct {
 	scanCodes     []bitvec.Code
 	scanIDs       []int
 
+	// cache, when non-nil, answers repeated searches ahead of admission.
+	cache *qcache.Cache
+
 	// reqSeq numbers search/top-k requests across all connections — the
 	// coordinate system of the fault plan.
 	reqSeq atomic.Int64
@@ -140,6 +158,10 @@ type Server struct {
 	// histEngine records per-query latency by engine (engine.<name>_ns).
 	ctrStrategy [3]*obs.Counter
 	histEngine  [3]*obs.Histogram
+	// Load-shedding observability: total sheds plus a per-priority-class
+	// split (shed.normal / shed.interactive / shed.batch).
+	cntShed     *obs.Counter
+	cntShedPrio [3]*obs.Counter
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -305,7 +327,29 @@ func newServer(meta wire.SnapshotMeta, opts Options) *Server {
 		s.ctrStrategy[st] = s.reg.Counter("planner." + name)
 		s.histEngine[st] = s.reg.Histogram("engine." + name + "_ns")
 	}
+	s.cntShed = s.reg.Counter("sheds")
+	for p, name := range [3]string{"normal", "interactive", "batch"} {
+		s.cntShedPrio[p] = s.reg.Counter("shed." + name)
+	}
+	if opts.CacheEntries > 0 {
+		s.cache = qcache.New(qcache.Options{MaxEntries: opts.CacheEntries, Obs: s.reg})
+	}
 	return s
+}
+
+// cacheVersion is the epoch field of this server's cache keys: the shard's
+// mutation version in mutable mode, the constant 0 over an immutable index
+// (which never changes, so one key space lives forever). It must be read
+// BEFORE the search runs: a mutation racing the search may then be included
+// in an entry keyed at the older version, but that entry is only readable
+// by lookups that also raced the mutation — exactly the reads an uncached
+// server could have answered either way. Once the mutation is acknowledged
+// every later lookup reads the bumped version and misses.
+func (s *Server) cacheVersion() uint64 {
+	if s.shard != nil {
+		return s.shard.Version()
+	}
+	return 0
 }
 
 // Obs returns the server's metric registry (counters, gauges, latency and
@@ -539,12 +583,23 @@ func (s *Server) handleConn(conn net.Conn) {
 				}
 				continue
 			}
+			if f.Shed && nego >= 5 {
+				// A deterministic shed for smoke tests; sessions too old to
+				// parse MsgShed are served normally instead.
+				s.faultsInjected.Add(1)
+				s.faultCount.Inc()
+				respType, resp := s.shedResp(wire.PriorityNormal, 0)
+				if !writeMsg(respType, resp) {
+					return
+				}
+				continue
+			}
 			var respType wire.MsgType
 			var resp []byte
 			if t == wire.MsgSearch {
-				respType, resp = s.answerSearch(payload, tr)
+				respType, resp = s.answerSearch(payload, nego, tr)
 			} else {
-				respType, resp = s.answerTopK(payload, tr)
+				respType, resp = s.answerTopK(payload, nego, tr)
 			}
 			if respType == wire.MsgError {
 				s.errors.Add(1)
@@ -667,7 +722,16 @@ func (s *Server) scan(q bitvec.Code, h int, stats *core.SearchStats) []int {
 	return out
 }
 
-func (s *Server) answerSearch(payload []byte, tr *obs.Trace) (wire.MsgType, []byte) {
+// shedResp counts and encodes one shed answer.
+func (s *Server) shedResp(priority int, waited time.Duration) (wire.MsgType, []byte) {
+	s.cntShed.Inc()
+	if priority >= 0 && priority < len(s.cntShedPrio) {
+		s.cntShedPrio[priority].Inc()
+	}
+	return wire.MsgShed, wire.ShedResp{WaitNs: waited.Nanoseconds()}.Append(nil)
+}
+
+func (s *Server) answerSearch(payload []byte, nego int, tr *obs.Trace) (wire.MsgType, []byte) {
 	req, err := wire.ParseSearchReq(payload, s.meta.Length)
 	if err != nil {
 		return wire.MsgError, wire.ErrorMsg{Msg: err.Error()}.Append(nil)
@@ -683,44 +747,94 @@ func (s *Server) answerSearch(payload []byte, tr *obs.Trace) (wire.MsgType, []by
 	s.queries.Add(int64(len(req.Queries)))
 	resp := wire.SearchResp{IDs: make([][]int, len(req.Queries))}
 	returned := int64(0)
-	s.runBatch(len(req.Queries), tr, func(set *searcherSet, i int) core.SearchStats {
-		var ids []int
-		var stats core.SearchStats
-		t0 := time.Now()
-		if s.shard != nil {
-			ids = s.shard.SearchInto(req.Queries[i], req.H, &stats)
-		} else {
-			switch st {
-			case planner.UseMIH:
-				ids = set.mih.Search(req.Queries[i], req.H)
-				stats = set.mih.Stats
-			case planner.UseScan:
-				ids = s.scan(req.Queries[i], req.H, &stats)
-			default:
-				ids = set.ha.Search(req.Queries[i], req.H)
-				stats = set.ha.Stats
+
+	// Cache phase, ahead of batched admission: answer every query the cache
+	// can and only admit the misses. A fully cached request never consumes
+	// an admission ticket — the overload-survival property the load
+	// experiment measures. The mutation version is read before any search
+	// runs; see cacheVersion for why that ordering is the safe one.
+	//
+	// The key carries the request's engine HINT, not the strategy the
+	// planner resolved it to: every engine computes the same answer set,
+	// and the measured planner is free to route borderline thresholds
+	// differently from one request to the next — keying on its choice
+	// would fragment identical answers across strategies and halve the
+	// effective hit rate for auto traffic.
+	miss := make([]int, 0, len(req.Queries))
+	var missKeys [][]byte
+	if s.cache != nil {
+		span := tr.Start("cache", 0)
+		ver := s.cacheVersion()
+		var kb []byte
+		for i, q := range req.Queries {
+			kb = qcache.Key{Code: q, H: req.H, Engine: int(req.Engine), Shard: -1, Epoch: ver}.Append(kb[:0])
+			if ids, ok := s.cache.Get(kb); ok {
+				if len(ids) > 0 {
+					// Zero-copy: the shared slice is only read while encoding
+					// the response below.
+					resp.IDs[i] = ids
+					returned += int64(len(ids))
+				}
+				continue
 			}
+			miss = append(miss, i)
+			missKeys = append(missKeys, append([]byte(nil), kb...))
 		}
-		ns := time.Since(t0).Nanoseconds()
-		s.histEngine[st].Record(ns)
-		if s.pl != nil {
-			// Close the loop: serving latencies refine the planner's EWMA
-			// cost cells, so the model tracks the live workload.
-			s.pl.Observe(st, req.H, float64(ns))
+		tr.End(span)
+	} else {
+		for i := range req.Queries {
+			miss = append(miss, i)
 		}
-		if len(ids) > 0 {
-			out := append([]int(nil), ids...)
-			sort.Ints(out)
-			resp.IDs[i] = out
-			atomic.AddInt64(&returned, int64(len(out)))
+	}
+	if len(miss) > 0 {
+		set, shed, waited := s.admit(s.shedBudget(nego, req.Priority), tr)
+		if shed {
+			return s.shedResp(req.Priority, waited)
 		}
-		return stats
-	})
+		s.runBatch(set, len(miss), tr, func(set *searcherSet, j int) core.SearchStats {
+			i := miss[j]
+			var ids []int
+			var stats core.SearchStats
+			t0 := time.Now()
+			if s.shard != nil {
+				ids = s.shard.SearchInto(req.Queries[i], req.H, &stats)
+			} else {
+				switch st {
+				case planner.UseMIH:
+					ids = set.mih.Search(req.Queries[i], req.H)
+					stats = set.mih.Stats
+				case planner.UseScan:
+					ids = s.scan(req.Queries[i], req.H, &stats)
+				default:
+					ids = set.ha.Search(req.Queries[i], req.H)
+					stats = set.ha.Stats
+				}
+			}
+			ns := time.Since(t0).Nanoseconds()
+			s.histEngine[st].Record(ns)
+			if s.pl != nil {
+				// Close the loop: serving latencies refine the planner's EWMA
+				// cost cells, so the model tracks the live workload.
+				s.pl.Observe(st, req.H, float64(ns))
+			}
+			var out []int
+			if len(ids) > 0 {
+				out = append([]int(nil), ids...)
+				sort.Ints(out)
+				resp.IDs[i] = out
+				atomic.AddInt64(&returned, int64(len(out)))
+			}
+			if s.cache != nil {
+				s.cache.Put(missKeys[j], out)
+			}
+			return stats
+		})
+	}
 	s.idsReturned.Add(atomic.LoadInt64(&returned))
 	return wire.MsgSearchOK, resp.Append(nil)
 }
 
-func (s *Server) answerTopK(payload []byte, tr *obs.Trace) (wire.MsgType, []byte) {
+func (s *Server) answerTopK(payload []byte, nego int, tr *obs.Trace) (wire.MsgType, []byte) {
 	req, err := wire.ParseTopKReq(payload, s.meta.Length)
 	if err != nil {
 		return wire.MsgError, wire.ErrorMsg{Msg: err.Error()}.Append(nil)
@@ -731,21 +845,30 @@ func (s *Server) answerTopK(payload []byte, tr *obs.Trace) (wire.MsgType, []byte
 	s.topkQueries.Add(int64(len(req.Queries)))
 	resp := wire.TopKResp{IDs: make([][]int, len(req.Queries)), Dists: make([][]int, len(req.Queries))}
 	returned := int64(0)
-	s.runBatch(len(req.Queries), tr, func(set *searcherSet, i int) core.SearchStats {
-		var ids, dists []int
-		var stats core.SearchStats
-		if s.shard != nil {
-			ids, dists = s.shard.TopKInto(req.Queries[i], req.K, &stats)
-		} else {
-			// Top-k always runs on the primary index: the radius-escalating
-			// search has no MIH/scan analogue worth routing to.
-			ids, dists = set.ha.TopK(req.Queries[i], req.K)
-			stats = set.ha.Stats
+	if len(req.Queries) > 0 {
+		// Top-k answers are not cached (the k-way merge keys on k, not H,
+		// and the traffic is a sliver of select volume) but they respect
+		// the same admission budget: an overloaded shard sheds them too.
+		set, shed, waited := s.admit(s.shedBudget(nego, wire.PriorityNormal), tr)
+		if shed {
+			return s.shedResp(wire.PriorityNormal, waited)
 		}
-		resp.IDs[i], resp.Dists[i] = ids, dists
-		atomic.AddInt64(&returned, int64(len(ids)))
-		return stats
-	})
+		s.runBatch(set, len(req.Queries), tr, func(set *searcherSet, i int) core.SearchStats {
+			var ids, dists []int
+			var stats core.SearchStats
+			if s.shard != nil {
+				ids, dists = s.shard.TopKInto(req.Queries[i], req.K, &stats)
+			} else {
+				// Top-k always runs on the primary index: the radius-escalating
+				// search has no MIH/scan analogue worth routing to.
+				ids, dists = set.ha.TopK(req.Queries[i], req.K)
+				stats = set.ha.Stats
+			}
+			resp.IDs[i], resp.Dists[i] = ids, dists
+			atomic.AddInt64(&returned, int64(len(ids)))
+			return stats
+		})
+	}
 	s.idsReturned.Add(atomic.LoadInt64(&returned))
 	return wire.MsgTopKOK, resp.Append(nil)
 }
@@ -807,26 +930,66 @@ func (s *Server) answerSeal(payload []byte) (wire.MsgType, []byte) {
 	return wire.MsgSealOK, resp.Append(nil)
 }
 
-// runBatch executes one request's queries with batched admission: it blocks
-// for one searcher (the admission ticket — at most Options.Searchers
-// requests make progress at once) and opportunistically grabs idle extras
-// to parallelize the batch, so a lone large batch uses the whole pool while
-// concurrent small requests are not starved. Queries are claimed off an
-// atomic cursor, mirroring core.SearchBatch. run returns the index work one
-// query did; in mutable mode the pooled set is a nil admission ticket and
-// the shard supplies its own per-segment searchers.
-func (s *Server) runBatch(n int, tr *obs.Trace, run func(set *searcherSet, i int) core.SearchStats) {
-	if n == 0 {
-		return
+// shedBudget resolves the admission-wait budget for one request: the
+// configured ShedAfter scaled by the wire priority class. Zero means block
+// indefinitely (shedding off, or a session too old to parse MsgShed).
+func (s *Server) shedBudget(nego, priority int) time.Duration {
+	if s.opts.ShedAfter <= 0 || nego < 5 {
+		return 0
 	}
-	// The blocking wait for the admission ticket is the queueing delay a
-	// saturated pool imposes; its span and histogram are where overload
-	// shows up first.
+	switch priority {
+	case wire.PriorityInteractive:
+		return 2 * s.opts.ShedAfter
+	case wire.PriorityBatch:
+		return s.opts.ShedAfter / 2
+	}
+	return s.opts.ShedAfter
+}
+
+// admit blocks for one admission ticket, up to budget (0 = forever). It
+// reports the acquired set (nil is a valid ticket on a mutable server), a
+// shed flag, and how long the request waited. The blocking wait is the
+// queueing delay a saturated pool imposes; its span and histogram are where
+// overload shows up first — and, past the budget, where it is shed.
+func (s *Server) admit(budget time.Duration, tr *obs.Trace) (set *searcherSet, shed bool, waited time.Duration) {
 	t0 := time.Now()
 	adm := tr.Start("admission", 0)
-	searchers := []*searcherSet{<-s.pool}
+	if budget <= 0 {
+		set = <-s.pool
+	} else {
+		select {
+		case set = <-s.pool:
+		default:
+			timer := time.NewTimer(budget)
+			select {
+			case set = <-s.pool:
+				timer.Stop()
+			case <-timer.C:
+				shed = true
+			}
+		}
+	}
 	tr.End(adm)
-	s.histAdmission.RecordSince(t0)
+	waited = time.Since(t0)
+	s.histAdmission.Record(waited.Nanoseconds())
+	return set, shed, waited
+}
+
+// runBatch executes one request's queries with batched admission: the
+// caller has already blocked for one searcher through admit (the admission
+// ticket — at most Options.Searchers requests make progress at once), and
+// runBatch opportunistically grabs idle extras to parallelize the batch, so
+// a lone large batch uses the whole pool while concurrent small requests
+// are not starved. Queries are claimed off an atomic cursor, mirroring
+// core.SearchBatch. run returns the index work one query did; in mutable
+// mode the pooled set is a nil admission ticket and the shard supplies its
+// own per-segment searchers.
+func (s *Server) runBatch(first *searcherSet, n int, tr *obs.Trace, run func(set *searcherSet, i int) core.SearchStats) {
+	if n == 0 {
+		s.pool <- first
+		return
+	}
+	searchers := []*searcherSet{first}
 	for len(searchers) < n {
 		select {
 		case sr := <-s.pool:

@@ -34,8 +34,12 @@ import (
 // the mutation frames (Insert/Delete/Seal) for the LSM serving tier and the
 // downward-negotiating handshake. Version 4 added the optional engine hint
 // trailing SearchReq — a client's escape hatch to pin one query batch to a
-// specific search engine instead of the server's planner choice.
-const Version = 4
+// specific search engine instead of the server's planner choice. Version 5
+// added the optional priority class trailing SearchReq and the Shed
+// response: an overloaded server may answer a search with MsgShed instead
+// of queueing past its admission budget, and the client backs off and
+// retries the same replica.
+const Version = 5
 
 // Engine hints a SearchReq can carry since protocol version 4. EngineAuto
 // (the zero value) is never put on the wire — Append omits the field — so
@@ -78,6 +82,43 @@ func EngineName(e int) string {
 	return fmt.Sprintf("engine(%d)", e)
 }
 
+// Priority classes a SearchReq can carry since protocol version 5. They
+// scale the server's admission-wait budget before it sheds: interactive
+// traffic waits longest, batch traffic is shed first. PriorityNormal (the
+// zero value) is never put on the wire, so default traffic stays
+// byte-identical to version 4 and parses on old servers.
+const (
+	PriorityNormal      = iota // default admission budget
+	PriorityInteractive        // user-facing: shed last
+	PriorityBatch              // backfill: shed first
+)
+
+// ParsePriority maps a -priority flag spelling to its wire class.
+func ParsePriority(name string) (int, error) {
+	switch name {
+	case "", "normal":
+		return PriorityNormal, nil
+	case "interactive", "high":
+		return PriorityInteractive, nil
+	case "batch", "low":
+		return PriorityBatch, nil
+	}
+	return 0, fmt.Errorf("wire: unknown priority %q (want normal, interactive, or batch)", name)
+}
+
+// PriorityName renders a priority class for errors and logs.
+func PriorityName(p int) string {
+	switch p {
+	case PriorityNormal:
+		return "normal"
+	case PriorityInteractive:
+		return "interactive"
+	case PriorityBatch:
+		return "batch"
+	}
+	return fmt.Sprintf("priority(%d)", p)
+}
+
 // MaxFrame bounds a frame's payload so a corrupt or hostile length prefix
 // cannot make a reader allocate unboundedly.
 const MaxFrame = 1 << 26
@@ -103,6 +144,12 @@ const (
 	MsgDeleteOK
 	MsgSeal
 	MsgSealOK
+
+	// Version 5: the overload answer to a search or top-k request. Unlike
+	// MsgError it is polite — the server is healthy but its admission queue
+	// exceeded the request's wait budget, and the client should back off and
+	// retry the same replica rather than fail over.
+	MsgShed
 )
 
 func (t MsgType) String() string {
@@ -137,6 +184,8 @@ func (t MsgType) String() string {
 		return "seal"
 	case MsgSealOK:
 		return "seal-ok"
+	case MsgShed:
+		return "shed"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(t))
 }
@@ -309,23 +358,44 @@ func ParseHelloOK(payload []byte) (HelloOK, error) {
 // SearchReq is a batch of Hamming-select queries at threshold H. Engine is
 // the version-4 per-batch engine hint; EngineAuto leaves the choice to the
 // server's planner and is what every client before version 4 implies.
+// Priority is the version-5 admission class; PriorityNormal is what every
+// client before version 5 implies.
 type SearchReq struct {
-	H       int
-	Length  int
-	Engine  int
-	Queries []bitvec.Code
+	H        int
+	Length   int
+	Engine   int
+	Priority int
+	Queries  []bitvec.Code
 }
 
 func (m SearchReq) Append(dst []byte) []byte {
+	return m.AppendVersion(dst, Version)
+}
+
+// AppendVersion encodes the request for a session negotiated at the given
+// protocol version, silently dropping fields the peer cannot parse: the
+// engine hint below version 4, the priority class below version 5. Both are
+// optional trailing varints — engine then priority — and a default value is
+// omitted unless a later field needs it as a placeholder, so a default
+// request stays byte-identical across versions.
+func (m SearchReq) AppendVersion(dst []byte, version int) []byte {
 	dst = binary.AppendUvarint(dst, uint64(m.H))
 	dst = binary.AppendUvarint(dst, uint64(len(m.Queries)))
 	for _, q := range m.Queries {
 		dst = q.AppendBytes(dst)
 	}
-	// The engine hint trails the codes and is omitted when auto, keeping the
-	// default encoding identical to version 3.
-	if m.Engine != EngineAuto {
-		dst = binary.AppendUvarint(dst, uint64(m.Engine))
+	engine, priority := m.Engine, m.Priority
+	if version < 5 {
+		priority = PriorityNormal
+	}
+	if version < 4 {
+		engine = EngineAuto
+	}
+	if priority != PriorityNormal {
+		dst = binary.AppendUvarint(dst, uint64(engine))
+		dst = binary.AppendUvarint(dst, uint64(priority))
+	} else if engine != EngineAuto {
+		dst = binary.AppendUvarint(dst, uint64(engine))
 	}
 	return dst
 }
@@ -344,6 +414,13 @@ func ParseSearchReq(payload []byte, length int) (SearchReq, error) {
 		m.Engine = p.intv()
 		if p.err == nil && (m.Engine < EngineAuto || m.Engine > EngineScan) {
 			return m, fmt.Errorf("wire: unknown engine hint %d", m.Engine)
+		}
+	}
+	// Version-5 extension: trailing priority class, optional likewise.
+	if p.err == nil && len(p.b) != 0 {
+		m.Priority = p.intv()
+		if p.err == nil && (m.Priority < PriorityNormal || m.Priority > PriorityBatch) {
+			return m, fmt.Errorf("wire: unknown priority class %d", m.Priority)
 		}
 	}
 	return m, p.done()
@@ -510,6 +587,24 @@ func ParseStatsResp(payload []byte) (StatsResp, error) {
 		}
 		*f = int64(p.uvarint())
 	}
+	return m, p.done()
+}
+
+// ShedResp is the payload of a MsgShed answer: the server refused to queue
+// the request past its admission budget. WaitNs reports how long the
+// request did wait before being shed, so clients and load harnesses can see
+// the budget that was burned.
+type ShedResp struct {
+	WaitNs int64
+}
+
+func (m ShedResp) Append(dst []byte) []byte {
+	return binary.AppendUvarint(dst, uint64(m.WaitNs))
+}
+
+func ParseShedResp(payload []byte) (ShedResp, error) {
+	p := &buf{b: payload}
+	m := ShedResp{WaitNs: int64(p.uvarint())}
 	return m, p.done()
 }
 

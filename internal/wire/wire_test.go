@@ -296,9 +296,115 @@ func TestSearchReqEngineHint(t *testing.T) {
 	if _, err := ParseSearchReq(append(append([]byte(nil), base...), 9), 64); err == nil {
 		t.Error("unknown engine hint accepted")
 	}
+	// One extra varint after the engine hint is a v5 priority class; two
+	// extra are garbage.
 	withHint := SearchReq{H: 4, Engine: EngineMIH, Queries: queries}.Append(nil)
-	if _, err := ParseSearchReq(append(withHint, 1), 64); err == nil {
-		t.Error("trailing bytes after engine hint accepted")
+	if _, err := ParseSearchReq(append(append([]byte(nil), withHint...), 1, 1), 64); err == nil {
+		t.Error("trailing bytes after engine hint and priority accepted")
+	}
+}
+
+// TestSearchReqPriority: the v5 trailing priority class round-trips (with
+// and without an engine hint), the normal default stays off the wire, and
+// out-of-range classes are rejected.
+func TestSearchReqPriority(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	queries := randCodes(rng, 2, 32)
+	base := SearchReq{H: 3, Queries: queries}.Append(nil)
+	for _, engine := range []int{EngineAuto, EngineMIH} {
+		for _, prio := range []int{PriorityNormal, PriorityInteractive, PriorityBatch} {
+			payload := SearchReq{H: 3, Engine: engine, Priority: prio, Queries: queries}.Append(nil)
+			if engine == EngineAuto && prio == PriorityNormal && !bytes.Equal(payload, base) {
+				t.Fatal("default engine+priority changed the encoding")
+			}
+			got, err := ParseSearchReq(payload, 32)
+			if err != nil {
+				t.Fatalf("engine %s priority %s: %v", EngineName(engine), PriorityName(prio), err)
+			}
+			if got.Engine != engine || got.Priority != prio || got.H != 3 || len(got.Queries) != 2 {
+				t.Fatalf("engine %s priority %s round trip: %+v", EngineName(engine), PriorityName(prio), got)
+			}
+		}
+	}
+	// A nonzero priority forces the engine placeholder onto the wire, so the
+	// two trailing varints stay positional.
+	withPrio := SearchReq{H: 3, Priority: PriorityBatch, Queries: queries}.Append(nil)
+	if len(withPrio) != len(base)+2 {
+		t.Fatalf("priority-only encoding is %d bytes, want %d", len(withPrio), len(base)+2)
+	}
+	// An out-of-range class and garbage after it must both fail.
+	bad := SearchReq{H: 3, Engine: EngineHA, Queries: queries}.Append(nil)
+	if _, err := ParseSearchReq(append(bad, 7), 32); err == nil {
+		t.Error("unknown priority class accepted")
+	}
+	if _, err := ParseSearchReq(append(withPrio, 1), 32); err == nil {
+		t.Error("trailing bytes after priority accepted")
+	}
+}
+
+// TestSearchReqDowngrade: a v5 client encoding for an older negotiated
+// session omits exactly the fields the peer cannot parse — the priority
+// class below version 5, the engine hint below version 4 — leaving the
+// request byte-identical to what a native client of that version sends.
+func TestSearchReqDowngrade(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	queries := randCodes(rng, 2, 32)
+	req := SearchReq{H: 5, Engine: EngineMIH, Priority: PriorityInteractive, Queries: queries}
+
+	v3 := req.AppendVersion(nil, 3)
+	v3native := SearchReq{H: 5, Queries: queries}.AppendVersion(nil, 3)
+	if !bytes.Equal(v3, v3native) {
+		t.Fatal("v3 downgrade not byte-identical to a native v3 request")
+	}
+	got, err := ParseSearchReq(v3, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Engine != EngineAuto || got.Priority != PriorityNormal {
+		t.Fatalf("v3 downgrade kept dropped fields: %+v", got)
+	}
+
+	v4 := req.AppendVersion(nil, 4)
+	v4native := SearchReq{H: 5, Engine: EngineMIH, Queries: queries}.AppendVersion(nil, 4)
+	if !bytes.Equal(v4, v4native) {
+		t.Fatal("v4 downgrade not byte-identical to a native v4 request")
+	}
+	got, err = ParseSearchReq(v4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Engine != EngineMIH || got.Priority != PriorityNormal {
+		t.Fatalf("v4 downgrade: engine kept, priority dropped, got %+v", got)
+	}
+
+	v5 := req.AppendVersion(nil, 5)
+	if !bytes.Equal(v5, req.Append(nil)) {
+		t.Fatal("current-version AppendVersion differs from Append")
+	}
+	got, err = ParseSearchReq(v5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Engine != EngineMIH || got.Priority != PriorityInteractive {
+		t.Fatalf("v5 round trip: %+v", got)
+	}
+}
+
+// TestShedRespRoundTrip: the v5 shed payload round-trips and rejects junk.
+func TestShedRespRoundTrip(t *testing.T) {
+	payload := ShedResp{WaitNs: 123456789}.Append(nil)
+	got, err := ParseShedResp(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WaitNs != 123456789 {
+		t.Fatalf("WaitNs round trip: %d", got.WaitNs)
+	}
+	if _, err := ParseShedResp(append(payload, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := ParseShedResp(nil); err == nil {
+		t.Error("empty payload accepted")
 	}
 }
 

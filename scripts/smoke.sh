@@ -5,11 +5,17 @@
 # Exits nonzero if any step fails or the distributed answers differ from a
 # single-index oracle.
 #
+# Shard 0 serves with a result cache and sheds one deterministic request;
+# the query rows run twice, so the second pass is answered from the cache
+# (the oracle diff proves cached answers stay byte-identical) after riding
+# out the shed with the router's polite backoff.
+#
 # With SMOKE_DEBUG=1 (make debug-smoke), shard 0 also binds its HTTP debug
 # endpoint; after the queries run, /debug/obs is fetched and must report a
 # non-empty request-latency histogram, nonzero request/fault counters, and —
 # since haserve defaults to -engine auto — nonzero planner strategy counters
-# plus per-engine latency samples.
+# plus per-engine latency samples, and nonzero qcache hit/miss and shed
+# counters from the repeat pass.
 #
 # With SMOKE_LSM=1 (make lsm-smoke), the snapshots are additionally served
 # by mutable (LSM) shards, and insert -> seal -> compact -> upsert -> delete
@@ -39,10 +45,10 @@ if [ "$SMOKE_DEBUG" = "1" ]; then
     DEBUG_FLAGS="-debug-addr 127.0.0.1:0 -debug-port-file $WORK/s0.debug"
 fi
 
-echo "smoke: starting two shard servers (shard 0 fails its first request)"
+echo "smoke: starting two shard servers (shard 0 fails request 0, sheds request 3, caches results)"
 # shellcheck disable=SC2086 # DEBUG_FLAGS is intentionally word-split
 "$WORK/bin/haserve" -snapshot "$WORK/shards/shard-00000.hasn" -addr 127.0.0.1:0 \
-    -port-file "$WORK/s0.addr" -fail-requests 0 $DEBUG_FLAGS &
+    -port-file "$WORK/s0.addr" -fail-requests 0 -shed-requests 3 -cache 1024 $DEBUG_FLAGS &
 PIDS="$PIDS $!"
 "$WORK/bin/haserve" -snapshot "$WORK/shards/shard-00001.hasn" -addr 127.0.0.1:0 \
     -port-file "$WORK/s1.addr" &
@@ -63,6 +69,11 @@ echo "smoke: querying rows 0-49 through the router (h=3, top-5), diffing vs orac
 "$WORK/bin/haquery" -shards "$ADDR0,$ADDR1" \
     -codes-file "$WORK/shards/codes.txt" -rows 0-49 -h 3 -topk 5 \
     -oracle "$WORK/shards" -trace
+
+echo "smoke: same rows again: shard 0 sheds the search, then serves it from cache"
+"$WORK/bin/haquery" -shards "$ADDR0,$ADDR1" \
+    -codes-file "$WORK/shards/codes.txt" -rows 0-49 -h 3 -topk 5 \
+    -oracle "$WORK/shards" -priority interactive
 
 if [ "$SMOKE_DEBUG" = "1" ]; then
     DEBUG_ADDR=$(cat "$WORK/s0.debug")
@@ -92,7 +103,18 @@ if [ "$SMOKE_DEBUG" = "1" ]; then
         "$WORK/obs.json")
     [ "$ENGINE" -gt 0 ] || {
         echo "smoke: debug snapshot has no per-engine latency samples" >&2; exit 1; }
-    echo "smoke: debug endpoint OK ($REQS requests, $FAULTS faults, $PLANNED planned, $ENGINE engine samples)"
+    # The repeat pass must have left cache traffic (misses from the first
+    # pass, hits from the second) and one shed behind.
+    QHITS=$(sed -n 's/^ *"qcache.hits": \([0-9]*\).*/\1/p' "$WORK/obs.json" | head -n 1)
+    [ -n "$QHITS" ] && [ "$QHITS" -gt 0 ] || {
+        echo "smoke: debug snapshot reports no result-cache hits" >&2; exit 1; }
+    QMISS=$(sed -n 's/^ *"qcache.misses": \([0-9]*\).*/\1/p' "$WORK/obs.json" | head -n 1)
+    [ -n "$QMISS" ] && [ "$QMISS" -gt 0 ] || {
+        echo "smoke: debug snapshot reports no result-cache misses" >&2; exit 1; }
+    SHEDS=$(sed -n 's/^ *"sheds": \([0-9]*\).*/\1/p' "$WORK/obs.json" | head -n 1)
+    [ -n "$SHEDS" ] && [ "$SHEDS" -gt 0 ] || {
+        echo "smoke: debug snapshot reports no shed requests" >&2; exit 1; }
+    echo "smoke: debug endpoint OK ($REQS requests, $FAULTS faults, $PLANNED planned, $ENGINE engine samples, $QHITS/$QMISS cache hits/misses, $SHEDS sheds)"
 fi
 
 SMOKE_LSM=${SMOKE_LSM:-0}
