@@ -671,13 +671,20 @@ func fixedPayload(p []byte) payloadFn { return func(int) []byte { return p } }
 // failing over would stampede the next replica with the same load. The
 // request instead backs off (doubling, jittered, capped at MaxBackoff) and
 // retries the same replica, without consuming a retry attempt, until the
-// request deadline runs out — at which point the error wraps ErrShed.
+// request deadline runs out — at which point the error wraps ErrShed. A shed
+// also disables hedging for the rest of the request, for the same reason: a
+// speculative duplicate is extra load aimed at a shard that just asked for
+// less.
 func (r *Router) do(sh *shard, t wire.MsgType, pf payloadFn, tr *obs.Trace, parent obs.SpanID) (wire.MsgType, []byte, error) {
 	r.shardRequests.Add(1)
 	r.cntRequests.Inc()
 	deadline := r.now().Add(r.opts.Timeout)
 	backoff := r.opts.Backoff
 	var lastErr error
+	// Once a shard sheds, hedging is off for the rest of this request: a
+	// speculative duplicate adds load exactly when the server asked the
+	// client to back off.
+	shedSeen := false
 	for attempt := 0; attempt < r.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			// Equal jitter: sleep uniform in [b/2, b] so synchronized
@@ -707,7 +714,7 @@ func (r *Router) do(sh *shard, t wire.MsgType, pf payloadFn, tr *obs.Trace, pare
 		shedBackoff := r.opts.Backoff
 		for {
 			sp := tr.Start(fmt.Sprintf("attempt %d → %s", attempt, rp.addr), parent)
-			if attempt == 0 && r.opts.HedgeAfter > 0 && len(sh.replicas) > 1 {
+			if attempt == 0 && !shedSeen && r.opts.HedgeAfter > 0 && len(sh.replicas) > 1 {
 				respType, resp, err = r.hedged(sh, t, pf)
 			} else {
 				respType, resp, err = r.attempt(sh, rp, t, pf, nil)
@@ -718,6 +725,7 @@ func (r *Router) do(sh *shard, t wire.MsgType, pf payloadFn, tr *obs.Trace, pare
 			}
 			r.sheds.Add(1)
 			r.cntSheds.Inc()
+			shedSeen = true
 			b := shedBackoff
 			if b > r.opts.MaxBackoff {
 				b = r.opts.MaxBackoff

@@ -13,10 +13,10 @@ import (
 )
 
 // startSheddingServer runs a minimal in-test shard server that handshakes at
-// protocol v5 and answers every subsequent request with MsgShed — a shard
-// that is permanently saturated. It returns its address and a counter of
-// accepted connections.
-func startSheddingServer(t *testing.T) (string, *atomic.Int32) {
+// protocol v5 and answers every subsequent request with MsgShed after delay —
+// a shard that is permanently saturated. It returns its address and a counter
+// of accepted connections.
+func startSheddingServer(t *testing.T, delay time.Duration) (string, *atomic.Int32) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -46,6 +46,9 @@ func startSheddingServer(t *testing.T) (string, *atomic.Int32) {
 					if _, _, err := wire.ReadFrame(br); err != nil {
 						return
 					}
+					if delay > 0 {
+						time.Sleep(delay)
+					}
 					shed := wire.ShedResp{WaitNs: int64(time.Millisecond)}
 					if err := wire.WriteFrame(conn, wire.MsgShed, shed.Append(nil)); err != nil {
 						return
@@ -63,7 +66,7 @@ func startSheddingServer(t *testing.T) (string, *atomic.Int32) {
 // count as retries, and the loop gives up with ErrShed once the next sleep
 // would cross the request deadline.
 func TestShedBackoffBoundedByDeadline(t *testing.T) {
-	shedAddr, shedDials := startSheddingServer(t)
+	shedAddr, shedDials := startSheddingServer(t, 0)
 
 	// The second replica must never be contacted: shedding is not failure.
 	spareLn, err := net.Listen("tcp", "127.0.0.1:0")
@@ -127,5 +130,62 @@ func TestShedBackoffBoundedByDeadline(t *testing.T) {
 	}
 	if r.Obs().Counter("sheds").Value() != st.Sheds {
 		t.Fatal("sheds counter not mirrored into the registry")
+	}
+}
+
+// TestShedDisablesHedging: once a shard sheds, the shed-backoff cycles must
+// stop launching speculative duplicates — a hedge is extra load aimed at a
+// shard that just asked for less. The shedding replica answers slowly enough
+// that every hedged call would fire its hedge timer, so without the guard
+// each backoff cycle would dial the spare replica afresh.
+func TestShedDisablesHedging(t *testing.T) {
+	shedAddr, _ := startSheddingServer(t, 30*time.Millisecond)
+
+	spareLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { spareLn.Close() })
+	var spareDials atomic.Int32
+	go func() {
+		for {
+			conn, err := spareLn.Accept()
+			if err != nil {
+				return
+			}
+			spareDials.Add(1)
+			conn.Close()
+		}
+	}()
+
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	maxJitter := func(n int64) int64 { return n - 1 }
+	r := newBackoffRouter(t, Options{
+		MaxAttempts: 3,
+		Backoff:     4 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		DialTimeout: time.Second,
+		HedgeAfter:  time.Millisecond,
+		Timeout:     50 * time.Millisecond,
+	}, clk, maxJitter)
+	r.shards[0].replicas = []*replica{
+		{addr: shedAddr, opts: r.opts},
+		{addr: spareLn.Addr().String(), opts: r.opts},
+	}
+
+	_, _, err = r.do(r.shards[0], wire.MsgStats, nil, nil, obs.NoSpan)
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	st := r.Stats()
+	if st.Sheds < 2 {
+		t.Fatalf("Sheds = %d, want several backoff cycles", st.Sheds)
+	}
+	// Only the first cycle may hedge; every later one saw shedSeen.
+	if st.Hedges > 1 {
+		t.Fatalf("Hedges = %d: shed cycles kept launching speculative duplicates", st.Hedges)
+	}
+	if n := spareDials.Load(); n > 1 {
+		t.Fatalf("spare replica dialed %d times: hedging must stop after the first shed", n)
 	}
 }

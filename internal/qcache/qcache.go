@@ -158,9 +158,14 @@ func (c *Cache) Get(kb []byte) ([]int, bool) {
 	sh.mu.Lock()
 	sh.sk.inc(h)
 	e, ok := sh.m[string(kb)]
+	var ids []int
 	if ok {
 		sh.clock++
 		e.last = sh.clock
+		// The slice must be read under the lock: Put's concurrent-fill path
+		// rewrites e.ids, and a torn slice header could pair a new length
+		// with an older, smaller backing array.
+		ids = e.ids
 	}
 	sh.mu.Unlock()
 	if !ok {
@@ -168,7 +173,7 @@ func (c *Cache) Get(kb []byte) ([]int, bool) {
 		return nil, false
 	}
 	c.hits.Inc()
-	return e.ids, true
+	return ids, true
 }
 
 // Put caches ids (which may be nil: a no-match answer is as cacheable as
@@ -186,8 +191,11 @@ func (c *Cache) Put(kb []byte, ids []int) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if e, ok := sh.m[string(kb)]; ok {
-		// A concurrent fill of the same key: both computed the same answer
-		// (same epoch); keep the entry fresh.
+		// A concurrent fill of the same key. The two answers can differ — a
+		// fill racing a mutation may capture the epoch before the search and
+		// the index state after it — but either is a valid answer for a read
+		// concurrent with that write, and readers see exactly one of them
+		// because Get copies the slice header under this same lock.
 		e.ids = ids
 		return
 	}

@@ -137,23 +137,42 @@ func TestMaxIDsBypass(t *testing.T) {
 	}
 }
 
-// TestConcurrent hammers one cache from many goroutines under -race.
+// TestConcurrent hammers one cache from many goroutines under -race. The
+// keys are shared across goroutines and fills happen even on hits, so
+// Put's concurrent-fill overwrite of an entry's slice races against Get on
+// the same entry — the data race Get avoids by copying the slice header
+// under the shard lock.
 func TestConcurrent(t *testing.T) {
 	c := New(Options{MaxEntries: 256})
+	seed := rand.New(rand.NewSource(42))
+	keys := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = Key{Code: code64(seed), H: i % 6, Shard: -1}.Append(nil)
+	}
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g)))
-			keys := make([][]byte, 64)
-			for i := range keys {
-				keys[i] = Key{Code: code64(rng), H: i % 6, Shard: -1, Epoch: uint64(g)}.Append(nil)
-			}
 			for i := 0; i < 3000; i++ {
 				kb := keys[rng.Intn(len(keys))]
-				if _, ok := c.Get(kb); !ok {
-					c.Put(kb, []int{i})
+				ids, ok := c.Get(kb)
+				if !ok || i%7 == 0 {
+					// Refill on some hits too: the concurrent-fill path
+					// replaces the entry's slice with one of a different
+					// length while other goroutines read it.
+					fill := make([]int, rng.Intn(8))
+					for j := range fill {
+						fill[j] = j
+					}
+					c.Put(kb, fill)
+				}
+				for j := range ids {
+					if ids[j] != j {
+						t.Errorf("torn read: ids[%d] = %d", j, ids[j])
+						return
+					}
 				}
 			}
 		}(g)
