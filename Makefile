@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race test-race bench bench-query bench-frozen bench-serve bench-planner bench-load vet fmt-check fuzz fuzz-wire fuzz-mih fuzz-qcache smoke debug-smoke lsm-smoke experiments examples clean
+.PHONY: all check build test race test-race bench bench-query bench-frozen bench-serve bench-planner bench-load bench-load-rep vet fmt-check fuzz fuzz-wire fuzz-mih fuzz-qcache smoke debug-smoke lsm-smoke experiments examples clean
 
 all: build vet test
 
@@ -64,18 +64,29 @@ bench-planner:
 bench-load:
 	$(GO) run ./cmd/habench -exp load
 
+# Replica-routing experiment: the same zipfian workload against a replicated
+# deployment under three routing policies (single replica, rendezvous
+# affinity, naive split) plus a cold-failover window that kills one replica
+# under load; writes the "replicated" section of BENCH_load.json.
+bench-load-rep:
+	$(GO) run ./cmd/habench -exp load-rep
+
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeDynamic -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeIndex -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeFrozen -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzFromString -fuzztime=15s ./internal/bitvec/
 	$(GO) test -fuzz=FuzzParseMutationFrames -fuzztime=30s ./internal/wire/
+	$(GO) test -fuzz=FuzzStatsRespDowngrade -fuzztime=30s ./internal/wire/
 	$(GO) test -fuzz=FuzzDecodeMIH -fuzztime=30s ./internal/mih/
 
-# Short fuzz smoke of the protocol-v3 mutation-frame decoders — cheap enough
-# to run on every check.
+# Short fuzz smoke of the protocol-v3 mutation-frame decoders and the
+# version-negotiated StatsResp encode/parse round-trip — cheap enough to run
+# on every check. Each -fuzz pattern must match exactly one target, so the
+# two fuzzers run as separate invocations.
 fuzz-wire:
 	$(GO) test -run=NONE -fuzz=FuzzParseMutationFrames -fuzztime=5s ./internal/wire/
+	$(GO) test -run=NONE -fuzz=FuzzStatsRespDowngrade -fuzztime=5s ./internal/wire/
 
 # Short fuzz smoke of the MIH (HADX v3) codec's hostile-input hardening.
 fuzz-mih:

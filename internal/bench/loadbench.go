@@ -37,8 +37,9 @@ type loadBenchJSON struct {
 	ShedAfterNs int64   `json:"shed_after_ns"`
 	DeadlineNs  int64   `json:"client_deadline_ns"`
 
-	Sweep []loadRunJSON  `json:"sweep"`
-	Cache []cacheRunJSON `json:"cache"`
+	Sweep      []loadRunJSON  `json:"sweep"`
+	Cache      []cacheRunJSON `json:"cache"`
+	Replicated *repBenchJSON  `json:"replicated,omitempty"`
 }
 
 type loadRunJSON struct {
@@ -125,7 +126,7 @@ func LoadBench(sc Scale) ([]Table, error) {
 
 	// Base deployment: no cache, no shedding. Used for calibration, the
 	// shedding-off sweep arm, and the cache-off run.
-	base, err := startLoadServers(env.Codes, bits, parts,
+	base, err := startLoadServers(env.Codes, bits, parts, 1,
 		server.Options{Searchers: searchers})
 	if err != nil {
 		return nil, err
@@ -215,7 +216,7 @@ func LoadBench(sc Scale) ([]Table, error) {
 	}
 
 	// Shedding deployment: same shape, admission budget set.
-	shedDep, err := startLoadServers(env.Codes, bits, parts,
+	shedDep, err := startLoadServers(env.Codes, bits, parts, 1,
 		server.Options{Searchers: searchers, ShedAfter: shedAfter})
 	if err != nil {
 		return nil, err
@@ -286,7 +287,7 @@ func LoadBench(sc Scale) ([]Table, error) {
 	// Cache arm: a third deployment with the server-side result cache on,
 	// offered the same zipfian traffic at 75% of capacity as the cache-off
 	// baseline. Hit rate comes from the servers' own qcache counters.
-	cacheDep, err := startLoadServers(env.Codes, bits, parts,
+	cacheDep, err := startLoadServers(env.Codes, bits, parts, 1,
 		server.Options{Searchers: searchers, CacheEntries: 4 * poolBatches * batch})
 	if err != nil {
 		return nil, err
@@ -338,14 +339,36 @@ func LoadBench(sc Scale) ([]Table, error) {
 		})
 	}
 
-	data, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return nil, fmt.Errorf("bench: encoding %s: %w", LoadBenchFile, err)
+	// Keep the replicated arm's section if habench -exp load-rep wrote one;
+	// the two experiments share the file but regenerate independently.
+	if prev, ok := readLoadBenchFile(); ok {
+		rec.Replicated = prev.Replicated
 	}
-	if err := os.WriteFile(LoadBenchFile, append(data, '\n'), 0o644); err != nil {
-		return nil, fmt.Errorf("bench: writing %s: %w", LoadBenchFile, err)
+	if err := writeLoadBenchFile(rec); err != nil {
+		return nil, err
 	}
 	return []Table{sweepTable, cacheTable}, nil
+}
+
+// readLoadBenchFile loads the current BENCH_load.json, if any.
+func readLoadBenchFile() (loadBenchJSON, bool) {
+	var rec loadBenchJSON
+	data, err := os.ReadFile(LoadBenchFile)
+	if err != nil || json.Unmarshal(data, &rec) != nil {
+		return loadBenchJSON{}, false
+	}
+	return rec, true
+}
+
+func writeLoadBenchFile(rec loadBenchJSON) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding %s: %w", LoadBenchFile, err)
+	}
+	if err := os.WriteFile(LoadBenchFile, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", LoadBenchFile, err)
+	}
+	return nil
 }
 
 // serverSheds sums the deployment's server-side shed counters — the polite
@@ -406,10 +429,12 @@ func (d *loadDeployment) dial(ropts client.Options, nRouters int) error {
 	return nil
 }
 
-// startLoadServers partitions codes into parts Gray ranges and starts one
-// shard server per partition with the given options; dial the router pool
-// separately.
-func startLoadServers(codes []bitvec.Code, bits, parts int, sopts server.Options) (*loadDeployment, error) {
+// startLoadServers partitions codes into parts Gray ranges and starts
+// replicas identical shard servers per partition (all replicas of a shard
+// serve the same partition index) with the given options; dial the router
+// pool separately. d.servers is shard-major: shard m's replica rep is
+// servers[m*replicas+rep].
+func startLoadServers(codes []bitvec.Code, bits, parts, replicas int, sopts server.Options) (*loadDeployment, error) {
 	sample := codes
 	if len(sample) > 2000 {
 		sample = codes[:2000]
@@ -426,17 +451,21 @@ func startLoadServers(codes []bitvec.Code, bits, parts int, sopts server.Options
 	for m := 0; m < parts; m++ {
 		meta := wire.SnapshotMeta{Part: m, Parts: parts, Length: bits, Pivots: pivots}
 		idx := core.BuildDynamic(byPart[m], idsByPart[m], core.Options{})
-		s, err := server.New(meta, idx, sopts)
-		if err != nil {
-			d.close()
-			return nil, err
+		var addrs []string
+		for rep := 0; rep < replicas; rep++ {
+			s, err := server.New(meta, idx, sopts)
+			if err != nil {
+				d.close()
+				return nil, err
+			}
+			if err := s.Start("127.0.0.1:0"); err != nil {
+				d.close()
+				return nil, err
+			}
+			d.servers = append(d.servers, s)
+			addrs = append(addrs, s.Addr().String())
 		}
-		if err := s.Start("127.0.0.1:0"); err != nil {
-			d.close()
-			return nil, err
-		}
-		d.servers = append(d.servers, s)
-		d.addrs = append(d.addrs, []string{s.Addr().String()})
+		d.addrs = append(d.addrs, addrs)
 	}
 	return d, nil
 }

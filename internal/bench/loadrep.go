@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/client"
+	"haindex/internal/dataset"
+	"haindex/internal/loadgen"
+	"haindex/internal/server"
+)
+
+// repBenchJSON is the "replicated" section of BENCH_load.json: the replica
+// routing experiment, written by habench -exp load-rep independently of the
+// single-replica sweep (the two read-modify-write the same file).
+type repBenchJSON struct {
+	Replicas    int     `json:"replicas_per_shard"`
+	Shards      int     `json:"shards"`
+	Threshold   int     `json:"threshold"`
+	CapacityRPS float64 `json:"capacity_rps"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	SLONs       int64   `json:"slo_ns"`
+
+	Arms     []repArmJSON     `json:"arms"`
+	Failover *repFailoverJSON `json:"cold_failover,omitempty"`
+}
+
+// repArmJSON is one routing policy's measured run. PerReplicaRequests is
+// shard-major: shard m's replica rep is entry m*replicas+rep; the single
+// arm has one entry per shard.
+type repArmJSON struct {
+	Policy             string  `json:"policy"` // single | rendezvous | none
+	HitRate            float64 `json:"hit_rate"`
+	PerReplicaRequests []int64 `json:"per_replica_requests"`
+	loadRunJSON
+}
+
+// repFailoverJSON is the cold-failover window: one replica of shard 0 is
+// killed under steady rendezvous traffic and the same offered rate continues
+// against the survivors.
+type repFailoverJSON struct {
+	KilledReplica      string  `json:"killed_replica"`
+	GoodputBefore      float64 `json:"goodput_before_rps"`
+	GoodputAfter       float64 `json:"goodput_after_rps"`
+	HitRateAfter       float64 `json:"hit_rate_after"`
+	P99BeforeNs        int64   `json:"p99_before_ns"`
+	P99AfterNs         int64   `json:"p99_after_ns"`
+	Retries            int64   `json:"client_retries"`
+	PerReplicaRequests []int64 `json:"per_replica_requests"`
+}
+
+// LoadRepBench measures cache-aware replica routing: the same zipfian
+// workload LoadBench uses is offered to a replicated deployment (every shard
+// served by several identical replicas, each with its own result cache)
+// under three routing policies — a single-replica baseline, rendezvous
+// affinity (each request keyed to the replica whose cache it keeps warm),
+// and the naive round-robin split. Affinity should hold the baseline's hit
+// rate while spreading load; the naive split fragments the same working set
+// across every replica's cache and pays for it in misses. A cold-failover
+// window then kills one replica under affinity traffic and measures how
+// goodput and hit rate recover on the survivors. Results land in the
+// "replicated" section of BENCH_load.json.
+func LoadRepBench(sc Scale) ([]Table, error) {
+	quick := sc.SelectN <= 4000
+	bits := 64
+	env, err := NewEnv(dataset.NUSWide, sc.SelectN, bits, sc.Queries, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	const (
+		parts     = 2
+		searchers = 2
+		replicas  = 3
+		zipfSkew  = 1.1
+	)
+	routers, batch, poolBatches := 48, 8, 300
+	calibDur, runDur := 700*time.Millisecond, 1200*time.Millisecond
+	if quick {
+		routers, batch, poolBatches = 16, 8, 120
+		calibDur, runDur = 300*time.Millisecond, 400*time.Millisecond
+	}
+
+	rng := rand.New(rand.NewSource(sc.Seed + 53))
+	queries := make([]bitvec.Code, poolBatches*batch)
+	for i := range queries {
+		c := env.Codes[rng.Intn(len(env.Codes))].Clone()
+		for f := 0; f < 2; f++ {
+			c.FlipBit(rng.Intn(bits))
+		}
+		queries[i] = c
+	}
+	pick := loadgen.NewPicker(dataset.ZipfWeights(poolBatches, zipfSkew))
+	batchOf := func(qi int) []bitvec.Code { return queries[qi*batch : (qi+1)*batch] }
+
+	// Every measured arm gets a fresh deployment so its caches start cold
+	// and its counters cover exactly its own window; the cache is sized to
+	// hold the whole distinct-query pool, so any hit-rate gap between
+	// policies is routing, not capacity.
+	cacheEntries := 2 * poolBatches * batch
+	sopts := server.Options{Searchers: searchers, CacheEntries: cacheEntries}
+
+	// Calibration runs on a throwaway uncached replicated deployment: the
+	// measured service time and closed-loop capacity size the offered rate
+	// and SLO without pre-warming any arm's cache.
+	calibDep, err := startLoadServers(env.Codes, bits, parts, replicas,
+		server.Options{Searchers: searchers})
+	if err != nil {
+		return nil, err
+	}
+	calibWorkers := 4 * parts * searchers
+	if err := calibDep.dial(client.Options{Timeout: time.Second}, calibWorkers); err != nil {
+		calibDep.close()
+		return nil, err
+	}
+	h := 2
+	var service time.Duration
+	for ; ; h += 2 {
+		if _, err := calibDep.routers[0].SearchBatch(batchOf(0), h); err != nil {
+			calibDep.close()
+			return nil, err
+		}
+		t0 := time.Now()
+		const probes = 16
+		for i := 1; i <= probes; i++ {
+			if _, err := calibDep.routers[0].SearchBatch(batchOf(i%poolBatches), h); err != nil {
+				calibDep.close()
+				return nil, err
+			}
+		}
+		service = time.Since(t0) / probes
+		if service >= 300*time.Microsecond || h >= bits/4 {
+			break
+		}
+	}
+	do := func(d *loadDeployment) func(int) error {
+		return func(qi int) error {
+			r := <-d.free
+			defer func() { d.free <- r }()
+			_, err := r.SearchBatch(batchOf(qi), h)
+			return err
+		}
+	}
+	isShed := func(err error) bool { return errors.Is(err, client.ErrShed) }
+	calib := loadgen.Run(loadgen.Config{
+		Do:       do(calibDep),
+		Pick:     pick,
+		Workers:  calibWorkers,
+		Duration: calibDur,
+		Seed:     sc.Seed + 57,
+	})
+	calibDep.close()
+	if calib.Done == 0 {
+		return nil, fmt.Errorf("bench: load-rep calibration completed no requests")
+	}
+	capacity := calib.Throughput
+	slo := 50 * service
+	if slo < 10*time.Millisecond {
+		slo = 10 * time.Millisecond
+	}
+	rate := 0.75 * capacity
+
+	rep := &repBenchJSON{
+		Replicas:    replicas,
+		Shards:      parts,
+		Threshold:   h,
+		CapacityRPS: capacity,
+		OfferedRPS:  rate,
+		SLONs:       slo.Nanoseconds(),
+	}
+
+	hitRate := func(d *loadDeployment) float64 {
+		var hits, misses int64
+		for _, s := range d.servers {
+			hits += s.Obs().Counter("qcache.hits").Value()
+			misses += s.Obs().Counter("qcache.misses").Value()
+		}
+		if hits+misses == 0 {
+			return 0
+		}
+		return float64(hits) / float64(hits+misses)
+	}
+	perReplica := func(d *loadDeployment, before []int64) []int64 {
+		out := make([]int64, len(d.servers))
+		for i, s := range d.servers {
+			out[i] = s.Obs().Counter("requests").Value()
+			if before != nil {
+				out[i] -= before[i]
+			}
+		}
+		return out
+	}
+
+	table := Table{
+		Title: "Replica routing: rendezvous affinity vs single replica vs naive split",
+		Note: fmt.Sprintf("%s, n=%d, L=%d bits, h=%d, %d shards, %d replicas/shard, open loop at %.0f req/s (0.75x capacity), zipf skew %.1f over %d distinct requests, cache %d entries/replica",
+			env.Profile.Name, len(env.Codes), bits, h, parts, replicas, rate, zipfSkew, poolBatches, cacheEntries),
+		Header: []string{"policy", "hit rate", "goodput req/s", "p50 ms", "p99 ms", "per-replica requests"},
+	}
+
+	arms := []struct {
+		policy   string
+		replicas int
+		affinity string
+	}{
+		{"single", 1, ""},
+		{"rendezvous", replicas, ""},
+		{"none", replicas, "none"},
+	}
+	// The rendezvous arm's deployment stays up for the failover window.
+	var affDep *loadDeployment
+	var affRouters []*client.Router
+	for _, arm := range arms {
+		dep, err := startLoadServers(env.Codes, bits, parts, arm.replicas, sopts)
+		if err != nil {
+			return nil, err
+		}
+		ropts := client.Options{Timeout: slo, Backoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, Affinity: arm.affinity}
+		if err := dep.dial(ropts, routers); err != nil {
+			dep.close()
+			return nil, err
+		}
+		before := perReplica(dep, nil) // exclude handshake traffic
+		res := loadgen.Run(loadgen.Config{
+			Do:          do(dep),
+			Pick:        pick,
+			Rate:        rate,
+			MaxInFlight: routers,
+			Duration:    2 * runDur,
+			SLO:         slo,
+			IsShed:      isShed,
+			Seed:        sc.Seed + 61,
+		})
+		run := repArmJSON{
+			Policy:             arm.policy,
+			HitRate:            hitRate(dep),
+			PerReplicaRequests: perReplica(dep, before),
+			loadRunJSON: loadRunJSON{
+				RateMultiple: 0.75,
+				OfferedRPS:   rate,
+				Offered:      res.Offered,
+				Done:         res.Done,
+				Good:         res.Good,
+				Shed:         res.Shed,
+				Failed:       res.Failed,
+				Dropped:      res.Dropped,
+				Throughput:   res.Throughput,
+				Goodput:      res.Goodput,
+				P50Ns:        res.Latency.P50.Nanoseconds(),
+				P95Ns:        res.Latency.P95.Nanoseconds(),
+				P99Ns:        res.Latency.P99.Nanoseconds(),
+				MaxNs:        res.Latency.Max.Nanoseconds(),
+			},
+		}
+		rep.Arms = append(rep.Arms, run)
+		table.Rows = append(table.Rows, []string{
+			arm.policy,
+			fmt.Sprintf("%.2f", run.HitRate),
+			fmt.Sprintf("%.0f", run.Goodput),
+			fmt.Sprintf("%.2f", float64(run.P50Ns)/1e6),
+			fmt.Sprintf("%.2f", float64(run.P99Ns)/1e6),
+			joinInt64(run.PerReplicaRequests),
+		})
+		if arm.policy == "rendezvous" {
+			affDep, affRouters = dep, dep.routers
+		} else {
+			dep.close()
+		}
+	}
+
+	// Cold failover: kill shard 0's replica 0 under the affinity policy and
+	// keep offering the same rate. The keys it owned re-rendezvous onto the
+	// survivors, whose caches start cold for them; goodput should dip only
+	// by the failure-detection retries, not collapse.
+	affArm := rep.Arms[1]
+	var hb, mb int64
+	for _, s := range affDep.servers {
+		hb += s.Obs().Counter("qcache.hits").Value()
+		mb += s.Obs().Counter("qcache.misses").Value()
+	}
+	beforeReqs := perReplica(affDep, nil)
+	killed := affDep.servers[0]
+	killed.Close()
+	var retriesBefore int64
+	for _, r := range affRouters {
+		retriesBefore += r.Stats().Retries
+	}
+	res := loadgen.Run(loadgen.Config{
+		Do:          do(affDep),
+		Pick:        pick,
+		Rate:        rate,
+		MaxInFlight: routers,
+		Duration:    2 * runDur,
+		SLO:         slo,
+		IsShed:      isShed,
+		Seed:        sc.Seed + 67,
+	})
+	var ha, ma, retriesAfter int64
+	for _, s := range affDep.servers {
+		ha += s.Obs().Counter("qcache.hits").Value()
+		ma += s.Obs().Counter("qcache.misses").Value()
+	}
+	for _, r := range affRouters {
+		retriesAfter += r.Stats().Retries
+	}
+	fo := &repFailoverJSON{
+		KilledReplica: "shard0/replica0",
+		GoodputBefore: affArm.Goodput,
+		GoodputAfter:  res.Goodput,
+		P99BeforeNs:   affArm.P99Ns,
+		P99AfterNs:    res.Latency.P99.Nanoseconds(),
+		Retries:       retriesAfter - retriesBefore,
+	}
+	if d := (ha - hb) + (ma - mb); d > 0 {
+		fo.HitRateAfter = float64(ha-hb) / float64(d)
+	}
+	fo.PerReplicaRequests = perReplica(affDep, beforeReqs)
+	rep.Failover = fo
+	affDep.close()
+
+	foTable := Table{
+		Title:  "Replica routing: cold failover under rendezvous affinity",
+		Note:   "shard 0 replica 0 killed at t=0 of the window; same offered rate against the survivors",
+		Header: []string{"window", "goodput req/s", "hit rate", "p99 ms", "retries", "per-replica requests"},
+		Rows: [][]string{
+			{"healthy", fmt.Sprintf("%.0f", fo.GoodputBefore), fmt.Sprintf("%.2f", affArm.HitRate),
+				fmt.Sprintf("%.2f", float64(fo.P99BeforeNs)/1e6), "0", joinInt64(affArm.PerReplicaRequests)},
+			{"failover", fmt.Sprintf("%.0f", fo.GoodputAfter), fmt.Sprintf("%.2f", fo.HitRateAfter),
+				fmt.Sprintf("%.2f", float64(fo.P99AfterNs)/1e6), fmt.Sprintf("%d", fo.Retries), joinInt64(fo.PerReplicaRequests)},
+		},
+	}
+
+	rec, _ := readLoadBenchFile()
+	rec.Replicated = rep
+	if err := writeLoadBenchFile(rec); err != nil {
+		return nil, err
+	}
+	return []Table{table, foTable}, nil
+}
+
+func joinInt64(v []int64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, "/")
+}

@@ -138,7 +138,10 @@ func TestRouterMatchesOracleAcrossShards(t *testing.T) {
 	d := buildDeployment(t, rng, 1200, bits, parts, map[int][]*server.FaultPlan{
 		0: {faulty, nil},
 	})
-	r, err := Dial(d.addrs, Options{MaxAttempts: 3, Backoff: time.Millisecond})
+	// Affinity "none" pins the first shard request to replica 0, so the
+	// fault plan is guaranteed to fire; rendezvous order depends on the
+	// replicas' ephemeral ports.
+	r, err := Dial(d.addrs, Options{MaxAttempts: 3, Backoff: time.Millisecond, Affinity: "none"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +239,9 @@ func TestRouterHedgingAbsorbsStraggler(t *testing.T) {
 	d := buildDeployment(t, rng, 300, bits, parts, map[int][]*server.FaultPlan{
 		0: {stall, nil},
 	})
-	r, err := Dial(d.addrs, Options{HedgeAfter: 5 * time.Millisecond, Backoff: time.Millisecond})
+	// Affinity "none" makes the stalled replica the hedge primary
+	// deterministically; rendezvous might rank the healthy one first.
+	r, err := Dial(d.addrs, Options{HedgeAfter: 5 * time.Millisecond, Backoff: time.Millisecond, Affinity: "none"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -108,7 +108,7 @@ func (r *Router) Insert(ids []int, codes []bitvec.Code) (int, error) {
 			// shard's partials are stale either way.
 			defer r.bumpShard(m)
 			req := wire.InsertReq{Length: r.length, IDs: ownIDs[m], Codes: ownCodes[m]}
-			respType, body, err := r.do(sh, wire.MsgInsert, fixedPayload(req.Append(nil)), nil, obs.NoSpan)
+			respType, body, err := r.do(sh, routePrimary, 0, wire.MsgInsert, fixedPayload(req.Append(nil)), nil, obs.NoSpan)
 			if err == nil && respType != wire.MsgInsertOK {
 				err = fmt.Errorf("client: shard %d answered %s", m, respType)
 			}
@@ -173,7 +173,7 @@ func (r *Router) Delete(ids []int) (int, error) {
 }
 
 func (r *Router) deleteOn(sh *shard, ids []int) (wire.DeleteResp, error) {
-	respType, body, err := r.do(sh, wire.MsgDelete, fixedPayload(wire.DeleteReq{IDs: ids}.Append(nil)), nil, obs.NoSpan)
+	respType, body, err := r.do(sh, routePrimary, 0, wire.MsgDelete, fixedPayload(wire.DeleteReq{IDs: ids}.Append(nil)), nil, obs.NoSpan)
 	if err == nil && respType != wire.MsgDeleteOK {
 		err = fmt.Errorf("client: shard %d answered %s", sh.part, respType)
 	}
@@ -198,7 +198,7 @@ func (r *Router) Seal(compact bool) ([]wire.SealOK, error) {
 		wg.Add(1)
 		go func(m int) {
 			defer wg.Done()
-			respType, body, err := r.do(r.shards[m], wire.MsgSeal, payload, nil, obs.NoSpan)
+			respType, body, err := r.do(r.shards[m], routePrimary, 0, wire.MsgSeal, payload, nil, obs.NoSpan)
 			if err == nil && respType != wire.MsgSealOK {
 				err = fmt.Errorf("client: shard %d answered %s", m, respType)
 			}

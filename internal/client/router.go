@@ -3,10 +3,17 @@
 // Gray-partitioned HA-Index deployment. Routing uses the same pivots the
 // shards were built from — learned from the shards' own handshakes — through
 // histo.Ranges, so a query only visits shards whose Gray range can contain a
-// match within the threshold. Each shard may have several replicas; requests
-// retry across replicas with exponential backoff, and an optional hedging
-// policy races a second replica when the first is slow, the serving-layer
-// analogue of the MapReduce runtime's speculative execution.
+// match within the threshold. Each shard may have several replicas; replica
+// selection is cache-aware: rendezvous hashing on the request's packed
+// result-cache key (internal/qcache) picks a preferred replica per request,
+// so repeated queries land where their answers are already cached, and the
+// failover order for retries is the rest of that ranking rather than list
+// position. Requests retry across replicas with exponential backoff, an
+// optional hedging policy races the best-ranked healthy standby when the
+// primary is slow (the serving-layer analogue of the MapReduce runtime's
+// speculative execution), and shed-backoff retries steer to the least-loaded
+// other replica using the warmth/load signal replicas report in their stats
+// (wire protocol v6).
 package client
 
 import (
@@ -72,6 +79,20 @@ type Options struct {
 	// normal).
 	Priority string
 
+	// Affinity selects the replica-routing policy. "" or "rendezvous" (the
+	// default) routes each request to the replica that rendezvous hashing
+	// of its packed result-cache key prefers, so the same query keeps
+	// landing on the same warm cache while distinct queries spread across
+	// the replica set. "none" rotates round-robin per shard with no
+	// affinity — the naive split, kept for comparison benchmarks and for
+	// tests that need a deterministic replica order.
+	Affinity string
+	// FailureCooldown is how long a replica that failed an attempt at the
+	// transport level (dial refused, connection dropped) is demoted to the
+	// tail of the rendezvous ranking, so fresh requests, failovers, and
+	// hedges prefer standbys believed healthy (0 = 500ms).
+	FailureCooldown time.Duration
+
 	// CacheEntries, when positive, gives the router a client-side result
 	// cache (internal/qcache) of merged whole-deployment answers, bounded
 	// to that many entries. Entries are keyed on a router-local mutation
@@ -113,6 +134,9 @@ func (o Options) withDefaults() Options {
 	if o.TraceCapacity <= 0 {
 		o.TraceCapacity = 16
 	}
+	if o.FailureCooldown <= 0 {
+		o.FailureCooldown = 500 * time.Millisecond
+	}
 	return o
 }
 
@@ -128,10 +152,13 @@ type Stats struct {
 	// Retries counts failed attempts that were retried on another replica
 	// (or the same one, for single-replica shards).
 	Retries int64
-	// Sheds counts MsgShed answers received. A shed is retried on the same
-	// replica after a backoff and does not count as a failed attempt or a
-	// retry — the shard is healthy, just saturated.
-	Sheds int64
+	// Sheds counts MsgShed answers received. A shed is retried after a
+	// backoff and does not count as a failed attempt or a retry — the
+	// shard is healthy, just saturated. Steers counts the shed retries
+	// that moved to a less-loaded sibling replica instead of returning to
+	// the one that shed.
+	Sheds  int64
+	Steers int64
 	// Hedges counts speculative duplicates launched; HedgeWins how many
 	// answered before the primary; HedgeLosses how many legs lost the race
 	// and were drained/closed (their work is the serving-layer analogue of
@@ -180,6 +207,7 @@ type Router struct {
 	queriesPruned atomic.Int64
 	retries       atomic.Int64
 	sheds         atomic.Int64
+	steers        atomic.Int64
 	hedges        atomic.Int64
 	hedgeWins     atomic.Int64
 	hedgeLosses   atomic.Int64
@@ -195,6 +223,7 @@ type Router struct {
 	cntRequests    *obs.Counter
 	cntRetries     *obs.Counter
 	cntSheds       *obs.Counter
+	cntSteers      *obs.Counter
 	cntHedges      *obs.Counter
 	cntHedgeWins   *obs.Counter
 	cntHedgeLosses *obs.Counter
@@ -210,6 +239,9 @@ type Router struct {
 type shard struct {
 	part     int
 	replicas []*replica
+	// rrSeq rotates zero-affinity and Affinity-"none" requests across the
+	// replica set so they spread instead of pinning replica 0.
+	rrSeq atomic.Uint64
 }
 
 // replica is one server address with at most one pooled connection; the
@@ -218,10 +250,77 @@ type replica struct {
 	addr string
 	opts Options
 
+	// rank caches the replica's rendezvous identity (a hash of its
+	// address, never 0); lazily computed so hand-built test replicas work.
+	rank atomic.Uint64
+
+	// Health and load signals, written off the connection mutex so routing
+	// never blocks on an in-flight request. failUntil/shedUntil are unix
+	// nanos: until then the replica is demoted (transport failure) or
+	// known saturated (it answered MsgShed). ewmaNs tracks attempt
+	// round-trip latency; the warm* fields mirror the replica's last
+	// StatsResp warmth block (wire protocol v6), recorded opportunistically
+	// whenever a stats response passes through the router.
+	failUntil   atomic.Int64
+	shedUntil   atomic.Int64
+	ewmaNs      atomic.Int64
+	warmEntries atomic.Int64
+	warmHits    atomic.Int64
+	warmMisses  atomic.Int64
+	warmAdmNs   atomic.Int64
+	warmIdle    atomic.Int64
+	warmAt      atomic.Int64 // unix nanos of the last warmth refresh
+
 	mu    sync.Mutex
 	conn  net.Conn
 	br    *bufio.Reader
 	hello wire.HelloOK
+}
+
+// rendezvousRank returns the replica's fixed rendezvous identity.
+func (rp *replica) rendezvousRank() uint64 {
+	if v := rp.rank.Load(); v != 0 {
+		return v
+	}
+	v := qcache.Hash([]byte(rp.addr)) | 1 // 0 is the "uncomputed" sentinel
+	rp.rank.Store(v)
+	return v
+}
+
+// recordWarmth folds one StatsResp into the replica's steering state.
+func (rp *replica) recordWarmth(st wire.StatsResp, now time.Time) {
+	rp.warmEntries.Store(st.CacheEntries)
+	rp.warmHits.Store(st.CacheHits)
+	rp.warmMisses.Store(st.CacheMisses)
+	rp.warmAdmNs.Store(st.AdmissionP50Ns)
+	rp.warmIdle.Store(st.PoolIdle)
+	rp.warmAt.Store(now.UnixNano())
+}
+
+// loadScore is the replica's steering cost: lower is better. Transport
+// failure and a recent shed dominate; within a health class the reported
+// admission-wait median plus the observed attempt-latency EWMA order the
+// candidates, so a drowning replica loses to an idle one even before it
+// sheds.
+func (rp *replica) loadScore(now int64) (badness int, load int64) {
+	if rp.failUntil.Load() > now {
+		badness += 2
+	}
+	if rp.shedUntil.Load() > now {
+		badness++
+	}
+	return badness, rp.warmAdmNs.Load() + rp.ewmaNs.Load()
+}
+
+// mix64 is the splitmix64 finalizer — the rendezvous score mixer combining
+// a request's affinity with a replica's rank.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Dial connects to a deployment. shardAddrs lists, per shard, the addresses
@@ -242,6 +341,11 @@ func Dial(shardAddrs [][]string, opts Options) (*Router, error) {
 	priority, err := wire.ParsePriority(opts.Priority)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
+	}
+	switch opts.Affinity {
+	case "", "rendezvous", "none":
+	default:
+		return nil, fmt.Errorf("client: unknown affinity policy %q (want rendezvous or none)", opts.Affinity)
 	}
 	r := &Router{
 		opts:       opts,
@@ -269,6 +373,7 @@ func Dial(shardAddrs [][]string, opts Options) (*Router, error) {
 	r.cntRequests = r.reg.Counter("shard_requests")
 	r.cntRetries = r.reg.Counter("retries")
 	r.cntSheds = r.reg.Counter("sheds")
+	r.cntSteers = r.reg.Counter("steers")
 	r.cntHedges = r.reg.Counter("hedges")
 	r.cntHedgeWins = r.reg.Counter("hedge_wins")
 	r.cntHedgeLosses = r.reg.Counter("hedge_losses")
@@ -345,6 +450,7 @@ func (r *Router) Stats() Stats {
 		QueriesPruned: r.queriesPruned.Load(),
 		Retries:       r.retries.Load(),
 		Sheds:         r.sheds.Load(),
+		Steers:        r.steers.Load(),
 		Hedges:        r.hedges.Load(),
 		HedgeWins:     r.hedgeWins.Load(),
 		HedgeLosses:   r.hedgeLosses.Load(),
@@ -499,7 +605,7 @@ func (r *Router) SearchBatch(queries []bitvec.Code, h int) ([][]int, error) {
 			pf := func(version int) []byte {
 				return wire.SearchReq{H: h, Engine: r.engine, Priority: r.priority, Queries: sub}.AppendVersion(nil, version)
 			}
-			respType, payload, err := r.do(sh, wire.MsgSearch, pf, tr, shardSpan)
+			respType, payload, err := r.do(sh, routeAffinity, r.affinityOf(sub, h), wire.MsgSearch, pf, tr, shardSpan)
 			if err == nil && respType != wire.MsgSearchOK {
 				err = fmt.Errorf("client: shard %d answered %s", sh.part, respType)
 			}
@@ -570,13 +676,14 @@ func (r *Router) TopK(queries []bitvec.Code, k int) ([][]int, [][]int, error) {
 	}
 	resps := make([]shardResp, len(r.shards))
 	payload := fixedPayload(wire.TopKReq{K: k, Queries: queries}.Append(nil))
+	aff := r.affinityOf(queries, k)
 	var wg sync.WaitGroup
 	for m := range r.shards {
 		r.queriesRouted.Add(int64(len(queries)))
 		wg.Add(1)
 		go func(m int) {
 			defer wg.Done()
-			respType, body, err := r.do(r.shards[m], wire.MsgTopK, payload, nil, obs.NoSpan)
+			respType, body, err := r.do(r.shards[m], routeAffinity, aff, wire.MsgTopK, payload, nil, obs.NoSpan)
 			if err == nil && respType != wire.MsgTopKOK {
 				err = fmt.Errorf("client: shard %d answered %s", m, respType)
 			}
@@ -630,7 +737,7 @@ func (r *Router) TopK(queries []bitvec.Code, k int) ([][]int, [][]int, error) {
 func (r *Router) ShardStats() ([]wire.StatsResp, error) {
 	out := make([]wire.StatsResp, len(r.shards))
 	for m, sh := range r.shards {
-		respType, payload, err := r.do(sh, wire.MsgStats, nil, nil, obs.NoSpan)
+		respType, payload, err := r.do(sh, routeRotate, 0, wire.MsgStats, nil, nil, obs.NoSpan)
 		if err != nil {
 			return nil, err
 		}
@@ -661,25 +768,138 @@ type payloadFn func(version int) []byte
 
 func fixedPayload(p []byte) payloadFn { return func(int) []byte { return p } }
 
-// do performs one shard request with retry, backoff, and hedging. Attempt n
-// goes to replica n mod len(replicas); a server-reported error frame counts
-// as a failed attempt just like a transport error. The whole retry loop —
-// attempts plus backoff sleeps — is bounded by Opts.Timeout of wall time, so
-// a run of failures cannot sleep far past the per-request budget.
+// routeMode says how do picks among a shard's replicas.
+type routeMode int
+
+const (
+	// routeAffinity rendezvous-hashes the request's affinity key against the
+	// replica set, so equal requests keep landing on the same warm cache. A
+	// zero affinity (empty batch, Affinity "none") degrades to routeRotate.
+	routeAffinity routeMode = iota
+	// routeRotate round-robins across the shard's replicas — for requests
+	// with no cacheable identity (stats) and for the Affinity "none" policy.
+	routeRotate
+	// routePrimary pins list order: replica 0 first, the rest as failovers.
+	// Mutations use it so a replicated deployment's writes keep hitting one
+	// replica instead of scattering divergence across the set.
+	routePrimary
+)
+
+// affinityOf folds a query batch into its rendezvous affinity key: the XOR
+// of qcache.Hash over each query's packed result-cache key (shard -1, epoch
+// 0 — the deployment-position-independent core), so the affinity is
+// order-insensitive across the batch and agrees with the key the answering
+// server caches under. Zero means "no affinity" and falls back to rotation.
+func (r *Router) affinityOf(queries []bitvec.Code, h int) uint64 {
+	if r.opts.Affinity == "none" {
+		return 0
+	}
+	var a uint64
+	var kb []byte
+	for _, q := range queries {
+		kb = qcache.Key{Code: q, H: h, Engine: r.engine, Shard: -1, Epoch: 0}.Append(kb[:0])
+		a ^= qcache.Hash(kb)
+	}
+	return a
+}
+
+// ranking orders a shard's replica indexes for one request: rendezvous
+// scores (mode routeAffinity), round-robin rotation (routeRotate, or a zero
+// affinity), or plain list order (routePrimary). Replicas inside their
+// failure cooldown are then demoted to the tail, relative order preserved,
+// so the first attempt and any hedge prefer replicas believed healthy while
+// a shard whose replicas all failed still tries them all.
+func (r *Router) ranking(sh *shard, mode routeMode, affinity uint64) []int {
+	n := len(sh.replicas)
+	order := make([]int, n)
+	switch {
+	case mode == routeAffinity && affinity != 0:
+		for i := range order {
+			order[i] = i
+		}
+		scores := make([]uint64, n)
+		for i, rp := range sh.replicas {
+			scores[i] = mix64(affinity ^ rp.rendezvousRank())
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if scores[order[a]] != scores[order[b]] {
+				return scores[order[a]] > scores[order[b]]
+			}
+			return order[a] < order[b]
+		})
+	case mode == routePrimary:
+		for i := range order {
+			order[i] = i
+		}
+	default:
+		base := int((sh.rrSeq.Add(1) - 1) % uint64(n))
+		for i := range order {
+			order[i] = (base + i) % n
+		}
+	}
+	now := r.now().UnixNano()
+	ranked := make([]int, 0, n)
+	var cooling []int
+	for _, i := range order {
+		if sh.replicas[i].failUntil.Load() > now {
+			cooling = append(cooling, i)
+		} else {
+			ranked = append(ranked, i)
+		}
+	}
+	return append(ranked, cooling...)
+}
+
+// leastLoadedOther picks the steering target for a shed retry: the sibling
+// of cur with the lowest (badness, load) score — not failed, preferring one
+// that has not itself shed recently, then the lowest reported admission wait
+// plus observed latency. Nil when cur has no live sibling, in which case the
+// retry stays where it was.
+func (r *Router) leastLoadedOther(sh *shard, cur *replica) *replica {
+	now := r.now().UnixNano()
+	var best *replica
+	var bestBad int
+	var bestLoad int64
+	for _, rp := range sh.replicas {
+		if rp == cur {
+			continue
+		}
+		bad, load := rp.loadScore(now)
+		if bad >= 2 {
+			continue // failure cooldown: worse than the replica that at least answered
+		}
+		if best == nil || bad < bestBad || (bad == bestBad && load < bestLoad) {
+			best, bestBad, bestLoad = rp, bad, load
+		}
+	}
+	return best
+}
+
+// do performs one shard request with retry, backoff, and hedging. The
+// replica order for the request comes from ranking: attempt n goes to the
+// n'th ranked replica (mod the set), so failover walks the rendezvous
+// preference list instead of raw list position. A server-reported error
+// frame counts as a failed attempt just like a transport error. The whole
+// retry loop — attempts plus backoff sleeps — is bounded by Opts.Timeout of
+// wall time, so a run of failures cannot sleep far past the per-request
+// budget.
 //
 // A MsgShed answer is not a failure: the shard is healthy but saturated, and
-// failing over would stampede the next replica with the same load. The
-// request instead backs off (doubling, jittered, capped at MaxBackoff) and
-// retries the same replica, without consuming a retry attempt, until the
-// request deadline runs out — at which point the error wraps ErrShed. A shed
+// blind failover would stampede the next replica with the same load. The
+// request instead backs off (doubling, jittered, capped at MaxBackoff)
+// without consuming a retry attempt, then steers the retry to the
+// least-loaded live sibling — a colder cache beats a deadline miss — falling
+// back to the replica that shed when it has no live sibling, until the
+// request deadline runs out, at which point the error wraps ErrShed. A shed
 // also disables hedging for the rest of the request, for the same reason: a
 // speculative duplicate is extra load aimed at a shard that just asked for
 // less.
-func (r *Router) do(sh *shard, t wire.MsgType, pf payloadFn, tr *obs.Trace, parent obs.SpanID) (wire.MsgType, []byte, error) {
+func (r *Router) do(sh *shard, mode routeMode, affinity uint64, t wire.MsgType, pf payloadFn, tr *obs.Trace, parent obs.SpanID) (wire.MsgType, []byte, error) {
 	r.shardRequests.Add(1)
 	r.cntRequests.Inc()
 	deadline := r.now().Add(r.opts.Timeout)
 	backoff := r.opts.Backoff
+	rank := r.ranking(sh, mode, affinity)
 	var lastErr error
 	// Once a shard sheds, hedging is off for the rest of this request: a
 	// speculative duplicate adds load exactly when the server asked the
@@ -707,7 +927,7 @@ func (r *Router) do(sh *shard, t wire.MsgType, pf payloadFn, tr *obs.Trace, pare
 			r.backoffWait.Add(int64(d))
 			backoff *= 2
 		}
-		rp := sh.replicas[attempt%len(sh.replicas)]
+		rp := sh.replicas[rank[attempt%len(rank)]]
 		var respType wire.MsgType
 		var resp []byte
 		var err error
@@ -715,7 +935,13 @@ func (r *Router) do(sh *shard, t wire.MsgType, pf payloadFn, tr *obs.Trace, pare
 		for {
 			sp := tr.Start(fmt.Sprintf("attempt %d → %s", attempt, rp.addr), parent)
 			if attempt == 0 && !shedSeen && r.opts.HedgeAfter > 0 && len(sh.replicas) > 1 {
-				respType, resp, err = r.hedged(sh, t, pf)
+				var winner *replica
+				winner, respType, resp, err = r.hedged(sh, rank, t, pf)
+				if winner != nil {
+					// A shed (or any answer) is attributed to the replica
+					// that actually sent it, which may be the hedge leg.
+					rp = winner
+				}
 			} else {
 				respType, resp, err = r.attempt(sh, rp, t, pf, nil)
 			}
@@ -731,6 +957,9 @@ func (r *Router) do(sh *shard, t wire.MsgType, pf payloadFn, tr *obs.Trace, pare
 				b = r.opts.MaxBackoff
 			}
 			d := b/2 + time.Duration(r.randInt63n(int64(b/2)+1))
+			// Remember the shed for about as long as this backoff round, so
+			// rankings and hedges built meanwhile prefer the siblings.
+			rp.shedUntil.Store(r.now().Add(2 * d).UnixNano())
 			if remain := deadline.Sub(r.now()); d > remain {
 				return 0, nil, fmt.Errorf("client: shard %d: %w (deadline %v exhausted)",
 					sh.part, ErrShed, r.opts.Timeout)
@@ -740,6 +969,11 @@ func (r *Router) do(sh *shard, t wire.MsgType, pf payloadFn, tr *obs.Trace, pare
 			tr.End(bsp)
 			r.backoffWait.Add(int64(d))
 			shedBackoff *= 2
+			if next := r.leastLoadedOther(sh, rp); next != nil && next != rp {
+				r.steers.Add(1)
+				r.cntSteers.Inc()
+				rp = next
+			}
 		}
 		if err == nil && respType == wire.MsgError {
 			em, perr := wire.ParseErrorMsg(resp)
@@ -760,12 +994,50 @@ func (r *Router) do(sh *shard, t wire.MsgType, pf payloadFn, tr *obs.Trace, pare
 // attempt performs one round trip on rp and records its latency in the
 // per-attempt histograms (overall and per shard), win or lose — failed and
 // hedged attempts cost real time too, and the distribution should show it.
+// It is also where the replica's health and warmth state is maintained: a
+// transport failure starts the failure cooldown (unless the round trip was
+// aborted by a decided hedge race, which says nothing about the replica), a
+// success clears it and feeds the latency EWMA, and a stats answer passing
+// through refreshes the warmth signal steering reads.
 func (r *Router) attempt(sh *shard, rp *replica, t wire.MsgType, pf payloadFn, cancel *connCancel) (wire.MsgType, []byte, error) {
 	t0 := time.Now()
 	respType, resp, err := rp.roundTrip(t, pf, cancel)
 	r.histAttempt.RecordSince(t0)
 	r.histShard[sh.part].RecordSince(t0)
+	switch {
+	case err == errHedgeAborted || cancel.wasAborted():
+		// The race was decided out from under this leg; its connection may
+		// have been closed deliberately. No health signal either way.
+	case err != nil:
+		rp.failUntil.Store(r.now().Add(r.opts.FailureCooldown).UnixNano())
+	default:
+		rp.failUntil.Store(0)
+		ns := int64(time.Since(t0))
+		if prev := rp.ewmaNs.Load(); prev > 0 {
+			ns = (7*prev + ns) / 8
+		}
+		rp.ewmaNs.Store(ns)
+		if respType == wire.MsgStatsOK {
+			if st, perr := wire.ParseStatsResp(resp); perr == nil {
+				rp.recordWarmth(st, r.now())
+			}
+		}
+	}
 	return respType, resp, err
+}
+
+// RefreshWarmth polls every replica of every shard for its serving stats and
+// folds the warmth block (wire protocol v6) into the steering state. The
+// router also refreshes opportunistically from any stats response that
+// passes through it (ShardStats); this is the explicit sweep for callers who
+// want fresher load signals than their stats traffic provides, e.g. a load
+// generator between phases.
+func (r *Router) RefreshWarmth() {
+	for _, sh := range r.shards {
+		for _, rp := range sh.replicas {
+			r.attempt(sh, rp, wire.MsgStats, nil, nil)
+		}
+	}
 }
 
 // errHedgeAborted marks a hedge leg whose race was decided before the leg
@@ -815,28 +1087,73 @@ func (c *connCancel) abort() {
 	}
 }
 
-// hedged races the primary replica against a delayed speculative duplicate
-// on the next one. The first answer wins; losing legs are aborted promptly
-// (their connections closed, their results drained in the background) so
-// they do not hold pooled connections for the rest of the request timeout.
-func (r *Router) hedged(sh *shard, t wire.MsgType, pf payloadFn) (wire.MsgType, []byte, error) {
+// wasAborted reports whether the race was decided against this leg. Its
+// connection may have been closed out from under a healthy replica, so a
+// transport error seen afterwards must not start that replica's failure
+// cooldown.
+func (c *connCancel) wasAborted() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aborted
+}
+
+// hedged races the ranking's primary replica against a delayed speculative
+// duplicate on a standby. The standby order is the rest of the ranking with
+// replicas in failure cooldown or recently shedding demoted to its tail, so
+// the hedge lands on the best-ranked replica believed able to answer — not
+// on a hardwired list position that may be dead. If a hedge leg itself dies
+// at the transport level, the next standby is launched immediately: the
+// point of the hedge is a live second horse in the race. The first answer
+// wins; losing legs are aborted promptly (their connections closed, their
+// results drained in the background) so they do not hold pooled connections
+// for the rest of the request timeout.
+func (r *Router) hedged(sh *shard, rank []int, t wire.MsgType, pf payloadFn) (*replica, wire.MsgType, []byte, error) {
 	type result struct {
+		rp       *replica
 		respType wire.MsgType
 		resp     []byte
 		err      error
 		cancel   *connCancel
 		hedge    bool
 	}
-	ch := make(chan result, 2)
+	now := r.now().UnixNano()
+	standbys := make([]*replica, 0, len(rank)-1)
+	var cold []*replica
+	for _, i := range rank[1:] {
+		rp := sh.replicas[i]
+		if rp.failUntil.Load() > now || rp.shedUntil.Load() > now {
+			cold = append(cold, rp)
+		} else {
+			standbys = append(standbys, rp)
+		}
+	}
+	standbys = append(standbys, cold...)
+	ch := make(chan result, 1+len(standbys))
 	launch := func(rp *replica, cancel *connCancel, hedge bool) {
 		respType, resp, err := r.attempt(sh, rp, t, pf, cancel)
-		ch <- result{respType: respType, resp: resp, err: err, cancel: cancel, hedge: hedge}
+		ch <- result{rp: rp, respType: respType, resp: resp, err: err, cancel: cancel, hedge: hedge}
 	}
 	cancels := []*connCancel{new(connCancel)}
-	go launch(sh.replicas[0], cancels[0], false)
+	go launch(sh.replicas[rank[0]], cancels[0], false)
 	timer := time.NewTimer(r.opts.HedgeAfter)
 	defer timer.Stop()
-	launched := 1
+	launched, nextStandby := 1, 0
+	launchNext := func() bool {
+		if nextStandby >= len(standbys) {
+			return false
+		}
+		r.hedges.Add(1)
+		r.cntHedges.Inc()
+		c := new(connCancel)
+		cancels = append(cancels, c)
+		go launch(standbys[nextStandby], c, true)
+		nextStandby++
+		launched++
+		return true
+	}
 	for {
 		select {
 		case res := <-ch:
@@ -861,21 +1178,21 @@ func (r *Router) hedged(sh *shard, t wire.MsgType, pf payloadFn) (wire.MsgType, 
 						}
 					}()
 				}
-				return res.respType, res.resp, nil
+				return res.rp, res.respType, res.resp, nil
 			}
 			launched--
+			if res.hedge && res.err != errHedgeAborted && launched > 0 {
+				// The standby died under its hedge while the primary is
+				// still out; replace it with the next candidate.
+				launchNext()
+			}
 			if launched == 0 {
-				// Primary failed before the hedge budget (or both legs
+				// Primary failed before the hedge budget (or every leg
 				// failed): surface the error to the retry loop.
-				return 0, nil, res.err
+				return nil, 0, nil, res.err
 			}
 		case <-timer.C:
-			r.hedges.Add(1)
-			r.cntHedges.Inc()
-			c := new(connCancel)
-			cancels = append(cancels, c)
-			go launch(sh.replicas[1], c, true)
-			launched++
+			launchNext()
 		}
 	}
 }

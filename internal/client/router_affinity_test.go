@@ -1,0 +1,219 @@
+package client
+
+import (
+	"math/rand"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"haindex/internal/server"
+)
+
+// TestRouterSpreadsReplicas: with rendezvous affinity, a stream of distinct
+// queries must land on every replica of a shard — the affinity key varies
+// per query, so the rendezvous winner does too. Before the fix the retry
+// loop computed `attempt % len(replicas)` from attempt 0, which pinned every
+// first attempt (hence all healthy-path traffic) to replica 0 and left the
+// rest of the set cold.
+func TestRouterSpreadsReplicas(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const bits, parts, h = 32, 1, 3
+	d := buildDeployment(t, rng, 600, bits, parts, map[int][]*server.FaultPlan{
+		0: {nil, nil, nil},
+	})
+	r, err := Dial(d.addrs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	queries := d.queries(rng, 60, bits, h)
+	for _, q := range queries {
+		if _, err := r.Search(q, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range d.servers {
+		if n := s.Stats().Requests; n == 0 {
+			t.Fatalf("replica %d served no requests across %d distinct queries: routing is pinned", i, len(queries))
+		}
+	}
+}
+
+// TestRouterAffinityStable: the same query must keep landing on the same
+// replica — that is the cache-warmth contract rendezvous hashing buys. Only
+// one replica's request counter may move while one query is replayed.
+func TestRouterAffinityStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	const bits, parts, h = 32, 1, 3
+	d := buildDeployment(t, rng, 600, bits, parts, map[int][]*server.FaultPlan{
+		0: {nil, nil, nil},
+	})
+	r, err := Dial(d.addrs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	q := d.queries(rng, 1, bits, h)[0]
+	before := make([]int64, len(d.servers))
+	for i, s := range d.servers {
+		before[i] = s.Stats().Requests
+	}
+	const replays = 12
+	for i := 0; i < replays; i++ {
+		if _, err := r.Search(q, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved := 0
+	for i, s := range d.servers {
+		switch delta := s.Stats().Requests - before[i]; {
+		case delta == replays:
+			moved++
+		case delta != 0:
+			t.Fatalf("replica %d served %d of %d replays: affinity split one key across replicas", i, delta, replays)
+		}
+	}
+	if moved != 1 {
+		t.Fatalf("%d replicas served the replayed query, want exactly 1", moved)
+	}
+}
+
+// TestRouterHedgeSkipsDeadReplica: the speculative duplicate must go to a
+// standby that can actually answer. Replica 1 — the pre-fix hardwired hedge
+// target — is dead, replica 0 stalls, and the batch must still finish fast
+// because the hedge reaches replica 2. Before the fix hedged() always raced
+// sh.replicas[1], the dead leg failed instantly, and the request sat out the
+// primary's full stall.
+func TestRouterHedgeSkipsDeadReplica(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	const bits, parts, h = 16, 1, 2
+	stall := server.NewFaultPlan()
+	for req := int64(0); req < 64; req++ {
+		stall.DelayRequest(req, 2*time.Second)
+	}
+	d := buildDeployment(t, rng, 300, bits, parts, map[int][]*server.FaultPlan{
+		0: {stall, nil, nil},
+	})
+	// Kill replica 1: its address now refuses connections.
+	d.servers[1].Close()
+
+	// Affinity "none" pins the stalled replica as the hedge primary; the
+	// dead replica sits exactly where the old code hardwired the hedge.
+	r, err := Dial(d.addrs, Options{HedgeAfter: 5 * time.Millisecond, Backoff: time.Millisecond, Affinity: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	queries := d.queries(rng, 10, bits, h)
+	t0 := time.Now()
+	got, err := r.SearchBatch(queries, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(t0); took > time.Second {
+		t.Fatalf("hedge did not reach a live standby: batch took %v", took)
+	}
+	for i, q := range queries {
+		want := append([]int(nil), d.oracle.Search(q, h)...)
+		sort.Ints(want)
+		if len(want) == 0 {
+			want = nil
+		}
+		if !equalInts(got[i], want) {
+			t.Fatalf("query %d: router %v, oracle %v", i, got[i], want)
+		}
+	}
+	st := r.Stats()
+	if st.Hedges == 0 || st.HedgeWins == 0 {
+		t.Fatalf("dead-standby race produced no hedge wins: %+v", st)
+	}
+}
+
+// TestRouterReplicatedMatchesOracle is the replicated acceptance test: a
+// 2-shard × 3-replica deployment under the default rendezvous policy must
+// return exactly the single-index oracle's answers, spread healthy-path load
+// over every replica, and keep each query keyed to one replica.
+func TestRouterReplicatedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const bits, parts, h = 32, 2, 3
+	d := buildDeployment(t, rng, 900, bits, parts, map[int][]*server.FaultPlan{
+		0: {nil, nil, nil},
+		1: {nil, nil, nil},
+	})
+	r, err := Dial(d.addrs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	queries := d.queries(rng, 150, bits, h)
+	for i, q := range queries {
+		got, err := r.Search(q, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]int(nil), d.oracle.Search(q, h)...)
+		sort.Ints(want)
+		if len(want) == 0 {
+			want = nil
+		}
+		if !equalInts(got, want) {
+			t.Fatalf("query %d: router %v, oracle %v", i, got, want)
+		}
+	}
+	// Healthy steady state: every replica of every shard carries load. Dial
+	// only handshakes the first replica per shard, so a non-zero request
+	// count here is search traffic placed by the rendezvous ranking.
+	for i, s := range d.servers {
+		if n := s.Stats().Requests; n == 0 {
+			t.Fatalf("replica %d served no requests in a healthy replicated deployment", i)
+		}
+	}
+	// Key→replica affinity: replaying one query moves exactly one replica's
+	// counter per shard it routes to.
+	q := queries[0]
+	before := make([]int64, len(d.servers))
+	for i, s := range d.servers {
+		before[i] = s.Stats().Requests
+	}
+	const replays = 8
+	for i := 0; i < replays; i++ {
+		if _, err := r.Search(q, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for m := 0; m < parts; m++ {
+		touched := 0
+		for rep := 0; rep < 3; rep++ {
+			i := m*3 + rep
+			if delta := d.servers[i].Stats().Requests - before[i]; delta != 0 {
+				touched++
+				if delta != replays {
+					t.Fatalf("shard %d replica %d served %d of %d replays", m, rep, delta, replays)
+				}
+			}
+		}
+		if touched > 1 {
+			t.Fatalf("shard %d: %d replicas served the replayed query, want at most 1", m, touched)
+		}
+	}
+	if st := r.Stats(); st.Retries != 0 {
+		t.Fatalf("healthy deployment provoked %d retries", st.Retries)
+	}
+}
+
+// TestDialRejectsUnknownAffinity: the policy name is validated up front.
+func TestDialRejectsUnknownAffinity(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := Dial([][]string{{ln.Addr().String()}}, Options{Affinity: "sticky"}); err == nil {
+		t.Fatal("bad affinity policy accepted")
+	}
+}

@@ -61,6 +61,7 @@ func newBackoffRouter(t *testing.T, opts Options, clk *fakeClock, jitter func(in
 	r.cntRequests = reg.Counter("shard_requests")
 	r.cntRetries = reg.Counter("retries")
 	r.cntSheds = reg.Counter("sheds")
+	r.cntSteers = reg.Counter("steers")
 	r.cntHedges = reg.Counter("hedges")
 	r.cntHedgeWins = reg.Counter("hedge_wins")
 	r.cntHedgeLosses = reg.Counter("hedge_losses")
@@ -80,7 +81,7 @@ func TestBackoffCapAndDoubling(t *testing.T) {
 		Timeout:     10 * time.Second,
 	}, clk, maxJitter)
 
-	_, _, err := r.do(r.shards[0], wire.MsgStats, nil, nil, obs.NoSpan)
+	_, _, err := r.do(r.shards[0], routeRotate, 0, wire.MsgStats, nil, nil, obs.NoSpan)
 	if err == nil {
 		t.Fatal("expected failure against a refusing address")
 	}
@@ -130,7 +131,7 @@ func TestBackoffJitterRange(t *testing.T) {
 		Timeout:     10 * time.Second,
 	}, clk, minJitter)
 
-	r.do(r.shards[0], wire.MsgStats, nil, nil, obs.NoSpan)
+	r.do(r.shards[0], routeRotate, 0, wire.MsgStats, nil, nil, obs.NoSpan)
 	want := []time.Duration{
 		2 * time.Millisecond, // b=4ms, zero jitter → b/2
 		4 * time.Millisecond, // b=8ms → 4ms
@@ -161,7 +162,7 @@ func TestBackoffBoundedByTimeout(t *testing.T) {
 	}, clk, maxJitter)
 
 	start := clk.now()
-	_, _, err := r.do(r.shards[0], wire.MsgStats, nil, nil, obs.NoSpan)
+	_, _, err := r.do(r.shards[0], routeRotate, 0, wire.MsgStats, nil, nil, obs.NoSpan)
 	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
 		t.Fatalf("err = %v, want retry-budget error", err)
 	}

@@ -238,6 +238,13 @@ func (sh *cshard) sampleVictim() (string, uint32) {
 	return victim, vfreq
 }
 
+// Warmth reports the cache's current occupancy and lifetime hit/miss
+// counts — the cheap signal a server exports (wire.StatsResp, protocol v6)
+// so a client router can prefer the replica whose cache is already hot.
+func (c *Cache) Warmth() (entries, hits, misses int64) {
+	return c.entries.Value(), c.hits.Value(), c.misses.Value()
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
 	n := 0
@@ -249,6 +256,12 @@ func (c *Cache) Len() int {
 	}
 	return n
 }
+
+// Hash is FNV-1a over a packed key — dependency-free and good enough to
+// spread Gray-coded keys across shards and sketch rows. It is exported for
+// the client router, which rendezvous-hashes the same packed keys to pick
+// the replica whose cache a query should keep warm.
+func Hash(b []byte) uint64 { return hash(b) }
 
 // hash is FNV-1a over the packed key — dependency-free and good enough to
 // spread Gray-coded keys across shards and sketch rows.

@@ -251,3 +251,25 @@ func BenchmarkGetHit(b *testing.B) {
 		}
 	}
 }
+
+// TestWarmth: the snapshot mirrors the cache's own counters, and Hash is a
+// stable function of the packed bytes only.
+func TestWarmth(t *testing.T) {
+	c := New(Options{MaxEntries: 64})
+	rng := rand.New(rand.NewSource(9))
+	k := Key{Code: code64(rng), H: 2, Shard: -1}
+	kb := k.Append(nil)
+	c.Get(kb) // miss
+	c.Put(kb, []int{1})
+	c.Get(kb) // hit
+	entries, hits, misses := c.Warmth()
+	if entries != 1 || hits != 1 || misses != 1 {
+		t.Fatalf("Warmth = (%d, %d, %d), want (1, 1, 1)", entries, hits, misses)
+	}
+	if Hash(kb) != Hash(append([]byte(nil), kb...)) {
+		t.Fatal("Hash depends on slice identity, not bytes")
+	}
+	if Hash(kb) == Hash(kb[:len(kb)-1]) {
+		t.Fatal("Hash ignored the final byte")
+	}
+}

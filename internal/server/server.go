@@ -454,10 +454,17 @@ func (s *Server) Close() error {
 }
 
 // Stats returns a snapshot of the serving counters. The latency percentile
-// fields summarize the per-request search and top-k histograms.
+// fields summarize the per-request search and top-k histograms; the warmth
+// fields (protocol v6) expose the result cache's occupancy and hit counters
+// plus the admission queue's state, so a router can see which replica is
+// hot and which is drowning.
 func (s *Server) Stats() Stats {
 	lat := s.histSearch.Snapshot()
 	lat.Merge(s.histTopK.Snapshot())
+	var cacheEntries, cacheHits, cacheMisses int64
+	if s.cache != nil {
+		cacheEntries, cacheHits, cacheMisses = s.cache.Warmth()
+	}
 	return Stats{
 		Requests:             s.requests.Load(),
 		Queries:              s.queries.Load(),
@@ -472,6 +479,11 @@ func (s *Server) Stats() Stats {
 		LatencyP95Ns:         lat.P95(),
 		LatencyP99Ns:         lat.P99(),
 		LatencyMaxNs:         lat.Max,
+		CacheEntries:         cacheEntries,
+		CacheHits:            cacheHits,
+		CacheMisses:          cacheMisses,
+		AdmissionP50Ns:       s.histAdmission.Snapshot().P50(),
+		PoolIdle:             s.poolIdle.Value(),
 	}
 }
 
@@ -620,14 +632,10 @@ func (s *Server) handleConn(conn net.Conn) {
 		case wire.MsgStats:
 			t0 := time.Now()
 			st := s.Stats()
-			var pl []byte
-			if nego >= 2 {
-				pl = st.Append(nil)
-			} else {
-				// A v1 peer rejects trailing bytes: emit the shorter payload.
-				pl = st.AppendV1(nil)
-			}
-			ok := writeMsg(wire.MsgStatsOK, pl)
+			// Older peers reject trailing bytes: encode exactly the field
+			// groups the negotiated version includes (warmth needs v6,
+			// latency percentiles v2).
+			ok := writeMsg(wire.MsgStatsOK, st.AppendVersion(nil, nego))
 			s.histStats.RecordSince(t0)
 			if !ok {
 				return

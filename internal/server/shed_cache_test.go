@@ -208,3 +208,56 @@ func TestServerShedFaultAndGating(t *testing.T) {
 		t.Fatalf("planned shed on v4 session answered %s, want normal service", rt)
 	}
 }
+
+// TestServerStatsWarmthVersioned: a v6 session's stats snapshot carries the
+// cache-warmth and admission-load fields, while a v5 session gets the
+// shorter payload those peers expect — with the warmth left zero after
+// parsing, never trailing bytes.
+func TestServerStatsWarmthVersioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	meta, idx, codes := testShard(t, rng, 200, 16, 1, 0)
+	s := startTestServer(t, meta, idx, Options{Searchers: 2, CacheEntries: 128})
+
+	c := dialTest(t, s)
+	c.hello()
+	req := wire.SearchReq{H: 2, Queries: codes[:4]}.Append(nil)
+	for i := 0; i < 2; i++ { // second pass hits the result cache
+		if rt, _ := c.roundTrip(wire.MsgSearch, req); rt != wire.MsgSearchOK {
+			t.Fatalf("search %d failed", i)
+		}
+	}
+	rt, resp := c.roundTrip(wire.MsgStats, nil)
+	if rt != wire.MsgStatsOK {
+		t.Fatalf("stats answered %s", rt)
+	}
+	st, err := wire.ParseStatsResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheEntries == 0 || st.CacheHits == 0 || st.CacheMisses == 0 {
+		t.Fatalf("v6 stats carry no cache warmth: %+v", st)
+	}
+	if st.PoolIdle != 2 {
+		t.Fatalf("PoolIdle = %d, want the 2 idle searchers", st.PoolIdle)
+	}
+
+	// A v5 peer must get the pre-warmth layout.
+	c5 := dialTest(t, s)
+	if rt, _ := c5.roundTrip(wire.MsgHello, wire.Hello{Version: 5}.Append(nil)); rt != wire.MsgHelloOK {
+		t.Fatal("v5 handshake refused")
+	}
+	rt, resp = c5.roundTrip(wire.MsgStats, nil)
+	if rt != wire.MsgStatsOK {
+		t.Fatalf("v5 stats answered %s", rt)
+	}
+	st5, err := wire.ParseStatsResp(resp)
+	if err != nil {
+		t.Fatalf("v5 stats payload: %v", err)
+	}
+	if st5.CacheEntries != 0 || st5.CacheHits != 0 || st5.PoolIdle != 0 {
+		t.Fatalf("v5 session leaked warmth fields: %+v", st5)
+	}
+	if st5.Requests == 0 || st5.LatencyP50Ns == 0 {
+		t.Fatalf("v5 stats lost pre-v6 fields: %+v", st5)
+	}
+}

@@ -38,8 +38,13 @@ import (
 // added the optional priority class trailing SearchReq and the Shed
 // response: an overloaded server may answer a search with MsgShed instead
 // of queueing past its admission budget, and the client backs off and
-// retries the same replica.
-const Version = 5
+// retries the same replica. Version 6 extended StatsResp with the warmth
+// and load fields (result-cache occupancy and hit counters, admission-wait
+// p50, idle admission tickets) the client router steers replica selection
+// with; like the v2 latency fields they are optional trailing varints, but
+// they are only emitted on sessions negotiated at 6 or above because older
+// parsers reject trailing bytes.
+const Version = 6
 
 // Engine hints a SearchReq can carry since protocol version 4. EngineAuto
 // (the zero value) is never put on the wire — Append omits the field — so
@@ -526,7 +531,13 @@ func ParseTopKResp(payload []byte) (TopKResp, error) {
 // StatsResp is the server's counter snapshot. The four latency fields are
 // per-request search/top-k latency percentiles in nanoseconds, served from
 // the shard's observability registry; they were added in protocol version 2
-// and are absent from v1 payloads (ParseStatsResp leaves them zero).
+// and are absent from v1 payloads (ParseStatsResp leaves them zero). The
+// five warmth fields were added in protocol version 6: result-cache
+// occupancy and lifetime hit/miss counts, the admission-wait median, and
+// the number of idle admission tickets — the cheap load signal a router
+// steers replica selection with. Both extensions are optional trailing
+// varints, so a shorter payload from an older peer parses with the missing
+// fields left zero.
 type StatsResp struct {
 	Requests             int64
 	Queries              int64
@@ -542,15 +553,43 @@ type StatsResp struct {
 	LatencyP95Ns int64
 	LatencyP99Ns int64
 	LatencyMaxNs int64
+
+	CacheEntries   int64
+	CacheHits      int64
+	CacheMisses    int64
+	AdmissionP50Ns int64
+	PoolIdle       int64
 }
 
 func (m StatsResp) Append(dst []byte) []byte {
+	return m.AppendVersion(dst, Version)
+}
+
+// AppendVersion encodes the snapshot for a session negotiated at the given
+// protocol version, emitting only the field groups the peer can parse: the
+// nine counters always, the latency percentiles at version 2 and above, the
+// warmth fields at version 6 and above. Older parsers reject trailing
+// bytes, so a server must encode for the negotiated version, not its own.
+func (m StatsResp) AppendVersion(dst []byte, version int) []byte {
 	for _, v := range []int64{
 		m.Requests, m.Queries, m.TopKQueries, m.IDsReturned, m.Errors,
 		m.FaultsInjected, m.DistanceComputations, m.NodesVisited, m.LeavesChecked,
-		m.LatencyP50Ns, m.LatencyP95Ns, m.LatencyP99Ns, m.LatencyMaxNs,
 	} {
 		dst = binary.AppendUvarint(dst, uint64(v))
+	}
+	if version >= 2 {
+		for _, v := range []int64{
+			m.LatencyP50Ns, m.LatencyP95Ns, m.LatencyP99Ns, m.LatencyMaxNs,
+		} {
+			dst = binary.AppendUvarint(dst, uint64(v))
+		}
+	}
+	if version >= 6 {
+		for _, v := range []int64{
+			m.CacheEntries, m.CacheHits, m.CacheMisses, m.AdmissionP50Ns, m.PoolIdle,
+		} {
+			dst = binary.AppendUvarint(dst, uint64(v))
+		}
 	}
 	return dst
 }
@@ -559,13 +598,7 @@ func (m StatsResp) Append(dst []byte) []byte {
 // fields — what a server sends on a session negotiated down to protocol
 // version 1, whose peer rejects trailing bytes.
 func (m StatsResp) AppendV1(dst []byte) []byte {
-	for _, v := range []int64{
-		m.Requests, m.Queries, m.TopKQueries, m.IDsReturned, m.Errors,
-		m.FaultsInjected, m.DistanceComputations, m.NodesVisited, m.LeavesChecked,
-	} {
-		dst = binary.AppendUvarint(dst, uint64(v))
-	}
-	return dst
+	return m.AppendVersion(dst, 1)
 }
 
 func ParseStatsResp(payload []byte) (StatsResp, error) {
@@ -581,6 +614,16 @@ func ParseStatsResp(payload []byte) (StatsResp, error) {
 	// shorter payload still parses.
 	for _, f := range []*int64{
 		&m.LatencyP50Ns, &m.LatencyP95Ns, &m.LatencyP99Ns, &m.LatencyMaxNs,
+	} {
+		if p.err == nil && len(p.b) == 0 {
+			break
+		}
+		*f = int64(p.uvarint())
+	}
+	// Version-6 extension: warmth and load, optional likewise. A payload
+	// with latency but no warmth (v2..v5) stops at the earlier break.
+	for _, f := range []*int64{
+		&m.CacheEntries, &m.CacheHits, &m.CacheMisses, &m.AdmissionP50Ns, &m.PoolIdle,
 	} {
 		if p.err == nil && len(p.b) == 0 {
 			break
