@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build test race test-race bench bench-query bench-frozen bench-serve bench-planner bench-load bench-load-rep vet fmt-check fuzz fuzz-wire fuzz-mih fuzz-qcache smoke debug-smoke lsm-smoke experiments examples clean
+.PHONY: all check build test race test-race bench bench-query bench-frozen bench-serve bench-planner bench-load bench-load-rep bench-scale vet fmt-check fuzz fuzz-wire fuzz-mih fuzz-qcache fuzz-arena smoke debug-smoke lsm-smoke experiments examples clean
 
 all: build vet test
 
-check: build vet fmt-check test test-race fuzz-wire fuzz-mih fuzz-qcache
+check: build vet fmt-check test test-race fuzz-wire fuzz-mih fuzz-qcache fuzz-arena
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,13 @@ bench-load:
 bench-load-rep:
 	$(GO) run ./cmd/habench -exp load-rep
 
+# Zero-copy arena experiment at multi-million-code scale: streaming-build
+# wall/peak-heap at two sizes, then mmap-vs-eager serving over the same v4
+# snapshot (load-to-first-query, heap/mapped bytes, RSS growth, query
+# latency); writes BENCH_scale.json.
+bench-scale:
+	$(GO) run ./cmd/habench -exp scale
+
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeDynamic -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeIndex -fuzztime=30s ./internal/core/
@@ -96,6 +103,12 @@ fuzz-mih:
 # threshold, engine, shard, epoch) tuples must never collide to one key.
 fuzz-qcache:
 	$(GO) test -run=NONE -fuzz=FuzzKeyPacking -fuzztime=5s ./internal/qcache/
+
+# Short fuzz smoke of the HADX v4 arena section table: byte-level splats and
+# truncations over the mmap-native layout must be rejected (or decode to an
+# index that answers searches), never crash — in both alias and copy modes.
+fuzz-arena:
+	$(GO) test -run=NONE -fuzz=FuzzSectionTable -fuzztime=5s ./internal/core/
 
 # End-to-end smoke of the serving stack: build the CLIs, generate a tiny
 # dataset, shard it, start two haserve processes (one fault-injected), query

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table4|fig6|fig7|fig8|fig9|fig10|table5|ablation|scaling|faults|query|serve|planner|load|load-rep|all")
+		exp    = flag.String("exp", "all", "experiment: table4|fig6|fig7|fig8|fig9|fig10|table5|ablation|scaling|faults|query|serve|planner|load|load-rep|scale|all")
 		quick  = flag.Bool("quick", false, "use the small smoke-test scale")
 		n      = flag.Int("n", 0, "override Hamming-select dataset size")
 		knnN   = flag.Int("knn-n", 0, "override kNN dataset size (Table 5)")
@@ -85,6 +85,7 @@ func main() {
 		{"planner", bench.PlannerBench},
 		{"load", bench.LoadBench},
 		{"load-rep", bench.LoadRepBench},
+		{"scale", bench.ScaleBench},
 	}
 	ran := false
 	for _, r := range runners {
@@ -101,7 +102,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fatalf("unknown experiment %q; want table4|fig6|fig7|fig8|fig9|fig10|table5|ablation|scaling|faults|query|serve|planner|load|load-rep|all", *exp)
+		fatalf("unknown experiment %q; want table4|fig6|fig7|fig8|fig9|fig10|table5|ablation|scaling|faults|query|serve|planner|load|load-rep|scale|all", *exp)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"haindex/internal/bitvec"
 	"haindex/internal/core"
 	"haindex/internal/dataset"
+	"haindex/internal/gray"
 	"haindex/internal/hash"
 	"haindex/internal/histo"
 	"haindex/internal/wire"
@@ -61,6 +62,7 @@ func cmdBuild(args []string) {
 	seed := fs.Int64("seed", 1, "hash-learning sample seed")
 	leafless := fs.Bool("leafless", false, "write the Option-B form without tuple-id tables")
 	frozen := fs.Bool("frozen", false, "write the compiled (frozen, v2) form instead of the pointer encoding")
+	arena := fs.Bool("arena", false, "write the mmap-native (frozen, v4) form; implies -frozen")
 	fs.Parse(args)
 	if *data == "" {
 		fatalf("build: -data is required")
@@ -82,7 +84,13 @@ func cmdBuild(args []string) {
 	}
 	defer f.Close()
 	var sz int
-	if *frozen {
+	if *arena {
+		fz := core.Freeze(idx)
+		if err := fz.EncodeArena(f, !*leafless); err != nil {
+			fatalf("encoding: %v", err)
+		}
+		sz = fz.EncodedSizeArena(!*leafless)
+	} else if *frozen {
 		fz := core.Freeze(idx)
 		if err := fz.Encode(f, !*leafless); err != nil {
 			fatalf("encoding: %v", err)
@@ -128,8 +136,11 @@ func cmdInfo(args []string) {
 		SizeBytes() int
 	})
 	form := "pointer (v1)"
-	if _, ok := idx.(*core.FrozenIndex); ok {
+	if fz, ok := idx.(*core.FrozenIndex); ok {
 		form = "frozen (v2)"
+		if fz.ArenaForm() {
+			form = "arena (v4, mmap-native)"
+		}
 	}
 	fmt.Printf("HA-Index file: %s\n", *index)
 	fmt.Printf("  form:           %s\n", form)
@@ -193,7 +204,9 @@ func cmdShard(args []string) {
 	parts := fs.Int("parts", 2, "number of partitions (one snapshot each)")
 	out := fs.String("o", "shards", "output directory")
 	seed := fs.Int64("seed", 1, "hash-learning sample seed")
-	frozen := fs.Bool("frozen", true, "write frozen (v2) snapshots; -frozen=false writes the pointer encoding")
+	frozen := fs.Bool("frozen", true, "write frozen snapshots; -frozen=false writes the pointer encoding")
+	arena := fs.Bool("arena", true, "write mmap-native (v4) snapshots via the streaming builder; -arena=false writes v2")
+	chunk := fs.Int("chunk", 1<<18, "streaming-build chunk size in tuples (peak memory is O(chunk), not O(partition))")
 	fs.Parse(args)
 	if *data == "" {
 		fatalf("shard: -data is required")
@@ -211,11 +224,9 @@ func cmdShard(args []string) {
 	}
 	codes := hash.HashAll(hf, vecs)
 
-	sample := codes
-	if len(sample) > 2000 {
-		sample = codes[:2000]
-	}
-	pivots := histo.Pivots(sample, *parts)
+	// Strided sample: a prefix sample is biased on row-ordered (clustered)
+	// datasets and dumps the unseen clusters into one partition.
+	pivots := histo.Pivots(histo.Sample(codes, 2000), *parts)
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatalf("%v", err)
@@ -232,18 +243,37 @@ func cmdShard(args []string) {
 		for j, i := range rows {
 			partCodes[j] = codes[i]
 		}
-		var idx core.Index = core.BuildDynamic(partCodes, rows, core.Options{})
-		if *frozen {
-			idx = core.Freeze(idx.(*core.DynamicIndex))
-		}
 		meta := wire.SnapshotMeta{Part: m, Parts: *parts, Length: *bits, Pivots: pivots}
 		path := filepath.Join(*out, fmt.Sprintf("shard-%05d.hasn", m))
 		f, err := os.Create(path)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if err := wire.WriteSnapshot(f, meta, idx); err != nil {
-			fatalf("writing %s: %v", path, err)
+		if *frozen && *arena {
+			// Streaming build: Gray-sort the partition so chunks cover tight
+			// Gray ranges, then freeze-and-spool chunk by chunk straight into
+			// a v4 snapshot — the partition index is never resident at once.
+			gray.Sort(partCodes, rows)
+			sw, err := core.NewFrozenStreamWriter(*bits, *chunk, core.Options{})
+			if err != nil {
+				fatalf("%v", err)
+			}
+			for j, c := range partCodes {
+				if err := sw.Add(rows[j], c); err != nil {
+					fatalf("streaming %s: %v", path, err)
+				}
+			}
+			if err := wire.WriteSnapshotStream(f, meta, sw); err != nil {
+				fatalf("writing %s: %v", path, err)
+			}
+		} else {
+			var idx core.Index = core.BuildDynamic(partCodes, rows, core.Options{})
+			if *frozen {
+				idx = core.Freeze(idx.(*core.DynamicIndex))
+			}
+			if err := wire.WriteSnapshot(f, meta, idx); err != nil {
+				fatalf("writing %s: %v", path, err)
+			}
 		}
 		if err := f.Close(); err != nil {
 			fatalf("%v", err)

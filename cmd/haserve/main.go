@@ -29,6 +29,12 @@
 // "ha", "mih", or "scan" pin one engine. Clients can override per request
 // with their own -engine hint (protocol v4).
 //
+// -mmap (default on) serves a version-4 snapshot zero-copy: the arena is
+// aliased out of an mmap of the file, so startup cost and heap footprint
+// are independent of shard size (watch index.mapped_bytes vs
+// index.heap_bytes on /debug/obs). Older snapshot versions, -frozen=false,
+// and -mutable fall back to the eager reader automatically.
+//
 // With -mutable the snapshot seeds an LSM shard (internal/lsm) instead of
 // an immutable index: the server then also accepts protocol-v3 insert,
 // delete, and seal frames (haquery -insert/-delete/-seal), sealing the
@@ -66,6 +72,7 @@ func main() {
 		idleTO    = flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = 30s, negative disables)")
 		writeTO   = flag.Duration("write-timeout", 0, "per-response write deadline (0 = 30s, negative disables)")
 		frozen    = flag.Bool("frozen", true, "serve the compiled (frozen) index; -frozen=false walks the pointer hierarchy")
+		mmapIdx   = flag.Bool("mmap", true, "serve a v4 snapshot zero-copy out of an mmap of the file; other versions fall back to the eager reader")
 		engine    = flag.String("engine", "auto", "access path for immutable serving: auto (measured cost-based planner), ha, mih, or scan; -mutable always serves the LSM engine")
 
 		mutable     = flag.Bool("mutable", false, "serve a mutable LSM shard seeded from the snapshot; accepts insert/delete/seal")
@@ -105,6 +112,7 @@ func main() {
 		IdleTimeout:  *idleTO,
 		WriteTimeout: *writeTO,
 		PointerWalk:  !*frozen,
+		Mmap:         *mmapIdx && *frozen && !*mutable,
 		Engine:       *engine,
 	}
 	if *mutable {

@@ -266,3 +266,20 @@ func TestPlannerBenchQuick(t *testing.T) {
 		t.Fatalf("summary rows=%d", len(tables[1].Rows))
 	}
 }
+
+func TestScaleBenchQuick(t *testing.T) {
+	sc := QuickScale()
+	tables, err := scaleBench(sc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables=%d want 2", len(tables))
+	}
+	if len(tables[0].Rows) != 2 {
+		t.Fatalf("build rows=%d want 2 sizes", len(tables[0].Rows))
+	}
+	if len(tables[1].Rows) != 2 {
+		t.Fatalf("serve rows=%d want mmap+eager", len(tables[1].Rows))
+	}
+}

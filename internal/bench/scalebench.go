@@ -1,0 +1,340 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/core"
+	"haindex/internal/gray"
+	"haindex/internal/histo"
+	"haindex/internal/wire"
+)
+
+// ScaleBenchFile is where ScaleBench writes its machine-readable results.
+const ScaleBenchFile = "BENCH_scale.json"
+
+type scaleBenchJSON struct {
+	Bits      int `json:"bits"`
+	Threshold int `json:"threshold"`
+	Chunk     int `json:"chunk"`
+	Queries   int `json:"queries"`
+
+	Builds []scaleBuildJSON `json:"builds"`
+	Serve  []scaleArmJSON   `json:"serve"`
+}
+
+type scaleBuildJSON struct {
+	N             int   `json:"n"`
+	WallNs        int64 `json:"wall_ns"`
+	PeakHeapBytes int64 `json:"peak_heap_bytes"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+}
+
+type scaleArmJSON struct {
+	Mode          string `json:"mode"` // "mmap" or "eager"
+	N             int    `json:"n"`
+	LoadNs        int64  `json:"load_ns"`
+	FirstQueryNs  int64  `json:"first_query_ns"` // load + one search
+	HeapBytes     int64  `json:"index_heap_bytes"`
+	MappedBytes   int64  `json:"index_mapped_bytes"`
+	RSSDeltaBytes int64  `json:"rss_delta_bytes"`
+	P50Ns         int64  `json:"p50_ns"`
+	P99Ns         int64  `json:"p99_ns"`
+	Matches       int64  `json:"matches"`
+}
+
+// heapSampler watches runtime.MemStats.HeapInuse from a background
+// goroutine, so allocation peaks inside an instrumented region (chunk
+// builds, eager decodes) are caught even though the region itself never
+// yields a hook point.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	max  atomic.Int64
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		var ms runtime.MemStats
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if v := int64(ms.HeapInuse); v > s.max.Load() {
+				s.max.Store(v)
+			}
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return s
+}
+
+// Stop ends sampling and returns the peak HeapInuse observed.
+func (s *heapSampler) Stop() int64 {
+	close(s.stop)
+	<-s.done
+	return s.max.Load()
+}
+
+func heapInuse() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapInuse)
+}
+
+// vmRSS reads the process resident set size from /proc; 0 where /proc is
+// unavailable (the heap figures still tell the story there).
+func vmRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// scaleCodes generates n clustered 64-bit codes cheaply (no vectors, no
+// hash learning — at millions of tuples the scale experiment is about the
+// index and codec, not the hashing front end).
+func scaleCodes(rng *rand.Rand, n, bits int) []bitvec.Code {
+	out := make([]bitvec.Code, 0, n)
+	per := 1000
+	for len(out) < n {
+		center := bitvec.Rand(rng, bits)
+		for i := 0; i < per && len(out) < n; i++ {
+			c := center.Clone()
+			for f := 0; f < 3; f++ {
+				c.FlipBit(rng.Intn(bits))
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// streamSnapshot builds a v4 snapshot for codes via the streaming path,
+// returning wall time and the peak builder heap (above the pre-build
+// baseline, so the resident input codes are not charged to the builder).
+func streamSnapshot(path string, codes []bitvec.Code, bits, chunk int) (time.Duration, int64, error) {
+	ids := make([]int, len(codes))
+	for i := range ids {
+		ids[i] = i
+	}
+	sorted := make([]bitvec.Code, len(codes))
+	copy(sorted, codes)
+	gray.Sort(sorted, ids)
+
+	meta := wire.SnapshotMeta{Part: 0, Parts: 1, Length: bits, Pivots: histo.Pivots(nil, 1)}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+
+	runtime.GC()
+	base := heapInuse()
+	sampler := startHeapSampler()
+	t0 := time.Now()
+	sw, err := core.NewFrozenStreamWriter(bits, chunk, core.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	for i, c := range sorted {
+		if err := sw.Add(ids[i], c); err != nil {
+			return 0, 0, err
+		}
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := wire.WriteSnapshotStream(bw, meta, sw); err != nil {
+		return 0, 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, 0, err
+	}
+	wall := time.Since(t0)
+	peak := sampler.Stop() - base
+	if peak < 0 {
+		peak = 0
+	}
+	return wall, peak, f.Sync()
+}
+
+// ScaleBench measures the zero-copy arena path at multi-million-code scale:
+// (a) the streaming build — wall clock and peak builder heap at two sizes,
+// showing peak memory tracks the chunk, not the partition; (b) serving —
+// load-to-first-query time, index heap/mapped bytes, process RSS growth,
+// and query latency for the mmap arm versus the eager-decode arm over the
+// same snapshot file. Results go to BENCH_scale.json.
+func ScaleBench(sc Scale) ([]Table, error) { return scaleBench(sc, true) }
+
+func scaleBench(sc Scale, writeJSON bool) ([]Table, error) {
+	quick := sc.SelectN <= 4000
+	bits := 64
+	chunk := 1 << 18
+	sizes := []int{1_250_000, 5_000_000}
+	nq := 300
+	if quick {
+		chunk = 1 << 14
+		sizes = []int{30_000, 120_000}
+		nq = 60
+	}
+
+	dir, err := os.MkdirTemp("", "haidx-scale-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	rec := scaleBenchJSON{Bits: bits, Threshold: sc.Threshold, Chunk: chunk, Queries: nq}
+	buildTable := Table{
+		Title:  "Streaming build at scale (chunked freeze-and-spool, 64-bit codes)",
+		Note:   fmt.Sprintf("chunk=%d; peak heap is the builder's growth over the resident input codes", chunk),
+		Header: []string{"tuples", "build wall", "peak builder heap MB", "snapshot MB"},
+	}
+
+	// (a) Streaming builds, small size first so each build's peak is its own.
+	rng := rand.New(rand.NewSource(sc.Seed + 23))
+	var snapPath string
+	var queries []bitvec.Code
+	for _, n := range sizes {
+		codes := scaleCodes(rng, n, bits)
+		path := filepath.Join(dir, fmt.Sprintf("scale-%d.hasn", n))
+		wall, peak, err := streamSnapshot(path, codes, bits, chunk)
+		if err != nil {
+			return nil, fmt.Errorf("bench: streaming build n=%d: %w", n, err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		rec.Builds = append(rec.Builds, scaleBuildJSON{
+			N: n, WallNs: wall.Nanoseconds(), PeakHeapBytes: peak, SnapshotBytes: st.Size(),
+		})
+		buildTable.Rows = append(buildTable.Rows, []string{
+			fmt.Sprintf("%d", n), wall.Round(time.Millisecond).String(),
+			mb(int(peak)), mb(int(st.Size())),
+		})
+		if n == sizes[len(sizes)-1] {
+			snapPath = path
+			for i := 0; i < nq; i++ {
+				q := codes[rng.Intn(len(codes))].Clone()
+				q.FlipBit(rng.Intn(bits))
+				queries = append(queries, q)
+			}
+		}
+		codes = nil
+		runtime.GC()
+	}
+
+	// (b) Serving arms over the largest snapshot. The mmap arm runs first:
+	// it touches only the pages the queries visit, so the eager arm's heap
+	// cannot be blamed on it.
+	serveTable := Table{
+		Title:  fmt.Sprintf("Serving the %d-tuple snapshot: mmap vs eager", sizes[len(sizes)-1]),
+		Note:   "load = snapshot open to index ready; first query = load + one search",
+		Header: []string{"arm", "load", "first query", "index heap MB", "mapped MB", "rss delta MB", "p50 µs", "p99 µs"},
+	}
+	n := sizes[len(sizes)-1]
+	for _, mode := range []string{"mmap", "eager"} {
+		debug.FreeOSMemory()
+		rss0 := vmRSS()
+		var idx *core.FrozenIndex
+		t0 := time.Now()
+		if mode == "mmap" {
+			_, mapped, err := wire.MapSnapshotFile(snapPath)
+			if err != nil {
+				return nil, fmt.Errorf("bench: mmap arm: %w", err)
+			}
+			idx = mapped
+		} else {
+			_, eager, err := wire.ReadSnapshotFile(snapPath)
+			if err != nil {
+				return nil, fmt.Errorf("bench: eager arm: %w", err)
+			}
+			fz, ok := eager.(*core.FrozenIndex)
+			if !ok {
+				return nil, fmt.Errorf("bench: eager arm decoded %T", eager)
+			}
+			idx = fz
+		}
+		load := time.Since(t0)
+		sr := core.NewSearcher(idx)
+		first := len(sr.Search(queries[0], sc.Threshold))
+		firstQuery := time.Since(t0)
+
+		lat := make([]int64, 0, len(queries))
+		var matches int64 = int64(first)
+		for _, q := range queries {
+			q0 := time.Now()
+			matches += int64(len(sr.Search(q, sc.Threshold)))
+			lat = append(lat, time.Since(q0).Nanoseconds())
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p50, p99 := lat[len(lat)/2], lat[len(lat)*99/100]
+		rssDelta := vmRSS() - rss0
+		arm := scaleArmJSON{
+			Mode: mode, N: n,
+			LoadNs: load.Nanoseconds(), FirstQueryNs: firstQuery.Nanoseconds(),
+			HeapBytes: int64(idx.HeapBytes()), MappedBytes: int64(idx.MappedBytes()),
+			RSSDeltaBytes: rssDelta, P50Ns: p50, P99Ns: p99, Matches: matches,
+		}
+		rec.Serve = append(rec.Serve, arm)
+		serveTable.Rows = append(serveTable.Rows, []string{
+			mode, load.Round(time.Microsecond).String(), firstQuery.Round(time.Microsecond).String(),
+			mb(idx.HeapBytes()), mb(idx.MappedBytes()), mb(int(rssDelta)),
+			fmt.Sprintf("%.1f", float64(p50)/1e3), fmt.Sprintf("%.1f", float64(p99)/1e3),
+		})
+		idx.Close()
+		idx = nil
+		sr = nil
+	}
+	// Both arms saw identical tuples; a matches mismatch means the codec lied.
+	if rec.Serve[0].Matches != rec.Serve[1].Matches {
+		return nil, fmt.Errorf("bench: mmap arm found %d matches, eager arm %d",
+			rec.Serve[0].Matches, rec.Serve[1].Matches)
+	}
+
+	serveTable.Note += fmt.Sprintf("; both arms agree on %d total matches", rec.Serve[0].Matches)
+	if writeJSON {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(ScaleBenchFile, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		serveTable.Note += "; " + ScaleBenchFile + " written"
+	}
+	return []Table{buildTable, serveTable}, nil
+}

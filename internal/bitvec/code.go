@@ -316,5 +316,17 @@ func FromWords(words []uint64, n int) Code {
 	return c
 }
 
+// FromWordsShared is FromWords for word storage the caller may not write to
+// — a read-only mmap'd arena. The bits beyond n in the last word are assumed
+// already clear (true for any slab written from Code.Words()); they are NOT
+// cleared here, so a caller aliasing untrusted bytes gets whatever tail bits
+// the slab holds, consistently across every aliasing path.
+func FromWordsShared(words []uint64, n int) Code {
+	if n <= 0 || len(words) != wordsFor(n) {
+		panic(fmt.Sprintf("bitvec: FromWordsShared %d words for %d bits", len(words), n))
+	}
+	return Code{words: words, n: n}
+}
+
 // SizeBytes returns the in-memory footprint of the code's bit storage.
 func (c Code) SizeBytes() int { return len(c.words)*8 + 16 /* slice header */ + 8 /* n */ }

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"haindex/internal/bitvec"
+	"haindex/internal/gray"
+)
+
+// buildStreamedArena streams n clustered bitsLen-bit codes (Gray-sorted, as
+// the shard pipeline feeds them) through a FrozenStreamWriter in chunkSize
+// chunks and decodes the resulting v4 image.
+func buildStreamedArena(tb testing.TB, n, bitsLen, chunkSize int) *FrozenIndex {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(int64(n + bitsLen)))
+	codes := clusteredCodes(rng, n, bitsLen, 10, 3)
+	ids := make([]int, len(codes))
+	for i := range ids {
+		ids[i] = i
+	}
+	gray.Sort(codes, ids)
+	sw, err := NewFrozenStreamWriter(bitsLen, chunkSize, Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := range codes {
+		if err := sw.Add(ids[i], codes[i]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sw.Finish(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	f, err := DecodeArenaBytes(buf.Bytes(), false)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return f
+}
+
+// TestStreamedEquivalence: the chunked streaming build answers Search and
+// TopK exactly like a monolithic build over the same tuples — the forest of
+// per-chunk hierarchies covers disjoint subsets whose union is the whole
+// partition. Exercised across chunk sizes that divide the input unevenly.
+func TestStreamedEquivalence(t *testing.T) {
+	for _, bitsLen := range []int{32, 128} {
+		for _, chunkSize := range []int{64, 257, 1 << 20} {
+			rng := rand.New(rand.NewSource(int64(bitsLen * chunkSize)))
+			codes := clusteredCodes(rng, 800, bitsLen, 10, 3)
+			ids := make([]int, len(codes))
+			for i := range ids {
+				ids[i] = i
+			}
+			mono := Freeze(BuildDynamic(codes, ids, Options{}))
+
+			sortedCodes := append([]bitvec.Code(nil), codes...)
+			sortedIDs := append([]int(nil), ids...)
+			gray.Sort(sortedCodes, sortedIDs)
+			sw, err := NewFrozenStreamWriter(bitsLen, chunkSize, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range sortedCodes {
+				if err := sw.Add(sortedIDs[i], sortedCodes[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var buf bytes.Buffer
+			if err := sw.Finish(&buf); err != nil {
+				t.Fatal(err)
+			}
+			streamed, err := DecodeArenaBytes(buf.Bytes(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if streamed.Len() != mono.Len() {
+				t.Fatalf("L=%d chunk=%d: streamed %d tuples, want %d", bitsLen, chunkSize, streamed.Len(), mono.Len())
+			}
+
+			queries := make([]bitvec.Code, 24)
+			for i := range queries {
+				if i%3 == 0 {
+					queries[i] = bitvec.Rand(rng, bitsLen)
+				} else {
+					queries[i] = codes[rng.Intn(len(codes))]
+				}
+			}
+			ssr, msr := NewSearcher(streamed), NewSearcher(mono)
+			for h := 0; h <= 6; h += 2 {
+				for qi, q := range queries {
+					got := append([]int(nil), ssr.Search(q, h)...)
+					if want := msr.Search(q, h); !equalIDs(got, want) {
+						t.Fatalf("L=%d chunk=%d h=%d q#%d: streamed %d ids, monolithic %d", bitsLen, chunkSize, h, qi, len(got), len(want))
+					}
+				}
+			}
+			for _, k := range []int{1, 9, 50} {
+				for qi, q := range queries {
+					gi, gd := ssr.TopK(q, k)
+					wi, wd := msr.TopK(q, k)
+					if !equalIDs(gi, wi) {
+						t.Fatalf("L=%d chunk=%d k=%d q#%d: streamed ids %v, want %v", bitsLen, chunkSize, k, qi, gi, wi)
+					}
+					for i := range gd {
+						if gd[i] != wd[i] {
+							t.Fatalf("L=%d chunk=%d k=%d q#%d: dist[%d]=%d, want %d", bitsLen, chunkSize, k, qi, i, gd[i], wd[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamedEmpty: finishing with no tuples yields a valid empty arena.
+func TestStreamedEmpty(t *testing.T) {
+	sw, err := NewFrozenStreamWriter(64, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sw.Finish(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := DecodeArenaBytes(buf.Bytes(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 0 || f.GroupCount() != 0 {
+		t.Fatalf("empty stream decoded to %d tuples, %d groups", f.Len(), f.GroupCount())
+	}
+	sr := NewSearcher(f)
+	if got := sr.Search(bitvec.New(64), 10); len(got) != 0 {
+		t.Fatalf("empty arena answered %d ids", len(got))
+	}
+}
+
+// TestStreamWriterReuseRejected: Add/Finish after Finish must error, not
+// corrupt spools.
+func TestStreamWriterReuseRejected(t *testing.T) {
+	sw, err := NewFrozenStreamWriter(32, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Add(1, bitvec.FromUint64(5, 32)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sw.Finish(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Add(2, bitvec.FromUint64(6, 32)); err == nil {
+		t.Fatal("Add accepted after Finish")
+	}
+	if err := sw.Finish(&buf); err == nil {
+		t.Fatal("Finish accepted twice")
+	}
+	// Wrong-width codes fail fast.
+	sw2, err := NewFrozenStreamWriter(32, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw2.Abort()
+	if err := sw2.Add(1, bitvec.FromUint64(5, 16)); err == nil {
+		t.Fatal("Add accepted a 16-bit code into a 32-bit stream")
+	}
+}

@@ -188,7 +188,7 @@ var indexDecoders = map[uint64]func(*bufio.Reader) (Index, error){}
 // this package decodes natively, or registering one version twice, panics —
 // codec versions are a global namespace and a collision is a build bug.
 func RegisterIndexDecoder(version uint64, fn func(*bufio.Reader) (Index, error)) {
-	if version == codecVersion || version == codecVersionFrozen {
+	if version == codecVersion || version == codecVersionFrozen || version == codecVersionArena {
 		panic(fmt.Sprintf("core: codec version %d is built in", version))
 	}
 	if _, dup := indexDecoders[version]; dup {
@@ -198,9 +198,9 @@ func RegisterIndexDecoder(version uint64, fn func(*bufio.Reader) (Index, error))
 }
 
 // DecodeIndex reads any supported codec version from r: a v1 encoding yields
-// the pointer-walk *DynamicIndex, a v2 encoding the flat *FrozenIndex, and
-// registered versions (e.g. the MIH engine's v3) whatever their decoder
-// returns. Serving paths that only need the read-only Index surface should
+// the pointer-walk *DynamicIndex, a v2 or v4 (mmap-native arena, decoded
+// eagerly here) encoding the flat *FrozenIndex, and registered versions
+// (e.g. the MIH engine's v3) whatever their decoder returns. Serving paths that only need the read-only Index surface should
 // decode through this so flat snapshots load without reconstruction.
 func DecodeIndex(r io.Reader) (Index, error) {
 	br := bufio.NewReader(r)
@@ -221,6 +221,8 @@ func DecodeIndex(r io.Reader) (Index, error) {
 			return nil, err
 		}
 		return idx, nil
+	case codecVersionArena:
+		return decodeArenaBody(br)
 	default:
 		if fn, ok := indexDecoders[version]; ok {
 			return fn(br)

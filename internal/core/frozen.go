@@ -20,9 +20,10 @@ import (
 // uses) are packed back to back in resSlab at offset i*2*nw, and the node's
 // full pattern mask (for the leaf-level DistanceExcluding) in maskSlab at
 // i*nw. Leaf codes sit word-packed in Gray (hierarchy) order in codeSlab,
-// tuple ids in idSlab with idStart offsets; groups[] wraps both slabs as
-// leafGroup values whose code and ids alias the arena, so the Searcher's
-// existing emit closures work unchanged.
+// tuple ids in idSlab with idStart offsets; fillGroup materializes any group
+// on demand into a per-Searcher scratch leafGroup whose code and ids alias
+// the arena, so the Searcher's existing emit closures work unchanged without
+// a resident groups array.
 //
 // A FrozenIndex is immutable: it has no insert buffer and no Insert/Delete.
 // It implements Index, so Searcher, SearchBatch, SearchCodesBatch, and TopK
@@ -32,7 +33,13 @@ type FrozenIndex struct {
 	length int // code length L in bits
 	n      int // number of tuples
 	nw     int // words per code
-	nRoots int32
+
+	// rootIDs lists the hierarchy roots. An index compiled by Freeze (or
+	// decoded from the v2 codec) has the contiguous roots [0, len(rootIDs));
+	// a streamed arena (FrozenStreamWriter) concatenates chunk forests, so
+	// its roots are scattered. Either way every child id strictly exceeds
+	// its parent's, which is the invariant the walks and decoders rely on.
+	rootIDs []int32
 
 	childStart []int32
 	childList  []int32
@@ -42,10 +49,18 @@ type FrozenIndex struct {
 	maskSlab   []uint64 // nw words per node: full pattern mask
 
 	codeSlab  []uint64 // nw words per leaf group, Gray order
-	idStart   []int32  // len(groups)+1 offsets into idSlab
+	idStart   []int32  // nGroups+1 offsets into idSlab
 	idSlab    []int
 	topLeaves []int32 // leaf groups linked at the top level
-	groups    []leafGroup
+
+	// arenaForm marks an index decoded from (or destined for) the v4
+	// mmap-native layout; wire snapshot anti-splicing checks read it.
+	arenaForm bool
+	// mapping, when non-nil, is the mmap'd file region every slab above
+	// aliases; munmap releases it. The slabs are then read-only: nothing may
+	// write through them (see bitvec.FromWordsShared).
+	mapping []byte
+	munmap  func([]byte) error
 }
 
 // Freeze compiles a Dynamic HA-Index into its flat, read-only form. A
@@ -78,10 +93,10 @@ func Freeze(x *DynamicIndex) *FrozenIndex {
 	}
 
 	f := &FrozenIndex{
-		length: x.length,
-		n:      x.n,
-		nw:     nw,
-		nRoots: int32(len(x.roots)),
+		length:  x.length,
+		n:       x.n,
+		nw:      nw,
+		rootIDs: contiguousRoots(len(x.roots)),
 	}
 
 	// Leaf arena.
@@ -98,7 +113,6 @@ func Freeze(x *DynamicIndex) *FrozenIndex {
 		f.idSlab = append(f.idSlab, g.ids...)
 	}
 	f.idStart[len(srcGroups)] = int32(len(f.idSlab))
-	f.buildGroups()
 	f.topLeaves = make([]int32, len(x.topLeaves))
 	for i, g := range x.topLeaves {
 		f.topLeaves[i] = gidx[g]
@@ -127,18 +141,38 @@ func Freeze(x *DynamicIndex) *FrozenIndex {
 	return f
 }
 
-// buildGroups wraps the code and id slabs as leafGroup values; codes and id
-// slices alias the arena (capacity-clamped so appends can never bleed).
-func (f *FrozenIndex) buildGroups() {
-	ng := len(f.idStart) - 1
-	f.groups = make([]leafGroup, ng)
-	for i := 0; i < ng; i++ {
-		lo, hi := f.idStart[i], f.idStart[i+1]
-		f.groups[i] = leafGroup{
-			code: bitvec.FromWords(f.codeSlab[i*f.nw:(i+1)*f.nw], f.length),
-			ids:  f.idSlab[lo:hi:hi],
-		}
+// contiguousRoots returns the identity root list [0, n) — the layout Freeze
+// and the v2 codec produce.
+func contiguousRoots(n int) []int32 {
+	roots := make([]int32, n)
+	for i := range roots {
+		roots[i] = int32(i)
 	}
+	return roots
+}
+
+// fillGroup materializes leaf group gi into the caller's scratch: the code
+// and id slices alias the arena (capacity-clamped so appends can never
+// bleed). Groups are no longer kept as a resident []leafGroup array — at
+// millions of distinct codes the headers alone cost more than the slabs —
+// so the walks pass each qualifying group through a per-Searcher scratch
+// value instead.
+func (f *FrozenIndex) fillGroup(gi int32, g *leafGroup) {
+	lo, hi := f.idStart[gi], f.idStart[gi+1]
+	g.code = bitvec.FromWordsShared(f.codeSlab[int(gi)*f.nw:int(gi+1)*f.nw], f.length)
+	g.ids = f.idSlab[lo:hi:hi]
+	g.parent = nil
+}
+
+// groupCode returns leaf group gi's code, aliasing the arena.
+func (f *FrozenIndex) groupCode(gi int32) bitvec.Code {
+	return bitvec.FromWordsShared(f.codeSlab[int(gi)*f.nw:int(gi+1)*f.nw], f.length)
+}
+
+// groupIDs returns leaf group gi's tuple ids, aliasing the arena.
+func (f *FrozenIndex) groupIDs(gi int32) []int {
+	lo, hi := f.idStart[gi], f.idStart[gi+1]
+	return f.idSlab[lo:hi:hi]
 }
 
 // Len returns the number of indexed tuples.
@@ -154,33 +188,70 @@ func (f *FrozenIndex) NodeCount() int { return len(f.childStart) - 1 }
 func (f *FrozenIndex) EdgeCount() int { return len(f.childList) + len(f.leafList) }
 
 // GroupCount returns the number of distinct indexed codes.
-func (f *FrozenIndex) GroupCount() int { return len(f.groups) }
+func (f *FrozenIndex) GroupCount() int {
+	if len(f.idStart) == 0 {
+		return 0
+	}
+	return len(f.idStart) - 1
+}
 
-// SizeBytes returns the resident footprint of the arena: every slab and CSR
-// array, plus the leafGroup headers that alias them. Unlike the pointer
-// index there are no per-node allocations or map buckets to estimate.
+// SizeBytes returns the full footprint of the arena: every slab and CSR
+// array, resident or mapped. Unlike the pointer index there are no per-node
+// allocations or map buckets to estimate.
 func (f *FrozenIndex) SizeBytes() int {
 	sz := 8 * (len(f.resSlab) + len(f.maskSlab) + len(f.codeSlab) + len(f.idSlab))
-	sz += 4 * (len(f.childStart) + len(f.childList) + len(f.leafStart) + len(f.leafList) + len(f.idStart) + len(f.topLeaves))
-	sz += 48 * len(f.groups) // leafGroup headers (code + ids + parent)
+	sz += 4 * (len(f.childStart) + len(f.childList) + len(f.leafStart) + len(f.leafList) + len(f.idStart) + len(f.topLeaves) + len(f.rootIDs))
 	return sz
+}
+
+// MappedBytes returns the size of the mmap'd file region backing the arena,
+// or 0 when every slab lives on the Go heap.
+func (f *FrozenIndex) MappedBytes() int { return len(f.mapping) }
+
+// ArenaForm reports whether this index came from (or is destined for) the
+// v4 mmap-native layout; the wire snapshot codec keys its version on it.
+func (f *FrozenIndex) ArenaForm() bool { return f.arenaForm }
+
+// HeapBytes returns the heap-resident share of the arena: SizeBytes for an
+// eagerly decoded index, zero for an mmap'd one — every array, down to the
+// root list, aliases the page-cache-backed mapping.
+func (f *FrozenIndex) HeapBytes() int {
+	if f.mapping != nil {
+		return 0
+	}
+	return f.SizeBytes()
+}
+
+// Close releases the mmap'd region backing a mapped arena; it is a no-op for
+// a heap-resident index. The index must not be searched after Close — the
+// slabs alias the released mapping.
+func (f *FrozenIndex) Close() error {
+	if f.mapping == nil {
+		return nil
+	}
+	m := f.mapping
+	f.mapping = nil
+	if f.munmap == nil {
+		return nil
+	}
+	return f.munmap(m)
 }
 
 // Codes returns the distinct indexed codes in arena order.
 func (f *FrozenIndex) Codes() []bitvec.Code {
-	out := make([]bitvec.Code, len(f.groups))
-	for i := range f.groups {
-		out[i] = f.groups[i].code
+	out := make([]bitvec.Code, f.GroupCount())
+	for i := range out {
+		out[i] = f.groupCode(int32(i))
 	}
 	return out
 }
 
 // Tuples invokes fn for every (id, code) pair in the index.
 func (f *FrozenIndex) Tuples(fn func(id int, code bitvec.Code)) {
-	for i := range f.groups {
-		g := &f.groups[i]
-		for _, id := range g.ids {
-			fn(id, g.code)
+	for gi := 0; gi < f.GroupCount(); gi++ {
+		code := f.groupCode(int32(gi))
+		for _, id := range f.groupIDs(int32(gi)) {
+			fn(id, code)
 		}
 	}
 }
@@ -215,9 +286,17 @@ func (f *FrozenIndex) walkEmit(sr *Searcher, qw []uint64, h int, emit func(*leaf
 	childStart, childList := f.childStart, f.childList
 	leafStart, leafList := f.leafStart, f.leafList
 	queue := sr.fqueue[:0]
+	// Qualifying groups pass through the searcher's scratch leafGroup: the
+	// emit closures consume (copy out of) the group synchronously, so one
+	// reused value replaces the resident groups array an arena would
+	// otherwise have to materialize on load.
+	emitGi := func(gi int32) {
+		f.fillGroup(gi, &sr.fgroup)
+		emit(&sr.fgroup)
+	}
 	if nw == 1 {
 		qw0 := qw[0]
-		for nid := int32(0); nid < f.nRoots; nid++ {
+		for _, nid := range f.rootIDs {
 			st.DistanceComputations++
 			base := 2 * int(nid)
 			if d := int32(bits.OnesCount64((qw0 ^ resSlab[base+1]) & resSlab[base])); d <= hh {
@@ -228,7 +307,7 @@ func (f *FrozenIndex) walkEmit(sr *Searcher, qw []uint64, h int, emit func(*leaf
 			st.DistanceComputations++
 			st.LeavesChecked++
 			if bits.OnesCount64(qw0^codeSlab[gi]) <= h {
-				emit(&f.groups[gi])
+				emitGi(gi)
 			}
 		}
 		for head := 0; head < len(queue); head++ {
@@ -250,13 +329,13 @@ func (f *FrozenIndex) walkEmit(sr *Searcher, qw []uint64, h int, emit func(*leaf
 					st.DistanceComputations++
 					st.LeavesChecked++
 					if it.dist+int32(bits.OnesCount64((qw0^codeSlab[gi])&^mask)) <= hh {
-						emit(&f.groups[gi])
+						emitGi(gi)
 					}
 				}
 			}
 		}
 	} else {
-		for nid := int32(0); nid < f.nRoots; nid++ {
+		for _, nid := range f.rootIDs {
 			st.DistanceComputations++
 			base := int(nid) * 2 * nw
 			if d := int32(residualDistance(resSlab[base:base+2*nw], qw, nw)); d <= hh {
@@ -267,7 +346,7 @@ func (f *FrozenIndex) walkEmit(sr *Searcher, qw []uint64, h int, emit func(*leaf
 			st.DistanceComputations++
 			st.LeavesChecked++
 			if _, ok := distWithinWords(qw, codeSlab[int(gi)*nw:int(gi+1)*nw], h); ok {
-				emit(&f.groups[gi])
+				emitGi(gi)
 			}
 		}
 		for head := 0; head < len(queue); head++ {
@@ -289,7 +368,7 @@ func (f *FrozenIndex) walkEmit(sr *Searcher, qw []uint64, h int, emit func(*leaf
 					st.DistanceComputations++
 					st.LeavesChecked++
 					if it.dist+int32(distExcludingWords(qw, codeSlab[int(gi)*nw:int(gi+1)*nw], mask)) <= hh {
-						emit(&f.groups[gi])
+						emitGi(gi)
 					}
 				}
 			}
@@ -310,7 +389,7 @@ func (f *FrozenIndex) walkMemo(sr *Searcher, qw []uint64, h int) {
 	sr.fgroups = sr.fgroups[:0]
 	sr.fdists = sr.fdists[:0]
 	queue := sr.fqueue[:0]
-	for nid := int32(0); nid < f.nRoots; nid++ {
+	for _, nid := range f.rootIDs {
 		if d := f.nodeDistMemo(sr, qw, nid); d <= hh {
 			queue = append(queue, fitem{nid: nid, dist: d})
 		}
@@ -371,7 +450,7 @@ func (sr *Searcher) prepareFrozen(f *FrozenIndex) {
 	if nn := len(f.childStart) - 1; len(sr.fmemo) < nn {
 		sr.fmemo = append(sr.fmemo, make([]uint64, nn-len(sr.fmemo))...)
 	}
-	if ng := len(f.groups); len(sr.fseen) < ng {
+	if ng := f.GroupCount(); len(sr.fseen) < ng {
 		sr.fseen = append(sr.fseen, make([]uint64, ng-len(sr.fseen))...)
 	}
 	sr.fepoch++
@@ -413,13 +492,13 @@ func (f *FrozenIndex) topK(sr *Searcher, q bitvec.Code, k int) ([]int, []int) {
 			sr.fseen[gi] = sr.fepoch
 			his = append(his, gi)
 			hds = append(hds, sr.fdists[i])
-			found += len(f.groups[gi].ids)
+			found += len(f.groupIDs(gi))
 		}
 	}
 	ids := make([]int, 0, found)
 	dists := make([]int, 0, found)
 	for i, gi := range his {
-		for _, id := range f.groups[gi].ids {
+		for _, id := range f.groupIDs(gi) {
 			ids = append(ids, id)
 			dists = append(dists, int(hds[i]))
 		}

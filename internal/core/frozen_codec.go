@@ -24,9 +24,27 @@ import (
 //	resSlab: nNodes*2*nw words (fixed) | maskSlab: nNodes*nw words (fixed)
 const codecVersionFrozen = 2
 
+// rootsContiguous reports whether the root list is the identity prefix
+// [0, len(rootIDs)) — the only root layout the v2 varint codec can encode.
+// Freeze and the v2 decoder always produce it; a streamed arena
+// (FrozenStreamWriter) generally does not.
+func (f *FrozenIndex) rootsContiguous() bool {
+	for i, r := range f.rootIDs {
+		if r != int32(i) {
+			return false
+		}
+	}
+	return true
+}
+
 // Encode writes the frozen index in the v2 arena layout. With withIDs=false
 // the tuple-id tables are omitted (the leafless Option-B broadcast form).
+// Indexes with non-contiguous roots (streamed arenas) cannot be represented
+// in v2; use EncodeArena for those.
 func (f *FrozenIndex) Encode(w io.Writer, withIDs bool) error {
+	if !f.rootsContiguous() {
+		return fmt.Errorf("core: v2 codec cannot encode scattered roots; use the arena codec")
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(codecMagic); err != nil {
 		return err
@@ -41,27 +59,17 @@ func (f *FrozenIndex) Encode(w io.Writer, withIDs bool) error {
 
 	nn := len(f.childStart) - 1
 	for _, v := range []uint64{
-		uint64(len(f.groups)), uint64(nn), uint64(f.nRoots),
+		uint64(f.GroupCount()), uint64(nn), uint64(len(f.rootIDs)),
 		uint64(len(f.childList)), uint64(len(f.leafList)), uint64(len(f.topLeaves)),
 	} {
 		putUvarint(bw, v)
 	}
-	writeWords := func(words []uint64) error {
-		var buf [8]byte
-		for _, w := range words {
-			binary.BigEndian.PutUint64(buf[:], w)
-			if _, err := bw.Write(buf[:]); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := writeWords(f.codeSlab); err != nil {
+	if err := writeWordsBulk(bw, f.codeSlab); err != nil {
 		return err
 	}
 	if withIDs {
-		for i := range f.groups {
-			ids := f.groups[i].ids
+		for gi := 0; gi < f.GroupCount(); gi++ {
+			ids := f.groupIDs(int32(gi))
 			putUvarint(bw, uint64(len(ids)))
 			prev := int64(0)
 			for _, id := range ids {
@@ -85,13 +93,36 @@ func (f *FrozenIndex) Encode(w io.Writer, withIDs bool) error {
 	for _, gi := range f.leafList {
 		putUvarint(bw, uint64(gi))
 	}
-	if err := writeWords(f.resSlab); err != nil {
+	if err := writeWordsBulk(bw, f.resSlab); err != nil {
 		return err
 	}
-	if err := writeWords(f.maskSlab); err != nil {
+	if err := writeWordsBulk(bw, f.maskSlab); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// writeWordsBulk serializes a word slab big-endian through a reusable stack
+// chunk, issuing one Write per 512 words instead of one per word — the same
+// chunking the decoder's readWords uses. On multi-megabyte slabs this is the
+// difference between the encoder being bound by bufio bookkeeping and being
+// bound by memcpy.
+func writeWordsBulk(bw *bufio.Writer, words []uint64) error {
+	var chunk [512 * 8]byte
+	for len(words) > 0 {
+		c := len(chunk) / 8
+		if c > len(words) {
+			c = len(words)
+		}
+		for i := 0; i < c; i++ {
+			binary.BigEndian.PutUint64(chunk[i*8:], words[i])
+		}
+		if _, err := bw.Write(chunk[:c*8]); err != nil {
+			return err
+		}
+		words = words[c:]
+	}
+	return nil
 }
 
 // EncodedSize returns the exact wire size of the frozen index.
@@ -149,7 +180,7 @@ func decodeFrozenBody(br *bufio.Reader) (*FrozenIndex, error) {
 	}
 
 	nw := (length + 63) / 64
-	f := &FrozenIndex{length: length, nw: nw, nRoots: int32(nRoots)}
+	f := &FrozenIndex{length: length, nw: nw, rootIDs: contiguousRoots(int(nRoots))}
 
 	// readWords appends `count` big-endian words, reading in bounded chunks
 	// so the allocation grows only as fast as real input arrives.
@@ -216,7 +247,6 @@ func decodeFrozenBody(br *bufio.Reader) (*FrozenIndex, error) {
 	}
 	f.idStart = append(f.idStart, int32(len(f.idSlab)))
 	f.n = len(f.idSlab)
-	f.buildGroups()
 
 	if f.topLeaves, err = readRefs(nil, nTop, maxU64(nGroups, 1), "top leaf"); err != nil {
 		return nil, err

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package core
+
+// MapFrozen loads a HADX v4 arena file. On platforms without the mmap fast
+// path it decodes eagerly onto the heap — same index, same results, no
+// mapping to close.
+func MapFrozen(path string) (*FrozenIndex, error) {
+	return mapFrozenEager(path, 0)
+}
+
+// MapFrozenAt is MapFrozen for an arena embedded at byte offset off inside a
+// larger file (a HASN snapshot).
+func MapFrozenAt(path string, off int64) (*FrozenIndex, error) {
+	return mapFrozenEager(path, off)
+}

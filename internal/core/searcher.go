@@ -56,6 +56,10 @@ type Searcher struct {
 	fmemo   []uint64
 	fseen   []uint64
 	fepoch  uint64
+	// fgroup is the scratch leafGroup the frozen walk fills per qualifying
+	// group (fillGroup); the emit closures copy out of it synchronously, so
+	// the arena never materializes a resident groups array.
+	fgroup leafGroup
 
 	// Static walk scratch. memo[l][nid] packs (epoch<<7 | dist+1) so the
 	// per-level distance tables reset between queries by bumping epoch

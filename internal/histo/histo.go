@@ -36,6 +36,23 @@ func Pivots(sample []bitvec.Code, parts int) []bitvec.Code {
 	return pivots
 }
 
+// Sample returns at most k codes drawn at a fixed stride across the whole
+// slice, so every region of the input contributes — unlike a prefix slice,
+// which on row-ordered (clustered) datasets sees only the first cluster and
+// yields pivots that dump everything else into the last partition. The
+// returned slice aliases the input and must not be mutated.
+func Sample(codes []bitvec.Code, k int) []bitvec.Code {
+	if k <= 0 || len(codes) <= k {
+		return codes
+	}
+	out := make([]bitvec.Code, 0, k)
+	// Pick the middle of each of k equal spans: i = (2j+1)·n/(2k).
+	for j := 0; j < k; j++ {
+		out = append(out, codes[(2*j+1)*len(codes)/(2*k)])
+	}
+	return out
+}
+
 // UniformPivots splits the whole L-bit Gray rank space into parts equal
 // ranges, ignoring the data distribution — the ablation baseline for the
 // histogram pivots.

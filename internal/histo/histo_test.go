@@ -158,3 +158,51 @@ func TestQuickPartitionCover(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSampleBeatsPrefixOnClusteredData: on a row-ordered clustered dataset a
+// prefix sample sees only the first cluster and its pivots cram every other
+// cluster into the last partition; a strided Sample covers all clusters and
+// keeps the split balanced. This is the failure mode haidx shard had when it
+// sampled codes[:2000].
+func TestSampleBeatsPrefixOnClusteredData(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	// clustered() emits cluster-by-cluster, so position correlates with
+	// cluster membership — exactly the ordering that biases a prefix.
+	codes := clustered(rng, 12000, 32, 6)
+	const parts, k = 8, 2000
+
+	prefix := Pivots(codes[:k], parts)
+	strided := Pivots(Sample(codes, k), parts)
+
+	prefixImb := Imbalance(Counts(codes, prefix))
+	stridedImb := Imbalance(Counts(codes, strided))
+	if stridedImb > 1.5 {
+		t.Errorf("strided-sample pivots imbalance %.2f on clustered data", stridedImb)
+	}
+	if prefixImb < 2*stridedImb {
+		t.Errorf("prefix imbalance %.2f not clearly worse than strided %.2f — test dataset no longer exercises the bias",
+			prefixImb, stridedImb)
+	}
+}
+
+func TestSampleEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	codes := make([]bitvec.Code, 100)
+	for i := range codes {
+		codes[i] = bitvec.Rand(rng, 16)
+	}
+	if got := Sample(codes, 200); len(got) != 100 {
+		t.Errorf("k beyond len returns input, got %d", len(got))
+	}
+	if got := Sample(codes, 0); len(got) != 100 {
+		t.Errorf("k=0 returns input, got %d", len(got))
+	}
+	got := Sample(codes, 7)
+	if len(got) != 7 {
+		t.Fatalf("len=%d", len(got))
+	}
+	// Strides must be spread: first pick in the first span, last in the last.
+	if !got[0].Equal(codes[100/14]) || !got[6].Equal(codes[13*100/14]) {
+		t.Error("sample picks not at span midpoints")
+	}
+}

@@ -41,6 +41,15 @@ type Options struct {
 	// smoke runs). Nil injects nothing.
 	Faults *FaultPlan
 
+	// Mmap makes LoadSnapshotFile serve a version-4 snapshot zero-copy: the
+	// embedded arena is aliased straight out of an mmap of the file, so the
+	// shard is query-ready in milliseconds regardless of size and its slabs
+	// stay in the page cache instead of the Go heap. Snapshots in any other
+	// version (or on platforms without the mmap fast path) silently fall
+	// back to the eager reader — same answers, eager cost. The server owns
+	// the mapping and releases it on Close.
+	Mmap bool
+
 	// PointerWalk disables the default freeze-on-load: LoadSnapshotFile
 	// normally compiles a pointer (v1) snapshot into a core.FrozenIndex
 	// before serving, which is faster and smaller at query time. Set this to
@@ -98,6 +107,10 @@ type Server struct {
 	meta wire.SnapshotMeta
 	idx  core.Index // nil in mutable mode
 	opts Options
+
+	// ownsIdx marks an index the server loaded itself (an mmap'd arena from
+	// LoadSnapshotFile); Close releases its mapping.
+	ownsIdx bool
 
 	// shard, when non-nil, makes this a mutable server: searches go through
 	// the LSM layering and the v3 mutation frames are accepted.
@@ -193,6 +206,16 @@ func New(meta wire.SnapshotMeta, idx core.Index, opts Options) (*Server, error) 
 	}
 	s := newServer(meta, opts)
 	s.idx = idx
+	// index.mapped_bytes vs index.heap_bytes is the mmap dividend at a
+	// glance: a zero-copy shard carries its whole arena in the first gauge.
+	mapped, heap := 0, 0
+	if fz, ok := idx.(*core.FrozenIndex); ok {
+		mapped, heap = fz.MappedBytes(), fz.HeapBytes()
+	} else if sized, ok := idx.(interface{ SizeBytes() int }); ok {
+		heap = sized.SizeBytes()
+	}
+	s.reg.Gauge("index.mapped_bytes").Set(int64(mapped))
+	s.reg.Gauge("index.heap_bytes").Set(int64(heap))
 	switch s.opts.Engine {
 	case "ha":
 		// Single-engine serving; no planner, no auxiliary structures.
@@ -361,8 +384,22 @@ func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // LoadSnapshotFile is New over a snapshot file on disk. A pointer (v1)
 // snapshot is compiled with core.Freeze before serving unless
-// Options.PointerWalk is set; a frozen (v2) snapshot is served as decoded.
+// Options.PointerWalk is set; a frozen (v2) snapshot is served as decoded; a
+// version-4 snapshot is mmap'd zero-copy when Options.Mmap is set.
 func LoadSnapshotFile(path string, opts Options) (*Server, error) {
+	if opts.Mmap {
+		if meta, idx, err := wire.MapSnapshotFile(path); err == nil {
+			srv, err := New(meta, idx, opts)
+			if err != nil {
+				idx.Close()
+				return nil, err
+			}
+			srv.ownsIdx = true
+			return srv, nil
+		}
+		// Not a v4 snapshot (or no mmap on this platform): fall through to
+		// the eager reader — downward negotiation, same answers.
+	}
 	meta, idx, err := wire.ReadSnapshotFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("server: loading snapshot %s: %w", path, err)
@@ -449,6 +486,11 @@ func (s *Server) Close() error {
 	s.wg.Wait()
 	if s.shard != nil {
 		s.shard.Close() // wait out background seals and compactions
+	}
+	if s.ownsIdx {
+		if fz, ok := s.idx.(*core.FrozenIndex); ok {
+			return fz.Close() // release the mmap'd arena
+		}
 	}
 	return nil
 }

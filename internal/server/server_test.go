@@ -591,3 +591,79 @@ func TestServerEngineValidation(t *testing.T) {
 		t.Fatalf("hintless search on mutable shard answered %s", rt)
 	}
 }
+
+// TestLoadSnapshotFileMmap: a v4 snapshot served with Options.Mmap aliases
+// its arena out of the file (mapped_bytes > 0, heap_bytes == 0), answers
+// exactly like an eager load, and releases the mapping on Close; a v2
+// snapshot under the same option falls back to the eager reader.
+func TestLoadSnapshotFileMmap(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	meta, idx, codes := testShard(t, rng, 400, 32, 2, 1)
+	frozen := core.Freeze(idx)
+	dir := t.TempDir()
+
+	v4 := filepath.Join(dir, "v4.hasn")
+	f, err := os.Create(v4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteSnapshotArena(f, meta, frozen); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := LoadSnapshotFile(v4, Options{Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.Obs().Snapshot().Gauges
+	fz, isFrozen := s.idx.(*core.FrozenIndex)
+	if !isFrozen || !fz.ArenaForm() {
+		t.Fatalf("mmap load produced %T", s.idx)
+	}
+	if fz.MappedBytes() > 0 { // zero-copy path available on this platform
+		if g["index.mapped_bytes"] == 0 || g["index.heap_bytes"] != 0 {
+			t.Fatalf("gauges mapped=%d heap=%d on an mmap'd shard", g["index.mapped_bytes"], g["index.heap_bytes"])
+		}
+	} else if g["index.heap_bytes"] == 0 {
+		t.Fatalf("eager fallback shard reports zero heap bytes")
+	}
+	want := core.NewSearcher(frozen)
+	got := core.NewSearcher(s.idx)
+	for _, q := range codes[:30] {
+		w := append([]int(nil), want.Search(q, 3)...)
+		if g := got.Search(q, 3); len(g) != len(w) {
+			t.Fatalf("mmap-served index answers %d ids, want %d", len(g), len(w))
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fz.MappedBytes() != 0 {
+		t.Fatal("Close did not release the mapping")
+	}
+
+	// v2 snapshot + Mmap option: downward negotiation to the eager reader.
+	v2 := filepath.Join(dir, "v2.hasn")
+	f, err = os.Create(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteSnapshot(f, meta, frozen); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LoadSnapshotFile(v2, Options{Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	g2 := s2.Obs().Snapshot().Gauges
+	if g2["index.mapped_bytes"] != 0 || g2["index.heap_bytes"] == 0 {
+		t.Fatalf("v2 fallback gauges mapped=%d heap=%d", g2["index.mapped_bytes"], g2["index.heap_bytes"])
+	}
+}

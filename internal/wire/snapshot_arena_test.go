@@ -1,0 +1,205 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"haindex/internal/core"
+)
+
+// writeArenaSnapshot builds a frozen shard and writes it as a v4 snapshot
+// file, returning the path and the source index.
+func writeArenaSnapshot(t *testing.T, dir string) (string, SnapshotMeta, *core.FrozenIndex) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(44))
+	meta, idx, _ := buildSnapshot(t, rng, 64, 3)
+	frozen := core.Freeze(idx)
+	path := filepath.Join(dir, "shard.hasn")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshotArena(f, meta, frozen); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, meta, frozen
+}
+
+// TestArenaSnapshotRoundTrip: a v4 snapshot reads back through both the
+// eager ReadSnapshotFile and the zero-copy MapSnapshotFile, and both answer
+// exactly like the source index.
+func TestArenaSnapshotRoundTrip(t *testing.T) {
+	path, meta, frozen := writeArenaSnapshot(t, t.TempDir())
+
+	gotMeta, eagerIdx, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta.Part != meta.Part || gotMeta.Parts != meta.Parts || gotMeta.Length != meta.Length {
+		t.Fatalf("meta: %+v vs %+v", gotMeta, meta)
+	}
+	for i := range meta.Pivots {
+		if !gotMeta.Pivots[i].Equal(meta.Pivots[i]) {
+			t.Fatalf("pivot %d mismatch", i)
+		}
+	}
+	eager, ok := eagerIdx.(*core.FrozenIndex)
+	if !ok || !eager.ArenaForm() {
+		t.Fatalf("v4 snapshot decoded as %T", eagerIdx)
+	}
+
+	mapMeta, mapped, err := MapSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if mapMeta.Part != meta.Part || mapMeta.Length != meta.Length {
+		t.Fatalf("mapped meta: %+v vs %+v", mapMeta, meta)
+	}
+
+	esr, msr, osr := core.NewSearcher(eager), core.NewSearcher(mapped), core.NewSearcher(frozen)
+	for _, q := range frozen.Codes()[:20] {
+		want := append([]int(nil), osr.Search(q, 3)...)
+		if got := esr.Search(q, 3); !sameIDs(got, want) {
+			t.Fatalf("eager v4 answers %d ids, want %d", len(got), len(want))
+		}
+		if got := msr.Search(q, 3); !sameIDs(got, want) {
+			t.Fatalf("mapped v4 answers %d ids, want %d", len(got), len(want))
+		}
+	}
+}
+
+// TestWriteSnapshotPicksArena: WriteSnapshot on an arena-form index emits a
+// v4 snapshot (v2 cannot carry scattered roots), while a plain frozen index
+// still writes v2 — and MapSnapshotFile refuses non-v4 files so callers fall
+// back to the eager reader.
+func TestWriteSnapshotPicksArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	meta, idx, _ := buildSnapshot(t, rng, 32, 4)
+	frozen := core.Freeze(idx)
+
+	// Round-trip through the arena codec to obtain an arena-form index.
+	var arena bytes.Buffer
+	if err := frozen.EncodeArena(&arena, true); err != nil {
+		t.Fatal(err)
+	}
+	arenaIdx, err := core.DecodeArenaBytes(arena.Bytes(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var v4, v2 bytes.Buffer
+	if err := WriteSnapshot(&v4, meta, arenaIdx); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(&v2, meta, frozen); err != nil {
+		t.Fatal(err)
+	}
+	if _, gotIdx, err := ReadSnapshot(bytes.NewReader(v4.Bytes())); err != nil {
+		t.Fatalf("v4 via WriteSnapshot: %v", err)
+	} else if fi, ok := gotIdx.(*core.FrozenIndex); !ok || !fi.ArenaForm() {
+		t.Fatalf("arena-form index snapshot decoded as %T", gotIdx)
+	}
+	if _, gotIdx, err := ReadSnapshot(bytes.NewReader(v2.Bytes())); err != nil {
+		t.Fatal(err)
+	} else if fi, ok := gotIdx.(*core.FrozenIndex); !ok || fi.ArenaForm() {
+		t.Fatalf("plain frozen snapshot decoded as %T arenaForm", gotIdx)
+	}
+
+	path := filepath.Join(t.TempDir(), "v2.hasn")
+	if err := os.WriteFile(path, v2.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MapSnapshotFile(path); err == nil {
+		t.Fatal("MapSnapshotFile accepted a v2 snapshot")
+	}
+}
+
+// TestArenaSnapshotCorrupt: splices and pad corruption must be rejected by
+// both readers, never crash.
+func TestArenaSnapshotCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path, _, _ := writeArenaSnapshot(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Locate the embedded arena: it starts at the first 8-aligned offset
+	// whose bytes are the HADX magic with version 4.
+	arenaOff := -1
+	for off := 8; off+8 < len(data); off += 8 {
+		if string(data[off:off+4]) == "HADX" && data[off+4] == 4 {
+			arenaOff = off
+			break
+		}
+	}
+	if arenaOff < 0 {
+		t.Fatal("embedded arena not found")
+	}
+
+	// Splice: v4 header claiming an arena but embedding a v2 body.
+	spliced := append([]byte(nil), data[:arenaOff]...)
+	rng := rand.New(rand.NewSource(46))
+	_, idx, _ := buildSnapshot(t, rng, 64, 3)
+	var v2body bytes.Buffer
+	if err := core.Freeze(idx).Encode(&v2body, true); err != nil {
+		t.Fatal(err)
+	}
+	spliced = append(spliced, v2body.Bytes()...)
+	if _, _, err := ReadSnapshot(bytes.NewReader(spliced)); err == nil {
+		t.Error("v4 header over v2 body accepted")
+	}
+
+	// Deleting one byte just before the arena either breaks the pad chain or
+	// leaves the arena misaligned — both readers must notice.
+	shifted := append(append([]byte(nil), data[:arenaOff-1]...), data[arenaOff:]...)
+	cases := [][]byte{
+		data[:arenaOff-1],                     // truncated before the arena
+		data[:len(data)-9],                    // truncated inside the arena
+		shifted,                               // arena shifted off alignment
+		corruptAt(data, arenaOff+4, 9),        // wrong embedded version
+		append(data[:len(data):len(data)], 1), // trailing garbage breaks tight layout
+	}
+	for i, c := range cases {
+		if _, _, err := ReadSnapshot(bytes.NewReader(c)); err == nil {
+			t.Errorf("corrupt case %d accepted by ReadSnapshot", i)
+		}
+		bad := filepath.Join(dir, "bad.hasn")
+		if err := os.WriteFile(bad, c, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := MapSnapshotFile(bad); err == nil {
+			t.Errorf("corrupt case %d accepted by MapSnapshotFile", i)
+		}
+	}
+}
+
+func corruptAt(data []byte, off int, v byte) []byte {
+	out := append([]byte(nil), data...)
+	out[off] ^= v
+	return out
+}
+
+func sameIDs(got, want []int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	seen := map[int]int{}
+	for _, id := range got {
+		seen[id]++
+	}
+	for _, id := range want {
+		seen[id]--
+		if seen[id] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -114,7 +114,19 @@ if [ "$SMOKE_DEBUG" = "1" ]; then
     SHEDS=$(sed -n 's/^ *"sheds": \([0-9]*\).*/\1/p' "$WORK/obs.json" | head -n 1)
     [ -n "$SHEDS" ] && [ "$SHEDS" -gt 0 ] || {
         echo "smoke: debug snapshot reports no shed requests" >&2; exit 1; }
-    echo "smoke: debug endpoint OK ($REQS requests, $FAULTS faults, $PLANNED planned, $ENGINE engine samples, $QHITS/$QMISS cache hits/misses, $SHEDS sheds)"
+    # haidx shard writes v4 (mmap-native) snapshots and haserve defaults to
+    # -mmap, so the served index must be page-cache-backed: the whole arena
+    # in index.mapped_bytes, nothing on the heap. (On a platform without the
+    # mmap fast path the eager fallback would flip these two gauges.)
+    MAPPED=$(sed -n 's/^ *"index.mapped_bytes": \([0-9]*\).*/\1/p' "$WORK/obs.json" | head -n 1)
+    HEAP=$(sed -n 's/^ *"index.heap_bytes": \([0-9]*\).*/\1/p' "$WORK/obs.json" | head -n 1)
+    [ -n "$MAPPED" ] && [ -n "$HEAP" ] || {
+        echo "smoke: debug snapshot is missing the index byte gauges" >&2; exit 1; }
+    [ "$MAPPED" -gt 0 ] || {
+        echo "smoke: served shard is not mmap-backed (index.mapped_bytes=$MAPPED)" >&2; exit 1; }
+    [ "$HEAP" -eq 0 ] || {
+        echo "smoke: mmap-backed shard still holds $HEAP heap bytes" >&2; exit 1; }
+    echo "smoke: debug endpoint OK ($REQS requests, $FAULTS faults, $PLANNED planned, $ENGINE engine samples, $QHITS/$QMISS cache hits/misses, $SHEDS sheds, $MAPPED mapped bytes)"
 fi
 
 SMOKE_LSM=${SMOKE_LSM:-0}
